@@ -1,0 +1,47 @@
+//! Program-level retargetable assembler and disassembler.
+//!
+//! The paper's tool environment generates an assembler from the LISA
+//! description (§1, §4.1). `lisa-isa` provides the *instruction-level*
+//! syntax matching; this crate adds what a programmer needs for whole
+//! programs:
+//!
+//! * **labels** (`loop:`) usable as numeric operands (branch targets,
+//!   address constants), resolved in two passes;
+//! * **directives**: `.org` (load address), `.word` (literal data),
+//!   `.align` (power-of-two alignment);
+//! * **parallel-issue bars** (`||`) for VLIW targets: bar-joined lines
+//!   form one execute packet, p-bits are set automatically, and execute
+//!   packets are padded so they never straddle a fetch-packet boundary
+//!   (the C62x packing rule);
+//! * **listings**: address + encoded word + source per line.
+//!
+//! # Examples
+//!
+//! ```
+//! use lisa_asm::Assembler;
+//! use lisa_models::tinyrisc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wb = tinyrisc::workbench()?;
+//! let program = Assembler::new(wb.model()).assemble(r#"
+//!         LDI R1, 5
+//!         LDI R2, 0
+//! loop:   ADD R2, R2, R1
+//!         SUB R1, R1, R3   ; R3 is zero: infinite-loop guard elided
+//!         BNZ loop
+//!         HLT
+//! "#)?;
+//! assert_eq!(program.labels["loop"], 2);
+//! assert_eq!(program.words.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod program;
+
+pub use error::AsmError;
+pub use program::{Assembler, Program};

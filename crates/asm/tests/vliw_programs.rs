@@ -1,0 +1,108 @@
+//! VLIW program-assembly coverage: listings with parallel bars,
+//! origin handling, data interleaved with code, and listing/disassembly
+//! agreement on packed images.
+
+use lisa_asm::Assembler;
+use lisa_models::vliw62;
+
+#[test]
+fn vliw_listing_shows_bars_and_pads() {
+    let wb = vliw62::workbench().unwrap();
+    let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
+    let program = asm
+        .assemble(
+            "MVK A2, 1\n || MVK B2, 2\n || MVK A3, 3\nHALT\n",
+        )
+        .expect("assembles");
+    let listing = &program.listing;
+    assert!(listing.contains("|| MVK B2, 2"), "{listing}");
+    assert!(listing.contains("|| MVK A3, 3"), "{listing}");
+    assert!(!listing.lines().next().unwrap().contains("||"), "first slot unbarred");
+    // Final fetch-packet padding appears as <pad> lines.
+    assert!(listing.contains("<pad>"), "{listing}");
+    assert_eq!(program.words.len(), vliw62::FETCH_PACKET);
+}
+
+#[test]
+fn disassembled_listing_reconstructs_bars() {
+    let wb = vliw62::workbench().unwrap();
+    let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
+    let program = asm
+        .assemble("ADD .L A2, A3, A4\n || SUB .L B2, B3, B4\nHALT\n")
+        .expect("assembles");
+    let listing = asm.disassemble_listing(&program.words, 0);
+    let lines: Vec<&str> = listing.lines().collect();
+    assert!(lines[0].contains("ADD .L A2, A3, A4"), "{listing}");
+    assert!(lines[1].contains("|| SUB .L B2, B3, B4"), "{listing}");
+    assert!(!lines[2].contains("||"), "HALT is its own packet: {listing}");
+}
+
+#[test]
+fn data_words_between_code_disassemble_as_data_or_nop() {
+    let wb = vliw62::workbench().unwrap();
+    let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
+    let program = asm
+        .assemble(
+            r#"
+            MVK A2, 1
+            .align 8
+    table:  .word 0xDEADBEEF
+            .word 3
+            "#,
+        )
+        .expect("assembles");
+    assert_eq!(program.labels["table"], 8);
+    assert_eq!(program.words[8], 0xDEAD_BEEF);
+    assert_eq!(program.words[9], 3);
+    // 0xDEADBEEF has opcode bits that do not decode; shown as data.
+    let listing = asm.disassemble_listing(&program.words, 0);
+    assert!(listing.contains("deadbeef"), "{listing}");
+}
+
+#[test]
+fn origin_is_respected_in_listing_addresses() {
+    let wb = lisa_models::accu16::workbench().unwrap();
+    let asm = Assembler::new(wb.model());
+    let program = asm
+        .assemble(".org 0x100\nCLR\nHLT\n")
+        .expect("assembles");
+    assert_eq!(program.origin, 0x100);
+    let first = program.listing.lines().next().unwrap();
+    assert!(first.starts_with("000100"), "{first}");
+}
+
+#[test]
+fn labels_work_across_org_gaps() {
+    let wb = vliw62::workbench().unwrap();
+    let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
+    let program = asm
+        .assemble(
+            r#"
+            B isr
+            NOP 5
+            HALT
+            .org 32
+    isr:    MVK A2, 1
+            HALT
+            "#,
+        )
+        .expect("assembles");
+    assert_eq!(program.labels["isr"], 32);
+    // The branch target field encodes 32.
+    let b_word = program.words[0];
+    assert_eq!(b_word >> 1 & 0x1F_FFFF, 32, "B target is the label address");
+    // The gap between HALT and .org 32 is padded.
+    assert_eq!(program.words.len(), 40, "padded to the packet after the ISR");
+}
+
+#[test]
+fn packet_too_long_is_reported() {
+    let wb = vliw62::workbench().unwrap();
+    let asm = Assembler::with_packet(wb.model(), 4, 1); // artificially small
+    let mut src = String::from("MVK A2, 1\n");
+    for i in 3..=7 {
+        src.push_str(&format!(" || MVK A{i}, {i}\n"));
+    }
+    let err = asm.assemble(&src).unwrap_err();
+    assert!(matches!(err, lisa_asm::AsmError::PacketTooLong { packet_size: 4, .. }));
+}

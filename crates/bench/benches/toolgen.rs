@@ -1,0 +1,51 @@
+//! E2 — tool-generation time under Criterion: parse + analyse, decoder
+//! generation, compiled-simulator lowering, for each bundled model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lisa_core::Model;
+use lisa_models::{accu16, tinyrisc, vliw62};
+use lisa_sim::{SimMode, Simulator};
+use std::hint::black_box;
+
+fn models() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("vliw62", vliw62::SOURCE),
+        ("accu16", accu16::SOURCE),
+        ("tinyrisc", tinyrisc::SOURCE),
+    ]
+}
+
+fn bench_parse_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolgen/parse_analyze");
+    for (name, source) in models() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), source, |b, src| {
+            b.iter(|| Model::from_source(black_box(src)).expect("builds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoder_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolgen/decoder");
+    for (name, source) in models() {
+        let model = Model::from_source(source).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| lisa_isa::Decoder::new(black_box(m)).expect("decoder"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolgen/compiled_lowering");
+    for (name, source) in models() {
+        let model = Model::from_source(source).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| Simulator::new(black_box(m), SimMode::Compiled).expect("lowers"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_analyze, bench_decoder_generation, bench_lowering);
+criterion_main!(benches);

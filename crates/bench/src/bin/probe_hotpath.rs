@@ -1,0 +1,22 @@
+//! Manual hot-path probe: times engine phases for the vliw62 dot kernel.
+
+use lisa_models::{kernels, vliw62};
+use lisa_sim::SimMode;
+use std::time::Instant;
+
+fn main() {
+    let wb = vliw62::workbench().expect("builds");
+    let kernel = kernels::vliw_dot_product(64);
+    for mode in [SimMode::Interpretive, SimMode::Compiled] {
+        let mut sim = kernels::load_kernel(&wb, &kernel, mode).expect("loads");
+        let t = Instant::now();
+        let cycles = wb.run_to_halt(&mut sim, kernel.max_steps).expect("halts");
+        let dt = t.elapsed();
+        println!(
+            "{mode:?}: {cycles} cycles in {:?} = {:.2} us/cycle; stats: {}",
+            dt,
+            dt.as_secs_f64() * 1e6 / cycles as f64,
+            sim.stats()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment E2: tool-generation time. The paper reports "the
+//! translation of the TMS320C6201 processor model into the simulator
+//! takes only 30 seconds on a Sparc Ultra 10" (§4.1).
+
+use lisa_bench::{fmt_duration, toolgen_once};
+use lisa_models::{accu16, tinyrisc, vliw62};
+
+fn main() {
+    println!("E2 — simulator/tool generation time (paper §4.1: 30 s on a Sparc Ultra 10)");
+    println!();
+    println!(
+        "{:<10} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "model", "parse+analyze", "decoder", "lowering", "predecode", "total"
+    );
+    println!("{}", "-".repeat(80));
+    for (name, source) in [
+        ("vliw62", vliw62::SOURCE),
+        ("accu16", accu16::SOURCE),
+        ("tinyrisc", tinyrisc::SOURCE),
+    ] {
+        // Warm up once, then keep the best of five runs.
+        let _ = toolgen_once(source);
+        let best = (0..5)
+            .map(|_| toolgen_once(source))
+            .min_by_key(lisa_bench::ToolgenTiming::total)
+            .expect("five runs");
+        println!(
+            "{:<10} {:>16} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            fmt_duration(best.parse_and_analyze),
+            fmt_duration(best.decoder),
+            fmt_duration(best.lower),
+            fmt_duration(best.predecode),
+            fmt_duration(best.total())
+        );
+    }
+}

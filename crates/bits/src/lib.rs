@@ -1,0 +1,56 @@
+//! Bit-accurate value substrate for the LISA toolchain.
+//!
+//! LISA resource declarations give every storage object an exact bit width
+//! (`REGISTER bit[48] accu;`, `REGISTER bit carry;`), and instruction codings
+//! are sequences of `0`, `1` and don't-care `x` bits (`0b1001x110`). This
+//! crate provides the two corresponding value types used throughout the
+//! generated tools:
+//!
+//! * [`Bits`] — an arbitrary-width (1..=128) two's-complement value with
+//!   wrapping, saturating and bit-manipulation arithmetic, used for register
+//!   and memory contents and for instruction words;
+//! * [`BitPattern`] — a ternary (`0`/`1`/`x`) bit string with matching,
+//!   encoding, field extraction and overlap analysis, used for `CODING`
+//!   sections and decoder construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use lisa_bits::{Bits, BitPattern};
+//!
+//! # fn main() -> Result<(), lisa_bits::BitsError> {
+//! let accu = Bits::new(48, 0xFFFF_FFFF_FFFF)?;
+//! assert_eq!(accu.wrapping_add(Bits::new(48, 1)?).to_u128(), 0);
+//!
+//! let pat: BitPattern = "0b1001x110".parse()?;
+//! assert!(pat.matches_u128(0b1001_0110));
+//! assert!(pat.matches_u128(0b1001_1110));
+//! assert!(!pat.matches_u128(0b0001_0110));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod error;
+mod pattern;
+
+pub use bits::Bits;
+pub use error::BitsError;
+pub use pattern::{BitPattern, Tern};
+
+/// Maximum supported bit width for [`Bits`] and [`BitPattern`].
+pub const MAX_WIDTH: u32 = 128;
+
+/// Returns the all-ones mask for a width in `1..=128`.
+#[inline]
+pub(crate) fn mask(width: u32) -> u128 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}

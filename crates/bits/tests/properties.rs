@@ -1,0 +1,187 @@
+//! Property-based tests for the bit-value substrate: arithmetic laws,
+//! pattern parsing totality, and match/encode inverses.
+
+use lisa_bits::{BitPattern, Bits, Tern};
+use proptest::prelude::*;
+
+/// A strategy producing (width, value) pairs with value masked to width.
+fn bits_strategy() -> impl Strategy<Value = Bits> {
+    (1u32..=128, any::<u128>())
+        .prop_map(|(w, v)| Bits::from_u128_wrapped(w, v))
+}
+
+/// Two same-width values.
+fn bits_pair() -> impl Strategy<Value = (Bits, Bits)> {
+    (1u32..=128, any::<u128>(), any::<u128>()).prop_map(|(w, a, b)| {
+        (Bits::from_u128_wrapped(w, a), Bits::from_u128_wrapped(w, b))
+    })
+}
+
+fn tern_vec() -> impl Strategy<Value = Vec<Tern>> {
+    prop::collection::vec(
+        prop_oneof![Just(Tern::Zero), Just(Tern::One), Just(Tern::DontCare)],
+        1..=128,
+    )
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in bits_pair()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn add_sub_cancels((a, b) in bits_pair()) {
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero(a in bits_strategy()) {
+        prop_assert_eq!(a.wrapping_neg(), Bits::zero(a.width()).wrapping_sub(a));
+    }
+
+    #[test]
+    fn signed_unsigned_views_agree_mod_2w(a in bits_strategy()) {
+        let w = a.width();
+        let signed = a.to_i128();
+        let round = Bits::from_i128_wrapped(w, signed);
+        prop_assert_eq!(round, a);
+    }
+
+    #[test]
+    fn not_is_involution(a in bits_strategy()) {
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    #[test]
+    fn xor_with_self_is_zero(a in bits_strategy()) {
+        prop_assert_eq!((a ^ a).to_u128(), 0);
+    }
+
+    #[test]
+    fn de_morgan((a, b) in bits_pair()) {
+        prop_assert_eq!(!(a & b), (!a) | (!b));
+    }
+
+    #[test]
+    fn shift_left_then_right_masks_low(a in bits_strategy(), amt in 0u32..32) {
+        let w = a.width();
+        prop_assume!(amt < w);
+        let round = a.shl(amt).shr(amt);
+        // Round trip loses the top `amt` bits only.
+        let kept = if w - amt == 128 {
+            a.to_u128()
+        } else {
+            a.to_u128() & ((1u128 << (w - amt)) - 1)
+        };
+        prop_assert_eq!(round.to_u128(), kept);
+    }
+
+    #[test]
+    fn asr_preserves_sign(a in bits_strategy(), amt in 0u32..200) {
+        let shifted = a.asr(amt);
+        prop_assert_eq!(shifted.msb(), a.msb() && (a.msb() || shifted.msb()));
+        if a.msb() {
+            prop_assert!(shifted.to_i128() < 0 || a.to_i128() == 0);
+        } else {
+            prop_assert!(shifted.to_i128() >= 0);
+        }
+    }
+
+    #[test]
+    fn rotate_full_cycle_is_identity(a in bits_strategy()) {
+        prop_assert_eq!(a.rotate_left(a.width()), a);
+    }
+
+    #[test]
+    fn extract_insert_round_trip(
+        (a, lo, len) in bits_strategy().prop_flat_map(|a| {
+            let w = a.width();
+            (Just(a), 0..w).prop_flat_map(move |(a, lo)| (Just(a), Just(lo), 1..=w - lo))
+        })
+    ) {
+        let field = a.extract(lo, len).unwrap();
+        prop_assert_eq!(a.insert(lo, field).unwrap(), a);
+    }
+
+    #[test]
+    fn concat_extract_agree(a in bits_strategy(), b in bits_strategy()) {
+        prop_assume!(a.width() + b.width() <= 128);
+        let cat = a.concat(b).unwrap();
+        prop_assert_eq!(cat.extract(b.width(), a.width()).unwrap(), a);
+        prop_assert_eq!(cat.extract(0, b.width()).unwrap(), b);
+    }
+
+    #[test]
+    fn saturating_add_is_clamped_exact_sum((a, b) in bits_pair()) {
+        prop_assume!(a.width() < 128);
+        let exact = a.to_i128() + b.to_i128();
+        let sat = a.saturating_add_signed(b).to_i128();
+        let max = a.max_signed();
+        prop_assert_eq!(sat, exact.clamp(-max - 1, max));
+    }
+
+    #[test]
+    fn widening_mul_is_exact((a, b) in bits_pair()) {
+        prop_assume!(a.width() <= 64);
+        let p = a.widening_mul_signed(b).unwrap();
+        prop_assert_eq!(p.to_i128(), a.to_i128() * b.to_i128());
+    }
+
+    #[test]
+    fn norm_shifted_value_is_normalised(a in bits_strategy()) {
+        // Shifting left by norm() puts the first significant bit just
+        // below the sign bit (or yields 0 / -1 for degenerate values).
+        let n = a.norm();
+        let w = a.width();
+        prop_assert!(n < w);
+        if n < w - 1 {
+            let shifted = a.shl(n);
+            // After normalisation the bit below the sign differs from the sign.
+            let sign = shifted.msb();
+            let below = shifted.bit(w.saturating_sub(2)).unwrap();
+            prop_assert_ne!(sign, below);
+        }
+    }
+
+    #[test]
+    fn pattern_display_parse_round_trip(terns in tern_vec()) {
+        let p = BitPattern::from_terns(&terns).unwrap();
+        let reparsed: BitPattern = p.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn pattern_parse_never_panics(s in "\\PC{0,40}") {
+        let _ = s.parse::<BitPattern>();
+    }
+
+    #[test]
+    fn fully_specified_pattern_matches_only_itself(w in 1u32..=64, v in any::<u128>()) {
+        let p = BitPattern::from_value(w, v);
+        let v = v & if w == 128 { u128::MAX } else { (1 << w) - 1 };
+        prop_assert!(p.matches_u128(v));
+        prop_assert!(!p.matches_u128(v ^ 1));
+    }
+
+    #[test]
+    fn overlap_is_symmetric(ta in tern_vec(), tb in tern_vec()) {
+        let a = BitPattern::from_terns(&ta).unwrap();
+        let b = BitPattern::from_terns(&tb).unwrap();
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn subsume_implies_overlap(ta in tern_vec(), tb in tern_vec()) {
+        let a = BitPattern::from_terns(&ta).unwrap();
+        let b = BitPattern::from_terns(&tb).unwrap();
+        if a.subsumes(&b) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn any_pattern_matches_everything(w in 1u32..=128, v in any::<u128>()) {
+        prop_assert!(BitPattern::any(w).matches_u128(v));
+    }
+}

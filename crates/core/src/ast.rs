@@ -1,0 +1,676 @@
+//! Abstract syntax tree for LISA descriptions.
+//!
+//! A [`Description`] is the parse result of one LISA source file: resource
+//! declarations (memory/resource model), pipeline declarations (timing
+//! model), and operation definitions whose sections carry the instruction
+//! set, behavioral and timing models. The AST stays close to the concrete
+//! syntax; resolution of names into ids happens later in
+//! [`crate::model`].
+
+use lisa_bits::BitPattern;
+
+use crate::span::Span;
+
+/// An identifier with its source location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ident {
+    /// The name text.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a synthetic span (for programmatic ASTs).
+    #[must_use]
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident { name: name.into(), span: Span::synthetic() }
+    }
+}
+
+impl std::fmt::Display for Ident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A complete parsed LISA description.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Description {
+    /// All resource declarations, in source order (multiple `RESOURCE`
+    /// sections are concatenated).
+    pub resources: Vec<ResourceDecl>,
+    /// All pipeline declarations.
+    pub pipelines: Vec<PipelineDecl>,
+    /// All operation definitions.
+    pub operations: Vec<OperationDecl>,
+}
+
+/// The classifying attribute of a resource declaration (paper §3.1: "these
+/// keywords are not mandatory but they are used to classify the
+/// definitions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResourceClass {
+    /// No classifying keyword.
+    #[default]
+    Plain,
+    /// `REGISTER`
+    Register,
+    /// `CONTROL_REGISTER`
+    ControlRegister,
+    /// `PROGRAM_COUNTER`
+    ProgramCounter,
+    /// `DATA_MEMORY`
+    DataMemory,
+    /// `PROGRAM_MEMORY`
+    ProgramMemory,
+}
+
+/// The element type of a resource: C-style integer types or exact bit
+/// widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `int` — 32 bits.
+    Int,
+    /// `long` — 64 bits.
+    Long,
+    /// `short` — 16 bits.
+    Short,
+    /// `char` — 8 bits.
+    Char,
+    /// `unsigned int` et al. — same widths, unsigned interpretation.
+    UnsignedInt,
+    /// `unsigned long`.
+    UnsignedLong,
+    /// `unsigned short`.
+    UnsignedShort,
+    /// `unsigned char`.
+    UnsignedChar,
+    /// `bit` (width 1) or `bit[N]`.
+    Bit(u32),
+}
+
+impl DataType {
+    /// The storage width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        match self {
+            DataType::Int | DataType::UnsignedInt => 32,
+            DataType::Long | DataType::UnsignedLong => 64,
+            DataType::Short | DataType::UnsignedShort => 16,
+            DataType::Char | DataType::UnsignedChar => 8,
+            DataType::Bit(w) => *w,
+        }
+    }
+
+    /// Whether values are interpreted as signed two's-complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        matches!(
+            self,
+            DataType::Int | DataType::Long | DataType::Short | DataType::Char
+        )
+    }
+}
+
+/// One array/range dimension of a resource declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// `[N]` — N elements, addressed from 0.
+    Size(u64),
+    /// `[lo..hi]` — elements addressed `lo..=hi` (paper Example 1:
+    /// `prog_mem[0x100..0xffff]`).
+    Range(u64, u64),
+}
+
+impl Dim {
+    /// Number of addressable elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            Dim::Size(n) => *n,
+            Dim::Range(lo, hi) => hi - lo + 1,
+        }
+    }
+
+    /// Whether the dimension holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lowest valid address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        match self {
+            Dim::Size(_) => 0,
+            Dim::Range(lo, _) => *lo,
+        }
+    }
+}
+
+/// One declaration from a `RESOURCE` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDecl {
+    /// Classifying keyword.
+    pub class: ResourceClass,
+    /// Element type.
+    pub ty: DataType,
+    /// Resource name.
+    pub name: Ident,
+    /// Zero or more dimensions; empty = scalar register. Paper Example 1's
+    /// `data_mem2[4]([0x20000])` yields two dimensions.
+    pub dims: Vec<Dim>,
+    /// Source location of the whole declaration.
+    pub span: Span,
+}
+
+/// A `PIPELINE name = { S1; S2; … };` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineDecl {
+    /// Pipeline name.
+    pub name: Ident,
+    /// Stage names, first stage first.
+    pub stages: Vec<Ident>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A reference to a pipeline stage, `pipeline.stage`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StageRef {
+    /// Pipeline name.
+    pub pipeline: Ident,
+    /// Stage name.
+    pub stage: Ident,
+}
+
+/// An `OPERATION name [ALIAS] [IN pipe.stage] { … }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationDecl {
+    /// Operation name.
+    pub name: Ident,
+    /// Whether the `ALIAS` option was given (instruction aliasing, §3:
+    /// "Support for instruction aliasing").
+    pub alias: bool,
+    /// Optional pipeline-stage assignment from the header.
+    pub stage: Option<StageRef>,
+    /// The operation body items (sections and conditional structuring).
+    pub items: Vec<OpItem>,
+    /// Source location of the header.
+    pub span: Span,
+}
+
+/// One item in an operation body: a section, or compile-time conditional
+/// structuring around nested items (paper §3.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpItem {
+    /// `DECLARE { … }`
+    Declare(DeclareSection),
+    /// `CODING { … }`
+    Coding(CodingSection),
+    /// `SYNTAX { … }`
+    Syntax(SyntaxSection),
+    /// `SEMANTICS { … }` — kept as raw text for documentation/compiler
+    /// back-ends; not interpreted by the simulator.
+    Semantics(RawSection),
+    /// `BEHAVIOR { … }`
+    Behavior(Block),
+    /// `EXPRESSION { … }`
+    Expression(Expr),
+    /// `ACTIVATION { … }`
+    Activation(ActivationSection),
+    /// `SWITCH (Group) { CASE member: { … } … }`
+    Switch(OpSwitch),
+    /// `IF (Group == member) { … } [ELSE { … }]`
+    If(OpIf),
+    /// A user-defined section (`name { raw }`) — the paper allows designers
+    /// to "add further sections in order to describe other attributes, like
+    /// e.g. power consumption".
+    Custom(Ident, RawSection),
+}
+
+/// Compile-time `SWITCH` over a group's selected member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSwitch {
+    /// The group being switched on.
+    pub group: Ident,
+    /// `CASE member[, member…]: { items }` arms.
+    pub cases: Vec<SwitchCase>,
+    /// Optional `DEFAULT: { items }` arm.
+    pub default: Option<Vec<OpItem>>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One arm of an [`OpSwitch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// Members selecting this arm.
+    pub members: Vec<Ident>,
+    /// Items active when one of `members` is selected.
+    pub items: Vec<OpItem>,
+}
+
+/// Compile-time `IF (Group == member)` structuring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpIf {
+    /// The group being tested.
+    pub group: Ident,
+    /// The member compared against.
+    pub member: Ident,
+    /// Items active when the member is selected.
+    pub then_items: Vec<OpItem>,
+    /// Items active otherwise.
+    pub else_items: Vec<OpItem>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `DECLARE` section: symbol declarations for the operation (paper
+/// §3.2.2 lists operation references, group definitions, group references
+/// and labels).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeclareSection {
+    /// `GROUP a, b = { x || y || z };` definitions.
+    pub groups: Vec<GroupDecl>,
+    /// `LABEL idx;` inter-section references.
+    pub labels: Vec<Ident>,
+    /// `REFERENCE op;` operation references.
+    pub references: Vec<Ident>,
+}
+
+/// One `GROUP names… = { members… };` definition. Several group *names*
+/// may share one member list ("The groups src1, src2, and dest are
+/// instantiations of the same operation group").
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDecl {
+    /// The group instance names.
+    pub names: Vec<Ident>,
+    /// The alternative operations.
+    pub members: Vec<Ident>,
+}
+
+/// A `CODING` section.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodingSection {
+    /// For coding-tree roots: the compared resource in
+    /// `CODING { instruction_register == Instruction … }`.
+    pub root: Option<Ident>,
+    /// The coding elements left (most significant) to right.
+    pub elements: Vec<CodingElement>,
+}
+
+/// One element of a coding sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodingElement {
+    /// A literal bit pattern (`0b0011x10`), possibly repeated
+    /// (`0bx[4]` = four don't-care bits).
+    Pattern(BitPattern, Span),
+    /// A reference to another operation's or group's coding.
+    Ref(Ident),
+    /// `label:0bx[4]` — a label-bound field; the matched bits become the
+    /// label's value, linking coding to syntax (translation rules).
+    LabelField {
+        /// The label name.
+        label: Ident,
+        /// The pattern giving the field its width (and any fixed bits).
+        pattern: BitPattern,
+    },
+}
+
+impl CodingElement {
+    /// Best-effort source span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            CodingElement::Pattern(_, span) => *span,
+            CodingElement::Ref(ident) => ident.span,
+            CodingElement::LabelField { label, .. } => label.span,
+        }
+    }
+}
+
+/// A `SYNTAX` section.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SyntaxSection {
+    /// The syntax elements in order.
+    pub elements: Vec<SyntaxElement>,
+}
+
+/// Numeric operand display format (`:#s` signed, `:#u` unsigned, `:#x`
+/// hexadecimal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumFormat {
+    /// Signed decimal.
+    Signed,
+    /// Unsigned decimal.
+    Unsigned,
+    /// Hexadecimal with `0x` prefix.
+    Hex,
+}
+
+/// One element of a syntax sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyntaxElement {
+    /// A quoted literal: mnemonic text or punctuation (`"ADD"`, `","`).
+    Literal(String, Span),
+    /// A reference to another operation's or group's syntax.
+    Ref(Ident),
+    /// A numeric field: `index:#u` (a label) or `imm:#s` (a group/ref whose
+    /// selected operation is an immediate).
+    Num {
+        /// The label/group/reference name.
+        name: Ident,
+        /// Display format.
+        format: NumFormat,
+    },
+}
+
+/// A raw (uninterpreted) section body: the source text between braces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RawSection {
+    /// Raw text, braces excluded.
+    pub text: String,
+    /// Source location of the braced body.
+    pub span: Span,
+}
+
+/// An `ACTIVATION` section: a timed list of operation activations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivationSection {
+    /// The activation nodes in order.
+    pub items: Vec<ActNode>,
+}
+
+/// One node of an activation list. `delay` counts the `;` (delayed
+/// activation) separators preceding the node within its list; `,`
+/// (concurrent activation) does not increase it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActNode {
+    /// Activate an operation or group by name.
+    Activate {
+        /// The activated operation/group.
+        name: Ident,
+        /// Extra control-step delay from `;` separators.
+        delay: u32,
+    },
+    /// A call such as `fetch_pipe.DP.stall()` or `execute_pipe.shift()`.
+    Call {
+        /// The dotted call target and arguments.
+        call: Call,
+        /// Extra control-step delay from `;` separators.
+        delay: u32,
+    },
+    /// Run-time conditional activation (`if` inside ACTIVATION — paper:
+    /// "we allow the activation to be embedded in control structures").
+    If {
+        /// Condition over resources.
+        cond: Expr,
+        /// Nodes when true.
+        then_items: Vec<ActNode>,
+        /// Nodes when false.
+        else_items: Vec<ActNode>,
+        /// Extra control-step delay applied to the whole conditional.
+        delay: u32,
+    },
+    /// Run-time switch over a resource value.
+    Switch {
+        /// Scrutinee expression.
+        scrutinee: Expr,
+        /// `(match value, nodes)` arms.
+        cases: Vec<(i64, Vec<ActNode>)>,
+        /// Default arm.
+        default: Vec<ActNode>,
+        /// Extra control-step delay applied to the whole switch.
+        delay: u32,
+    },
+}
+
+/// A call with a dotted target path: `pipe.stage.stall()`, `shift()`,
+/// or a plain builtin like `print(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Dotted path segments (1–3 of them).
+    pub path: Vec<Ident>,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+// ---------------------------------------------------------------------------
+// Behavior language (C subset)
+// ---------------------------------------------------------------------------
+
+/// A behavior-language block: `{ stmt* }`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Compound assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the operators
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+}
+
+/// A behavior-language statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration: `int x;` or `int x = e;`.
+    Local {
+        /// Declared type.
+        ty: DataType,
+        /// Variable name.
+        name: Ident,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment to an lvalue (identifier or indexed resource).
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `x++;` / `x--;`
+    IncDec {
+        /// Target lvalue.
+        target: Expr,
+        /// +1 or -1.
+        delta: i64,
+    },
+    /// An expression evaluated for effect: an operation/group invocation
+    /// (`Instruction;` from paper Example 3) or an intrinsic call.
+    Expr(Expr),
+    /// `if (c) { … } [else { … }]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Else branch (empty when absent).
+        else_block: Block,
+    },
+    /// `while (c) { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `do { … } while (c);`
+    DoWhile {
+        /// Loop body.
+        body: Block,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) { … }`
+    For {
+        /// Initialiser statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = true).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `switch (e) { case n: … default: … }` with implicit break at each
+    /// case end (no fall-through: each case body is a block).
+    Switch {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// `(value, body)` arms.
+        cases: Vec<(i64, Block)>,
+        /// Default arm.
+        default: Option<Block>,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested block.
+    Block(Block),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Binary operators (C semantics over 64-bit signed integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+/// A behavior-language expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Name: local variable, resource, label, group or operation
+    /// reference — resolved during analysis/evaluation.
+    Name(Ident),
+    /// Indexing: `A[i]`, `mem[bank][addr]` (nested).
+    Index {
+        /// The indexed base.
+        base: Box<Expr>,
+        /// The index.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `c ? t : f`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_expr: Box<Expr>,
+        /// Value when false.
+        else_expr: Box<Expr>,
+    },
+    /// Call: builtin (`sext(v, 16)`), pipeline intrinsic
+    /// (`pipe.DC.stall()`), or referenced-operation invocation
+    /// (`Operand()`).
+    Call(Call),
+}
+
+impl Expr {
+    /// Best-effort source span (synthetic for composite nodes).
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, span) => *span,
+            Expr::Name(id) => id.span,
+            Expr::Index { base, .. } => base.span(),
+            Expr::Unary { expr, .. } => expr.span(),
+            Expr::Binary { lhs, .. } => lhs.span(),
+            Expr::Ternary { cond, .. } => cond.span(),
+            Expr::Call(call) => call.path.first().map_or_else(Span::synthetic, |p| p.span),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_widths() {
+        assert_eq!(DataType::Int.width(), 32);
+        assert_eq!(DataType::Long.width(), 64);
+        assert_eq!(DataType::Short.width(), 16);
+        assert_eq!(DataType::Char.width(), 8);
+        assert_eq!(DataType::Bit(1).width(), 1);
+        assert_eq!(DataType::Bit(48).width(), 48);
+        assert!(DataType::Int.is_signed());
+        assert!(!DataType::UnsignedInt.is_signed());
+    }
+
+    #[test]
+    fn dim_addressing() {
+        let size = Dim::Size(0x80000);
+        assert_eq!(size.len(), 0x80000);
+        assert_eq!(size.base(), 0);
+        let range = Dim::Range(0x100, 0xffff);
+        assert_eq!(range.len(), 0xff00);
+        assert_eq!(range.base(), 0x100);
+        assert!(!range.is_empty());
+    }
+
+    #[test]
+    fn ident_display() {
+        assert_eq!(Ident::synthetic("accu").to_string(), "accu");
+    }
+}

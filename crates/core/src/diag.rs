@@ -1,0 +1,204 @@
+//! Diagnostics for the LISA front-end: lexing and parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::span::Span;
+use crate::token::TokenKind;
+
+/// An error produced while lexing or parsing LISA source.
+///
+/// Every variant carries the [`Span`] where the problem was detected, so
+/// tools can point at the offending source text.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A character that cannot start any token.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Its location.
+        span: Span,
+    },
+    /// A string literal missing its closing quote.
+    UnterminatedString {
+        /// Location of the opening quote.
+        span: Span,
+    },
+    /// A block comment missing its closing `*/`.
+    UnterminatedComment {
+        /// Location of the opening `/*`.
+        span: Span,
+    },
+    /// A numeric literal that does not parse (overflow, empty digits…).
+    InvalidNumber {
+        /// The literal text.
+        text: String,
+        /// Its location.
+        span: Span,
+    },
+    /// A malformed bit-pattern literal.
+    InvalidPattern {
+        /// The underlying bit-pattern error.
+        source: lisa_bits::BitsError,
+        /// Its location.
+        span: Span,
+    },
+    /// The parser found a token it did not expect.
+    UnexpectedToken {
+        /// What was found.
+        found: TokenKind,
+        /// A description of what was expected (e.g. "`;`", "a section
+        /// keyword").
+        expected: String,
+        /// Location of the found token.
+        span: Span,
+    },
+    /// A pattern repetition count (`0bx[4]`) that is zero or too large.
+    InvalidRepetition {
+        /// The repetition count.
+        count: i64,
+        /// Its location.
+        span: Span,
+    },
+    /// The same section appeared twice in one operation (outside
+    /// conditional structuring).
+    DuplicateSection {
+        /// Section keyword name.
+        section: &'static str,
+        /// Location of the second occurrence.
+        span: Span,
+    },
+    /// An escape sequence in a string literal that is not recognised.
+    InvalidEscape {
+        /// The escaped character.
+        ch: char,
+        /// Its location.
+        span: Span,
+    },
+}
+
+impl ParseError {
+    /// The source span the error points at.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            ParseError::UnexpectedChar { span, .. }
+            | ParseError::UnterminatedString { span }
+            | ParseError::UnterminatedComment { span }
+            | ParseError::InvalidNumber { span, .. }
+            | ParseError::InvalidPattern { span, .. }
+            | ParseError::UnexpectedToken { span, .. }
+            | ParseError::InvalidRepetition { span, .. }
+            | ParseError::DuplicateSection { span, .. }
+            | ParseError::InvalidEscape { span, .. } => *span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { ch, span } => {
+                write!(f, "{span}: unexpected character `{ch}`")
+            }
+            ParseError::UnterminatedString { span } => {
+                write!(f, "{span}: unterminated string literal")
+            }
+            ParseError::UnterminatedComment { span } => {
+                write!(f, "{span}: unterminated block comment")
+            }
+            ParseError::InvalidNumber { text, span } => {
+                write!(f, "{span}: invalid numeric literal `{text}`")
+            }
+            ParseError::InvalidPattern { source, span } => {
+                write!(f, "{span}: {source}")
+            }
+            ParseError::UnexpectedToken { found, expected, span } => {
+                write!(f, "{span}: expected {expected}, found {found}")
+            }
+            ParseError::InvalidRepetition { count, span } => {
+                write!(f, "{span}: invalid pattern repetition count {count}")
+            }
+            ParseError::DuplicateSection { section, span } => {
+                write!(f, "{span}: duplicate {section} section")
+            }
+            ParseError::InvalidEscape { ch, span } => {
+                write!(f, "{span}: invalid escape sequence `\\{ch}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::InvalidPattern { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let err = ParseError::UnexpectedChar { ch: '@', span: Span::new(4, 5, 2, 1) };
+        assert_eq!(err.to_string(), "2:1: unexpected character `@`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<ParseError>();
+    }
+
+    #[test]
+    fn pattern_errors_chain_source() {
+        let inner = lisa_bits::BitsError::InvalidPattern { text: "0b2".into() };
+        let err = ParseError::InvalidPattern { source: inner, span: Span::synthetic() };
+        assert!(err.source().is_some());
+    }
+}
+
+/// Combined error for the parse-then-analyse pipeline
+/// ([`crate::model::Model::from_source`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LisaError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Model analysis failed.
+    Model(crate::model::ModelError),
+}
+
+impl fmt::Display for LisaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LisaError::Parse(e) => write!(f, "parse error: {e}"),
+            LisaError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for LisaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LisaError::Parse(e) => Some(e),
+            LisaError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for LisaError {
+    fn from(e: ParseError) -> Self {
+        LisaError::Parse(e)
+    }
+}
+
+impl From<crate::model::ModelError> for LisaError {
+    fn from(e: crate::model::ModelError) -> Self {
+        LisaError::Model(e)
+    }
+}

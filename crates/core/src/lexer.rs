@@ -1,0 +1,577 @@
+//! Hand-written lexer for the LISA machine description language.
+//!
+//! LISA is deliberately C-like (the paper: "Due to its C-like syntax, LISA
+//! can be easily and intuitively used by designers"), so the token set is a
+//! C subset plus bit-pattern literals (`0b01xx`) and the section keywords.
+
+use crate::diag::ParseError;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Lexes a complete LISA source string into tokens (final token is
+/// [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered: unexpected characters,
+/// unterminated strings/comments, malformed numbers or escapes.
+///
+/// # Examples
+///
+/// ```
+/// use lisa_core::lexer::lex;
+/// use lisa_core::token::TokenKind;
+///
+/// # fn main() -> Result<(), lisa_core::diag::ParseError> {
+/// let tokens = lex("CODING { 0b0110 opcode }")?;
+/// assert!(matches!(&tokens[2].kind, TokenKind::PatternLit(p) if p == "0b0110"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(b) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match b {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'"' => self.lex_string(start)?,
+                _ => self.lex_punct(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(ParseError::UnterminatedComment {
+                                    span: self.span_from(start),
+                                });
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, start: (usize, u32, u32)) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start.0..self.pos];
+        let kind = match Keyword::from_ident(text) {
+            Some(kw) => TokenKind::Kw(kw),
+            None => TokenKind::Ident(text.to_owned()),
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_number(&mut self, start: (usize, u32, u32)) -> Result<(), ParseError> {
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'b') | Some(b'B')) {
+            // Binary literal. Always lexed as a pattern literal — even
+            // without don't-care bits — because coding sections need the
+            // written *width* (`0b0010` is four bits, not the number 2).
+            // The expression parser converts x-free patterns to integers.
+            self.bump();
+            self.bump();
+            let mut has_digit = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0' | b'1' | b'_' => {
+                        has_digit |= b != b'_';
+                        self.bump();
+                    }
+                    b'x' | b'X' => {
+                        has_digit = true;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            let text = &self.src[start.0..self.pos];
+            if !has_digit {
+                return Err(ParseError::InvalidNumber {
+                    text: text.to_owned(),
+                    span: self.span_from(start),
+                });
+            }
+            self.push(TokenKind::PatternLit(text.to_owned()), start);
+            return Ok(());
+        }
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_hexdigit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits: String =
+                self.src[digits_start..self.pos].chars().filter(|c| *c != '_').collect();
+            let text = &self.src[start.0..self.pos];
+            if digits.is_empty() {
+                return Err(ParseError::InvalidNumber {
+                    text: text.to_owned(),
+                    span: self.span_from(start),
+                });
+            }
+            // Parse as u64 then reinterpret, so 0xFFFFFFFFFFFFFFFF lexes.
+            let value = u64::from_str_radix(&digits, 16).map_err(|_| {
+                ParseError::InvalidNumber { text: text.to_owned(), span: self.span_from(start) }
+            })? as i64;
+            self.push(TokenKind::Int(value), start);
+            return Ok(());
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start.0..self.pos];
+        let digits: String = text.chars().filter(|c| *c != '_').collect();
+        let value: i64 = digits.parse().map_err(|_| ParseError::InvalidNumber {
+            text: text.to_owned(),
+            span: self.span_from(start),
+        })?;
+        self.push(TokenKind::Int(value), start);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: (usize, u32, u32)) -> Result<(), ParseError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::UnterminatedString { span: self.span_from(start) });
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let esc_start = self.here();
+                    match self.bump() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'0') => out.push('\0'),
+                        Some(other) => {
+                            return Err(ParseError::InvalidEscape {
+                                ch: other as char,
+                                span: self.span_from(esc_start),
+                            });
+                        }
+                        None => {
+                            return Err(ParseError::UnterminatedString {
+                                span: self.span_from(start),
+                            });
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not just one byte.
+                    let ch_start = self.pos;
+                    let ch = self.src[ch_start..].chars().next().expect("non-empty");
+                    for _ in 0..ch.len_utf8() {
+                        self.bump();
+                    }
+                    out.push(ch);
+                }
+            }
+        }
+        self.push(TokenKind::Str(out), start);
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, start: (usize, u32, u32)) -> Result<(), ParseError> {
+        use TokenKind::*;
+        let b = self.bump().expect("peeked");
+        let two = self.peek();
+        let kind = match b {
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b':' => Colon,
+            b'#' => Hash,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => {
+                if two == Some(b'.') {
+                    self.bump();
+                    DotDot
+                } else {
+                    Dot
+                }
+            }
+            b'=' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'!' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    NotEq
+                } else {
+                    Bang
+                }
+            }
+            b'<' => match (two, self.peek2()) {
+                (Some(b'<'), Some(b'=')) => {
+                    self.bump();
+                    self.bump();
+                    ShlAssign
+                }
+                (Some(b'<'), _) => {
+                    self.bump();
+                    Shl
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    Le
+                }
+                _ => Lt,
+            },
+            b'>' => match (two, self.peek2()) {
+                (Some(b'>'), Some(b'=')) => {
+                    self.bump();
+                    self.bump();
+                    ShrAssign
+                }
+                (Some(b'>'), _) => {
+                    self.bump();
+                    Shr
+                }
+                (Some(b'='), _) => {
+                    self.bump();
+                    Ge
+                }
+                _ => Gt,
+            },
+            b'+' => match two {
+                Some(b'+') => {
+                    self.bump();
+                    PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            b'-' => match two {
+                Some(b'-') => {
+                    self.bump();
+                    MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    MinusAssign
+                }
+                _ => Minus,
+            },
+            b'*' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            b'%' => Percent,
+            b'&' => match two {
+                Some(b'&') => {
+                    self.bump();
+                    AmpAmp
+                }
+                Some(b'=') => {
+                    self.bump();
+                    AmpAssign
+                }
+                _ => Amp,
+            },
+            b'|' => match two {
+                Some(b'|') => {
+                    self.bump();
+                    PipePipe
+                }
+                Some(b'=') => {
+                    self.bump();
+                    PipeAssign
+                }
+                _ => Pipe,
+            },
+            b'^' => {
+                if two == Some(b'=') {
+                    self.bump();
+                    CaretAssign
+                } else {
+                    Caret
+                }
+            }
+            other => {
+                return Err(ParseError::UnexpectedChar {
+                    ch: other as char,
+                    span: self.span_from(start),
+                });
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_resource_section_from_paper_example_1() {
+        let src = "RESOURCE {\n  PROGRAM_COUNTER int pc;\n  REGISTER bit[48] accu;\n}";
+        let toks = kinds(src);
+        assert_eq!(toks[0], TokenKind::Kw(Keyword::Resource));
+        assert_eq!(toks[1], TokenKind::LBrace);
+        assert_eq!(toks[2], TokenKind::Kw(Keyword::ProgramCounter));
+        assert_eq!(toks[3], TokenKind::Kw(Keyword::Int));
+        assert_eq!(toks[4], TokenKind::Ident("pc".into()));
+        assert!(toks.contains(&TokenKind::Kw(Keyword::Bit)));
+        assert!(toks.contains(&TokenKind::Int(48)));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn binary_literals_keep_their_width_as_patterns() {
+        let toks = kinds("0b0110 0b01x0 0b_1_0");
+        assert_eq!(toks[0], TokenKind::PatternLit("0b0110".into()));
+        assert_eq!(toks[1], TokenKind::PatternLit("0b01x0".into()));
+        assert_eq!(toks[2], TokenKind::PatternLit("0b_1_0".into()));
+    }
+
+    #[test]
+    fn hex_and_decimal_literals() {
+        let toks = kinds("0x80000 255 0xffff_ffff 0");
+        assert_eq!(toks[0], TokenKind::Int(0x80000));
+        assert_eq!(toks[1], TokenKind::Int(255));
+        assert_eq!(toks[2], TokenKind::Int(0xffff_ffff));
+        assert_eq!(toks[3], TokenKind::Int(0));
+    }
+
+    #[test]
+    fn full_width_hex_wraps_to_negative() {
+        let toks = kinds("0xFFFFFFFFFFFFFFFF");
+        assert_eq!(toks[0], TokenKind::Int(-1));
+    }
+
+    #[test]
+    fn rejects_empty_number_bodies() {
+        assert!(lex("0x").is_err());
+        assert!(lex("0b").is_err());
+        assert!(lex("0b__").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = kinds(r#" "ADD" "a\"b" "tab\there" "#);
+        assert_eq!(toks[0], TokenKind::Str("ADD".into()));
+        assert_eq!(toks[1], TokenKind::Str("a\"b".into()));
+        assert_eq!(toks[2], TokenKind::Str("tab\there".into()));
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"bad\\q\"").is_err());
+        assert!(lex("\"no\nnewline\"").is_err());
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let toks = kinds("a // line\n b /* block\n comment */ c");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("== != <= >= << >> <<= >>= && || ++ -- += .. |=");
+        use TokenKind::*;
+        assert_eq!(
+            toks,
+            vec![
+                EqEq, NotEq, Le, Ge, Shl, Shr, ShlAssign, ShrAssign, AmpAmp, PipePipe,
+                PlusPlus, MinusMinus, PlusAssign, DotDot, PipeAssign, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("ab\n  cd").unwrap();
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_reports_location() {
+        let err = lex("a @").unwrap_err();
+        match err {
+            ParseError::UnexpectedChar { ch, span } => {
+                assert_eq!(ch, '@');
+                assert_eq!((span.line, span.col), (1, 3));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_stage_reference_tokens() {
+        let toks = kinds("fetch_pipe.DP.stall()");
+        assert_eq!(toks[0], TokenKind::Ident("fetch_pipe".into()));
+        assert_eq!(toks[1], TokenKind::Dot);
+        assert_eq!(toks[2], TokenKind::Ident("DP".into()));
+        assert_eq!(toks[3], TokenKind::Dot);
+        assert_eq!(toks[4], TokenKind::Ident("stall".into()));
+    }
+
+    #[test]
+    fn address_range_tokens() {
+        let toks = kinds("[0x100..0xffff]");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Int(0x100),
+                TokenKind::DotDot,
+                TokenKind::Int(0xffff),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn utf8_in_strings_survives() {
+        let toks = kinds("\"µDSP→\"");
+        assert_eq!(toks[0], TokenKind::Str("µDSP→".into()));
+    }
+}

@@ -1,0 +1,77 @@
+//! The LISA machine description language: front-end and model database.
+//!
+//! This crate is the reproduction of the primary contribution of
+//! *"LISA — Machine Description Language for Cycle-Accurate Models of
+//! Programmable DSP Architectures"* (Pees, Hoffmann, Zivojnovic, Meyr,
+//! DAC 1999). A LISA description captures, in one source, the five partial
+//! models of a programmable architecture — memory, resource, behavioral,
+//! instruction-set and timing — from which simulators, assemblers,
+//! disassemblers and documentation are generated.
+//!
+//! The crate is organised as the paper's tool flow:
+//!
+//! 1. [`parser::parse`] turns LISA source into an [`ast::Description`];
+//! 2. [`model::Model::build`] analyses the AST into the *model database*
+//!    (the paper's "intermediate data base which is accessed by all other
+//!    tools"): resolved resources, pipelines, operation variants
+//!    (compile-time `SWITCH`/`IF` specialisation), group tables and the
+//!    coding tree.
+//!
+//! Downstream crates generate tools from the [`model::Model`]:
+//! `lisa-isa` (decoder/encoder/assembler), `lisa-sim` (interpretive and
+//! compiled cycle-accurate simulators) and `lisa-docgen` (ISA manuals).
+//!
+//! # Examples
+//!
+//! ```
+//! use lisa_core::{model::Model, parser::parse};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let desc = parse(r#"
+//!     RESOURCE {
+//!         PROGRAM_COUNTER int pc;
+//!         CONTROL_REGISTER int ir;
+//!         REGISTER int A[16];
+//!     }
+//!     OPERATION register {
+//!         DECLARE { LABEL index; }
+//!         CODING { index:0bx[4] }
+//!         SYNTAX { "A" index:#u }
+//!         EXPRESSION { A[index] }
+//!     }
+//!     OPERATION add {
+//!         DECLARE { GROUP Dest, Src1, Src2 = { register }; }
+//!         CODING { 0b0001 Dest Src1 Src2 0bx[16] }
+//!         SYNTAX { "ADD" Dest "," Src1 "," Src2 }
+//!         BEHAVIOR { Dest = Src1 + Src2; pc = pc + 1; }
+//!     }
+//!     OPERATION decode {
+//!         DECLARE { GROUP Instruction = { add }; }
+//!         CODING { ir == Instruction }
+//!         SYNTAX { Instruction }
+//!         BEHAVIOR { Instruction; }
+//!     }
+//! "#)?;
+//! let model = Model::build(&desc)?;
+//! assert_eq!(model.resources().len(), 3);
+//! assert!(model.operation_by_name("add").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::Description;
+pub use diag::{LisaError, ParseError};
+pub use model::{Model, ModelError};
+pub use parser::parse;

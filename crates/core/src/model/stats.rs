@@ -1,0 +1,216 @@
+//! Model complexity statistics — the numbers the paper reports for its
+//! TMS320C6201 case study (§4): resources, operations, instructions,
+//! aliases and LISA lines of code.
+
+use std::fmt;
+
+use super::{Model, SynElem};
+
+/// Complexity statistics of a model, comparable to the paper's §4 figures
+/// ("54 resources and 256 operations comprising the full set of 156 real
+/// instructions and 8 instruction aliases which adds up to 5362 lines of
+/// LISA code at an average of approximately 21 lines of code per
+/// operation").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModelStats {
+    /// Declared storage/pipeline resources (pipelines count as resources,
+    /// as in the paper's resource section).
+    pub resources: usize,
+    /// Operation definitions.
+    pub operations: usize,
+    /// Real instructions: non-alias operations carrying both a mnemonic
+    /// syntax (first element is a literal) and a coding.
+    pub instructions: usize,
+    /// Instruction aliases (operations declared `ALIAS`).
+    pub aliases: usize,
+    /// Non-empty LISA source lines (0 when the model was built from an
+    /// AST without source).
+    pub lisa_lines: usize,
+    /// Specialised operation variants produced by `SWITCH`/`IF`
+    /// structuring.
+    pub variants: usize,
+    /// Pipelines declared.
+    pub pipelines: usize,
+    /// Total pipeline stages.
+    pub pipeline_stages: usize,
+}
+
+impl ModelStats {
+    /// Computes statistics for a model.
+    #[must_use]
+    pub fn of(model: &Model) -> ModelStats {
+        let mut stats = ModelStats {
+            resources: model.resources().len() + model.pipelines().len(),
+            operations: model.operations().len(),
+            pipelines: model.pipelines().len(),
+            pipeline_stages: model.pipelines().iter().map(|p| p.stages.len()).sum(),
+            lisa_lines: model.source_lines(),
+            ..ModelStats::default()
+        };
+        for op in model.operations() {
+            stats.variants += op.variants.len();
+        }
+        let (instructions, aliases) = count_instructions(model);
+        stats.instructions = instructions;
+        stats.aliases = aliases;
+        stats
+    }
+
+    /// Average non-empty LISA lines per operation, the paper's "~21 lines
+    /// of code per operation" metric. Zero when line info is missing.
+    #[must_use]
+    pub fn lines_per_operation(&self) -> f64 {
+        if self.operations == 0 || self.lisa_lines == 0 {
+            0.0
+        } else {
+            self.lisa_lines as f64 / self.operations as f64
+        }
+    }
+}
+
+/// Counts instructions and aliases the way the paper does for the C6201
+/// model: walk the instruction groups reachable from the decode roots; a
+/// member with a mnemonic (leading syntax literal) is an instruction (or
+/// an alias when declared `ALIAS`), a member without one is a further
+/// dispatch level whose own coding groups are walked recursively.
+///
+/// Models without decode roots fall back to the mnemonic heuristic over
+/// all operations.
+fn count_instructions(model: &Model) -> (usize, usize) {
+    use super::CodingTarget;
+    use std::collections::HashSet;
+
+    fn has_mnemonic(model: &Model, op: super::OpId) -> bool {
+        // The mnemonic is the first non-empty literal; elements before it
+        // (e.g. an optional predicate group) are skipped.
+        model.operation(op).variants.iter().any(|v| {
+            v.syntax.as_ref().is_some_and(|s| {
+                s.iter()
+                    .find_map(|e| match e {
+                        SynElem::Literal(text) if !text.trim().is_empty() => Some(true),
+                        SynElem::Literal(_) => None,
+                        _ => None,
+                    })
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    let mut instructions = 0;
+    let mut aliases = 0;
+    if model.decode_roots().is_empty() {
+        for op in model.operations() {
+            let has_coding = op.variants.iter().any(|v| v.coding.is_some());
+            if !has_coding || !has_mnemonic(model, op.id) {
+                continue;
+            }
+            if op.alias {
+                aliases += 1;
+            } else {
+                instructions += 1;
+            }
+        }
+        return (instructions, aliases);
+    }
+
+    let mut visited: HashSet<super::OpId> = HashSet::new();
+    let mut stack: Vec<super::OpId> = model.decode_roots().to_vec();
+    // Roots themselves are dispatch levels; expand their group members.
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let op = model.operation(id);
+        let is_dispatch = id == *model.decode_roots().first().unwrap_or(&id)
+            && op.decode_root.is_some();
+        if !is_dispatch && has_mnemonic(model, id) {
+            if op.alias {
+                aliases += 1;
+            } else {
+                instructions += 1;
+            }
+            continue;
+        }
+        // Dispatch level: expand group/op fields of its coding.
+        for variant in &op.variants {
+            let Some(coding) = &variant.coding else { continue };
+            for field in &coding.fields {
+                match &field.target {
+                    CodingTarget::Group(g) => {
+                        stack.extend(op.groups[*g].members.iter().copied());
+                    }
+                    CodingTarget::Op(o) => stack.push(*o),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (instructions, aliases)
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resources:        {}", self.resources)?;
+        writeln!(f, "operations:       {}", self.operations)?;
+        writeln!(f, "instructions:     {}", self.instructions)?;
+        writeln!(f, "aliases:          {}", self.aliases)?;
+        writeln!(f, "variants:         {}", self.variants)?;
+        writeln!(f, "pipelines:        {} ({} stages)", self.pipelines, self.pipeline_stages)?;
+        writeln!(f, "LISA lines:       {}", self.lisa_lines)?;
+        write!(f, "lines/operation:  {:.1}", self.lines_per_operation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_instructions_and_aliases() {
+        let model = Model::from_source(
+            r#"
+            RESOURCE {
+                PROGRAM_COUNTER int pc;
+                CONTROL_REGISTER int ir;
+                REGISTER int A[16];
+                PIPELINE pipe = { FE; EX };
+            }
+            OPERATION register {
+                DECLARE { LABEL index; }
+                CODING { index:0bx[4] }
+                SYNTAX { "A" index:#u }
+                EXPRESSION { A[index] }
+            }
+            OPERATION add {
+                DECLARE { GROUP Dest, Src = { register }; }
+                CODING { 0b0001 Dest Src Src 0bx[16] }
+                SYNTAX { "ADD" Dest "," Src }
+                BEHAVIOR { Dest = Src + Src; }
+            }
+            OPERATION mv ALIAS {
+                DECLARE { GROUP Dest, Src = { register }; }
+                CODING { 0b0001 Dest Src 0b0000 0bx[16] }
+                SYNTAX { "MV" Dest "," Src }
+            }
+            OPERATION decode {
+                DECLARE { GROUP Instruction = { add || mv }; }
+                CODING { ir == Instruction }
+                SYNTAX { Instruction }
+                BEHAVIOR { Instruction; }
+            }
+            "#,
+        )
+        .expect("model builds");
+        let stats = ModelStats::of(&model);
+        assert_eq!(stats.operations, 4);
+        assert_eq!(stats.instructions, 1); // add (register has no mnemonic, decode has no literal head)
+        assert_eq!(stats.aliases, 1); // mv
+        assert_eq!(stats.pipelines, 1);
+        assert_eq!(stats.pipeline_stages, 2);
+        assert_eq!(stats.resources, 4); // 3 storage + 1 pipeline
+        assert!(stats.lisa_lines > 20);
+        assert!(stats.lines_per_operation() > 1.0);
+        let display = stats.to_string();
+        assert!(display.contains("instructions:     1"));
+    }
+}

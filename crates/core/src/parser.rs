@@ -1,0 +1,1484 @@
+//! Recursive-descent parser for the LISA machine description language.
+//!
+//! The grammar follows the DAC 1999 paper: a description is a sequence of
+//! `RESOURCE` sections (containing resource and `PIPELINE` declarations)
+//! and `OPERATION` definitions, whose bodies hold `DECLARE`, `CODING`,
+//! `SYNTAX`, `SEMANTICS`, `BEHAVIOR`, `EXPRESSION` and `ACTIVATION`
+//! sections, optionally wrapped in compile-time `SWITCH`/`IF` structuring.
+//! The behavior language is a C subset.
+
+use lisa_bits::BitPattern;
+
+use crate::ast::*;
+use crate::diag::ParseError;
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Keyword, Token, TokenKind};
+
+/// Parses a complete LISA description.
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error with its source location.
+///
+/// # Examples
+///
+/// ```
+/// use lisa_core::parser::parse;
+///
+/// # fn main() -> Result<(), lisa_core::diag::ParseError> {
+/// let desc = parse(r#"
+///     RESOURCE {
+///         PROGRAM_COUNTER int pc;
+///         REGISTER bit[48] accu;
+///     }
+///     OPERATION nop {
+///         CODING { 0b00000000 }
+///         SYNTAX { "NOP" }
+///         BEHAVIOR { pc = pc + 1; }
+///     }
+/// "#)?;
+/// assert_eq!(desc.resources.len(), 2);
+/// assert_eq!(desc.operations.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<Description, ParseError> {
+    let tokens = lex(source)?;
+    Parser { source, tokens, pos: 0 }.description()
+}
+
+struct Parser<'s> {
+    source: &'s str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    // -- token plumbing ----------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn at_kw(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), TokenKind::Kw(k) if *k == kw)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<Token, ParseError> {
+        if self.at_kw(kw) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("`{}`", kw.as_str())))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::UnexpectedToken {
+            found: self.peek().clone(),
+            expected: expected.to_owned(),
+            span: self.span(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, ParseError> {
+        match self.peek() {
+            TokenKind::Ident(_) => {
+                let tok = self.bump();
+                let TokenKind::Ident(name) = tok.kind else { unreachable!() };
+                Ok(Ident { name, span: tok.span })
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<(i64, Span), ParseError> {
+        match self.peek() {
+            TokenKind::Int(_) => {
+                let tok = self.bump();
+                let TokenKind::Int(v) = tok.kind else { unreachable!() };
+                Ok((v, tok.span))
+            }
+            // Pure binary literals double as integers.
+            TokenKind::PatternLit(_) => {
+                let (pat, span) = self.pattern_lit()?;
+                if !pat.is_fully_specified() {
+                    return Err(ParseError::InvalidNumber {
+                        text: pat.to_string(),
+                        span,
+                    });
+                }
+                Ok((pat.fixed_value() as i64, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn pattern_lit(&mut self) -> Result<(BitPattern, Span), ParseError> {
+        match self.peek() {
+            TokenKind::PatternLit(_) => {
+                let tok = self.bump();
+                let TokenKind::PatternLit(text) = tok.kind else { unreachable!() };
+                let pat: BitPattern = text.parse().map_err(|source| {
+                    ParseError::InvalidPattern { source, span: tok.span }
+                })?;
+                Ok((pat, tok.span))
+            }
+            _ => Err(self.unexpected("a bit pattern literal")),
+        }
+    }
+
+    // -- top level ----------------------------------------------------------
+
+    fn description(mut self) -> Result<Description, ParseError> {
+        let mut desc = Description::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(desc),
+                TokenKind::Kw(Keyword::Resource) => self.resource_section(&mut desc)?,
+                TokenKind::Kw(Keyword::Operation) => {
+                    let op = self.operation()?;
+                    desc.operations.push(op);
+                }
+                _ => return Err(self.unexpected("`RESOURCE` or `OPERATION`")),
+            }
+        }
+    }
+
+    // -- RESOURCE -----------------------------------------------------------
+
+    fn resource_section(&mut self, desc: &mut Description) -> Result<(), ParseError> {
+        self.expect_kw(Keyword::Resource)?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        while !self.eat(&TokenKind::RBrace) {
+            if self.at_kw(Keyword::Pipeline) {
+                desc.pipelines.push(self.pipeline_decl()?);
+            } else {
+                desc.resources.push(self.resource_decl()?);
+            }
+        }
+        Ok(())
+    }
+
+    fn pipeline_decl(&mut self) -> Result<PipelineDecl, ParseError> {
+        let start = self.span();
+        self.expect_kw(Keyword::Pipeline)?;
+        let name = self.ident("a pipeline name")?;
+        self.expect(TokenKind::Assign, "`=`")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stages = Vec::new();
+        loop {
+            stages.push(self.ident("a stage name")?);
+            // Stages are separated by `;` (paper Example 2); also accept `,`.
+            let more = self.eat(&TokenKind::Semi) || self.eat(&TokenKind::Comma);
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            if !more {
+                return Err(self.unexpected("`;` or `}` in pipeline stage list"));
+            }
+        }
+        self.eat(&TokenKind::Semi);
+        let span = start.merge(self.tokens[self.pos.saturating_sub(1)].span);
+        Ok(PipelineDecl { name, stages, span })
+    }
+
+    fn resource_decl(&mut self) -> Result<ResourceDecl, ParseError> {
+        let start = self.span();
+        let class = match self.peek() {
+            TokenKind::Kw(Keyword::Register) => {
+                self.bump();
+                ResourceClass::Register
+            }
+            TokenKind::Kw(Keyword::ControlRegister) => {
+                self.bump();
+                ResourceClass::ControlRegister
+            }
+            TokenKind::Kw(Keyword::ProgramCounter) => {
+                self.bump();
+                ResourceClass::ProgramCounter
+            }
+            TokenKind::Kw(Keyword::DataMemory) => {
+                self.bump();
+                ResourceClass::DataMemory
+            }
+            TokenKind::Kw(Keyword::ProgramMemory) => {
+                self.bump();
+                ResourceClass::ProgramMemory
+            }
+            _ => ResourceClass::Plain,
+        };
+        let ty = self.data_type()?;
+        let name = self.ident("a resource name")?;
+        let mut dims = Vec::new();
+        loop {
+            if self.at(&TokenKind::LBracket) {
+                dims.push(self.dim()?);
+            } else if self.at(&TokenKind::LParen) && *self.peek_at(1) == TokenKind::LBracket {
+                // Banked memory: `data_mem2[4]([0x20000])`.
+                self.bump(); // (
+                dims.push(self.dim()?);
+                self.expect(TokenKind::RParen, "`)`")?;
+            } else {
+                break;
+            }
+        }
+        self.expect(TokenKind::Semi, "`;`")?;
+        let span = start.merge(name.span);
+        Ok(ResourceDecl { class, ty, name, dims, span })
+    }
+
+    fn dim(&mut self) -> Result<Dim, ParseError> {
+        self.expect(TokenKind::LBracket, "`[`")?;
+        let (lo, lo_span) = self.int("an array size or address")?;
+        let dim = if self.eat(&TokenKind::DotDot) {
+            let (hi, hi_span) = self.int("an end address")?;
+            if hi < lo || lo < 0 {
+                return Err(ParseError::InvalidNumber {
+                    text: format!("{lo}..{hi}"),
+                    span: lo_span.merge(hi_span),
+                });
+            }
+            Dim::Range(lo as u64, hi as u64)
+        } else {
+            if lo <= 0 {
+                return Err(ParseError::InvalidNumber { text: lo.to_string(), span: lo_span });
+            }
+            Dim::Size(lo as u64)
+        };
+        self.expect(TokenKind::RBracket, "`]`")?;
+        Ok(dim)
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let unsigned = self.eat_kw(Keyword::Unsigned);
+        let ty = match self.peek() {
+            TokenKind::Kw(Keyword::Int) => {
+                self.bump();
+                if unsigned { DataType::UnsignedInt } else { DataType::Int }
+            }
+            TokenKind::Kw(Keyword::Long) => {
+                self.bump();
+                if unsigned { DataType::UnsignedLong } else { DataType::Long }
+            }
+            TokenKind::Kw(Keyword::Short) => {
+                self.bump();
+                if unsigned { DataType::UnsignedShort } else { DataType::Short }
+            }
+            TokenKind::Kw(Keyword::Char) => {
+                self.bump();
+                if unsigned { DataType::UnsignedChar } else { DataType::Char }
+            }
+            TokenKind::Kw(Keyword::Bit) => {
+                self.bump();
+                if self.eat(&TokenKind::LBracket) {
+                    let (w, w_span) = self.int("a bit width")?;
+                    self.expect(TokenKind::RBracket, "`]`")?;
+                    if !(1..=i64::from(lisa_bits::MAX_WIDTH)).contains(&w) {
+                        return Err(ParseError::InvalidNumber {
+                            text: w.to_string(),
+                            span: w_span,
+                        });
+                    }
+                    DataType::Bit(w as u32)
+                } else {
+                    DataType::Bit(1)
+                }
+            }
+            _ if unsigned => DataType::UnsignedInt, // bare `unsigned`
+            _ => return Err(self.unexpected("a type (`int`, `bit[N]`, …)")),
+        };
+        Ok(ty)
+    }
+
+    // -- OPERATION ----------------------------------------------------------
+
+    fn operation(&mut self) -> Result<OperationDecl, ParseError> {
+        let start = self.span();
+        self.expect_kw(Keyword::Operation)?;
+        let name = self.ident("an operation name")?;
+        let mut alias = false;
+        let mut stage = None;
+        loop {
+            if self.eat_kw(Keyword::Alias) {
+                alias = true;
+            } else if self.eat_kw(Keyword::In) {
+                let pipeline = self.ident("a pipeline name")?;
+                self.expect(TokenKind::Dot, "`.`")?;
+                let st = self.ident("a stage name")?;
+                stage = Some(StageRef { pipeline, stage: st });
+            } else {
+                break;
+            }
+        }
+        let span = start.merge(name.span);
+        let items = self.op_items_block()?;
+        Ok(OperationDecl { name, alias, stage, items, span })
+    }
+
+    fn op_items_block(&mut self) -> Result<Vec<OpItem>, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            items.push(self.op_item()?);
+        }
+        Ok(items)
+    }
+
+    fn op_item(&mut self) -> Result<OpItem, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::Declare) => {
+                self.bump();
+                Ok(OpItem::Declare(self.declare_section()?))
+            }
+            TokenKind::Kw(Keyword::Coding) => {
+                self.bump();
+                Ok(OpItem::Coding(self.coding_section()?))
+            }
+            TokenKind::Kw(Keyword::Syntax) => {
+                self.bump();
+                Ok(OpItem::Syntax(self.syntax_section()?))
+            }
+            TokenKind::Kw(Keyword::Semantics) => {
+                self.bump();
+                Ok(OpItem::Semantics(self.raw_section()?))
+            }
+            TokenKind::Kw(Keyword::Behavior) => {
+                self.bump();
+                Ok(OpItem::Behavior(self.block()?))
+            }
+            TokenKind::Kw(Keyword::Expression) => {
+                self.bump();
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let expr = self.expr()?;
+                self.eat(&TokenKind::Semi);
+                self.expect(TokenKind::RBrace, "`}`")?;
+                Ok(OpItem::Expression(expr))
+            }
+            TokenKind::Kw(Keyword::Activation) => {
+                self.bump();
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let items = self.activation_list(&TokenKind::RBrace)?;
+                self.expect(TokenKind::RBrace, "`}`")?;
+                Ok(OpItem::Activation(ActivationSection { items }))
+            }
+            TokenKind::Kw(Keyword::Switch) => self.op_switch().map(OpItem::Switch),
+            TokenKind::Kw(Keyword::If) => self.op_if().map(OpItem::If),
+            TokenKind::Ident(_) => {
+                // User-defined section, e.g. `POWER { ... }`.
+                let name = self.ident("a section name")?;
+                let raw = self.raw_section()?;
+                Ok(OpItem::Custom(name, raw))
+            }
+            _ => Err(self.unexpected("a section keyword")),
+        }
+    }
+
+    fn op_switch(&mut self) -> Result<OpSwitch, ParseError> {
+        let start = self.span();
+        self.expect_kw(Keyword::Switch)?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let group = self.ident("a group name")?;
+        self.expect(TokenKind::RParen, "`)`")?;
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut cases = Vec::new();
+        let mut default = None;
+        while !self.eat(&TokenKind::RBrace) {
+            if self.eat_kw(Keyword::Case) {
+                let mut members = vec![self.ident("a group member name")?];
+                while self.eat(&TokenKind::Comma) {
+                    members.push(self.ident("a group member name")?);
+                }
+                self.expect(TokenKind::Colon, "`:`")?;
+                let items = self.op_items_block()?;
+                cases.push(SwitchCase { members, items });
+            } else if self.eat_kw(Keyword::Default) {
+                self.expect(TokenKind::Colon, "`:`")?;
+                if default.is_some() {
+                    return Err(ParseError::DuplicateSection {
+                        section: "DEFAULT",
+                        span: self.span(),
+                    });
+                }
+                default = Some(self.op_items_block()?);
+            } else {
+                return Err(self.unexpected("`CASE` or `DEFAULT`"));
+            }
+        }
+        let span = start.merge(group.span);
+        Ok(OpSwitch { group, cases, default, span })
+    }
+
+    fn op_if(&mut self) -> Result<OpIf, ParseError> {
+        let start = self.span();
+        self.expect_kw(Keyword::If)?;
+        self.expect(TokenKind::LParen, "`(`")?;
+        let group = self.ident("a group name")?;
+        self.expect(TokenKind::EqEq, "`==`")?;
+        let member = self.ident("a group member name")?;
+        self.expect(TokenKind::RParen, "`)`")?;
+        let then_items = self.op_items_block()?;
+        let else_items = if self.eat_kw(Keyword::Else) {
+            self.op_items_block()?
+        } else {
+            Vec::new()
+        };
+        let span = start.merge(member.span);
+        Ok(OpIf { group, member, then_items, else_items, span })
+    }
+
+    // -- DECLARE ------------------------------------------------------------
+
+    fn declare_section(&mut self) -> Result<DeclareSection, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut section = DeclareSection::default();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.eat_kw(Keyword::Group) {
+                let mut names = vec![self.ident("a group name")?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.ident("a group name")?);
+                }
+                self.expect(TokenKind::Assign, "`=`")?;
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let mut members = vec![self.ident("a group member")?];
+                // Members are separated by `||` (or-rules); `,` also accepted.
+                while self.eat(&TokenKind::PipePipe) || self.eat(&TokenKind::Comma) {
+                    members.push(self.ident("a group member")?);
+                }
+                self.expect(TokenKind::RBrace, "`}`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                section.groups.push(GroupDecl { names, members });
+            } else if self.eat_kw(Keyword::Label) {
+                section.labels.push(self.ident("a label name")?);
+                while self.eat(&TokenKind::Comma) {
+                    section.labels.push(self.ident("a label name")?);
+                }
+                self.expect(TokenKind::Semi, "`;`")?;
+            } else if self.eat_kw(Keyword::Reference) {
+                section.references.push(self.ident("an operation name")?);
+                while self.eat(&TokenKind::Comma) {
+                    section.references.push(self.ident("an operation name")?);
+                }
+                self.expect(TokenKind::Semi, "`;`")?;
+            } else {
+                return Err(self.unexpected("`GROUP`, `LABEL` or `REFERENCE`"));
+            }
+        }
+        Ok(section)
+    }
+
+    // -- CODING -------------------------------------------------------------
+
+    fn coding_section(&mut self) -> Result<CodingSection, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut section = CodingSection::default();
+        // Coding-tree root: `resource == elements` (paper Example 3).
+        if matches!(self.peek(), TokenKind::Ident(_)) && *self.peek_at(1) == TokenKind::EqEq {
+            section.root = Some(self.ident("a resource name")?);
+            self.bump(); // ==
+        }
+        while !self.eat(&TokenKind::RBrace) {
+            section.elements.push(self.coding_element()?);
+        }
+        Ok(section)
+    }
+
+    fn coding_element(&mut self) -> Result<CodingElement, ParseError> {
+        match self.peek() {
+            TokenKind::PatternLit(_) => {
+                let (pat, span) = self.pattern_with_repetition()?;
+                Ok(CodingElement::Pattern(pat, span))
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident("a coding element")?;
+                if self.eat(&TokenKind::Colon) {
+                    // `index:0bx[4]` — label-bound field.
+                    let (pattern, _) = self.pattern_with_repetition()?;
+                    Ok(CodingElement::LabelField { label: name, pattern })
+                } else {
+                    Ok(CodingElement::Ref(name))
+                }
+            }
+            _ => Err(self.unexpected("a bit pattern or operation reference")),
+        }
+    }
+
+    /// Parses `0b…` optionally followed by `[N]` repetition (`0bx[4]` is
+    /// four don't-care bits).
+    fn pattern_with_repetition(&mut self) -> Result<(BitPattern, Span), ParseError> {
+        let (pat, span) = self.pattern_lit()?;
+        if self.eat(&TokenKind::LBracket) {
+            let (count, count_span) = self.int("a repetition count")?;
+            self.expect(TokenKind::RBracket, "`]`")?;
+            if count < 1 || count as u32 * pat.width() > lisa_bits::MAX_WIDTH {
+                return Err(ParseError::InvalidRepetition { count, span: count_span });
+            }
+            let mut repeated = pat.clone();
+            for _ in 1..count {
+                repeated = repeated.concat(&pat).map_err(|source| {
+                    ParseError::InvalidPattern { source, span: count_span }
+                })?;
+            }
+            Ok((repeated, span.merge(count_span)))
+        } else {
+            Ok((pat, span))
+        }
+    }
+
+    // -- SYNTAX -------------------------------------------------------------
+
+    fn syntax_section(&mut self) -> Result<SyntaxSection, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut section = SyntaxSection::default();
+        while !self.eat(&TokenKind::RBrace) {
+            section.elements.push(self.syntax_element()?);
+        }
+        Ok(section)
+    }
+
+    fn syntax_element(&mut self) -> Result<SyntaxElement, ParseError> {
+        match self.peek() {
+            TokenKind::Str(_) => {
+                let tok = self.bump();
+                let TokenKind::Str(text) = tok.kind else { unreachable!() };
+                Ok(SyntaxElement::Literal(text, tok.span))
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident("a syntax element")?;
+                if self.eat(&TokenKind::Colon) {
+                    self.expect(TokenKind::Hash, "`#`")?;
+                    let fmt_ident = self.ident("`s`, `u` or `x`")?;
+                    let format = match fmt_ident.name.as_str() {
+                        "s" => NumFormat::Signed,
+                        "u" => NumFormat::Unsigned,
+                        "x" => NumFormat::Hex,
+                        _ => {
+                            return Err(ParseError::UnexpectedToken {
+                                found: TokenKind::Ident(fmt_ident.name),
+                                expected: "`s`, `u` or `x`".into(),
+                                span: fmt_ident.span,
+                            });
+                        }
+                    };
+                    Ok(SyntaxElement::Num { name, format })
+                } else {
+                    Ok(SyntaxElement::Ref(name))
+                }
+            }
+            _ => Err(self.unexpected("a string literal or operand reference")),
+        }
+    }
+
+    // -- raw sections -------------------------------------------------------
+
+    fn raw_section(&mut self) -> Result<RawSection, ParseError> {
+        let open = self.expect(TokenKind::LBrace, "`{`")?;
+        let text_start = open.span.end;
+        let mut depth = 1usize;
+        let close_span;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => {
+                    return Err(self.unexpected("`}`"));
+                }
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    depth -= 1;
+                    let tok = self.bump();
+                    if depth == 0 {
+                        close_span = tok.span;
+                        break;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.source[text_start..close_span.start].trim().to_owned();
+        let span = open.span.merge(close_span);
+        Ok(RawSection { text, span })
+    }
+
+    // -- ACTIVATION ---------------------------------------------------------
+
+    fn activation_list(&mut self, terminator: &TokenKind) -> Result<Vec<ActNode>, ParseError> {
+        let mut items = Vec::new();
+        let mut delay = 0u32;
+        loop {
+            // Swallow separators, counting `;` as delayed activation.
+            loop {
+                if self.eat(&TokenKind::Semi) {
+                    delay += 1;
+                } else if self.eat(&TokenKind::Comma) {
+                    // concurrent: no delay change
+                } else {
+                    break;
+                }
+            }
+            if self.at(terminator) || self.at(&TokenKind::Eof) {
+                return Ok(items);
+            }
+            items.push(self.activation_node(delay)?);
+        }
+    }
+
+    fn activation_node(&mut self, delay: u32) -> Result<ActNode, ParseError> {
+        match self.peek() {
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let then_items = self.activation_list(&TokenKind::RBrace)?;
+                self.expect(TokenKind::RBrace, "`}`")?;
+                let else_items = if self.eat_kw(Keyword::Else) {
+                    self.expect(TokenKind::LBrace, "`{`")?;
+                    let items = self.activation_list(&TokenKind::RBrace)?;
+                    self.expect(TokenKind::RBrace, "`}`")?;
+                    items
+                } else {
+                    Vec::new()
+                };
+                Ok(ActNode::If { cond, then_items, else_items, delay })
+            }
+            TokenKind::Kw(Keyword::Switch) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let scrutinee = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let mut cases = Vec::new();
+                let mut default = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.eat_kw(Keyword::Case) {
+                        let (value, _) = self.int("a case value")?;
+                        self.expect(TokenKind::Colon, "`:`")?;
+                        self.expect(TokenKind::LBrace, "`{`")?;
+                        let body = self.activation_list(&TokenKind::RBrace)?;
+                        self.expect(TokenKind::RBrace, "`}`")?;
+                        cases.push((value, body));
+                    } else if self.eat_kw(Keyword::Default) {
+                        self.expect(TokenKind::Colon, "`:`")?;
+                        self.expect(TokenKind::LBrace, "`{`")?;
+                        default = self.activation_list(&TokenKind::RBrace)?;
+                        self.expect(TokenKind::RBrace, "`}`")?;
+                    } else {
+                        return Err(self.unexpected("`CASE` or `DEFAULT`"));
+                    }
+                }
+                Ok(ActNode::Switch { scrutinee, cases, default, delay })
+            }
+            TokenKind::Ident(_) => {
+                let first = self.ident("an operation name")?;
+                if self.at(&TokenKind::Dot) || self.at(&TokenKind::LParen) {
+                    let call = self.call_after_first(first)?;
+                    Ok(ActNode::Call { call, delay })
+                } else {
+                    Ok(ActNode::Activate { name: first, delay })
+                }
+            }
+            _ => Err(self.unexpected("an activation item")),
+        }
+    }
+
+    /// Parses the rest of a dotted call, the first path segment already
+    /// consumed: `.seg(.seg)? ( args )` or directly `( args )`.
+    fn call_after_first(&mut self, first: Ident) -> Result<Call, ParseError> {
+        let mut path = vec![first];
+        while self.eat(&TokenKind::Dot) {
+            path.push(self.ident("a name after `.`")?);
+        }
+        self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(TokenKind::RParen, "`)`")?;
+        Ok(Call { path, args })
+    }
+
+    // -- behavior language ----------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let then_block = self.block_or_single()?;
+                let else_block = if self.eat_kw(Keyword::Else) {
+                    self.block_or_single()?
+                } else {
+                    Block::default()
+                };
+                Ok(Stmt::If { cond, then_block, else_block })
+            }
+            TokenKind::Kw(Keyword::While) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Kw(Keyword::Do) => {
+                self.bump();
+                let body = self.block_or_single()?;
+                self.expect_kw(Keyword::While)?;
+                self.expect(TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            TokenKind::Kw(Keyword::For) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let init = if self.eat(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_semicolon()?))
+                };
+                let cond = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(TokenKind::Semi, "`;`")?;
+                let step = if self.at(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semicolon()?))
+                };
+                self.expect(TokenKind::RParen, "`)`")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            TokenKind::Kw(Keyword::Switch) => {
+                self.bump();
+                self.expect(TokenKind::LParen, "`(`")?;
+                let scrutinee = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                self.expect(TokenKind::LBrace, "`{`")?;
+                let mut cases = Vec::new();
+                let mut default = None;
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.eat_kw(Keyword::Case) {
+                        let (value, _) = self.int_or_negative("a case value")?;
+                        self.expect(TokenKind::Colon, "`:`")?;
+                        cases.push((value, self.case_body()?));
+                    } else if self.eat_kw(Keyword::Default) {
+                        self.expect(TokenKind::Colon, "`:`")?;
+                        default = Some(self.case_body()?);
+                    } else {
+                        return Err(self.unexpected("`case` or `default`"));
+                    }
+                }
+                Ok(Stmt::Switch { scrutinee, cases, default })
+            }
+            TokenKind::Kw(Keyword::Break) => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Kw(Keyword::Continue) => {
+                self.bump();
+                self.expect(TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            _ => self.simple_stmt_semicolon(),
+        }
+    }
+
+    /// A case body: statements until `case`/`default`/`}`, with an
+    /// optional trailing `break;` that is absorbed (no fall-through).
+    fn case_body(&mut self) -> Result<Block, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::RBrace
+                | TokenKind::Kw(Keyword::Case)
+                | TokenKind::Kw(Keyword::Default) => break,
+                TokenKind::Kw(Keyword::Break) => {
+                    self.bump();
+                    self.expect(TokenKind::Semi, "`;`")?;
+                    break;
+                }
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(Block { stmts })
+    }
+
+    fn block_or_single(&mut self) -> Result<Block, ParseError> {
+        if self.at(&TokenKind::LBrace) {
+            self.block()
+        } else {
+            Ok(Block { stmts: vec![self.stmt()?] })
+        }
+    }
+
+    fn simple_stmt_semicolon(&mut self) -> Result<Stmt, ParseError> {
+        let stmt = self.simple_stmt_no_semicolon()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(stmt)
+    }
+
+    /// Declaration, assignment, inc/dec, or expression statement — without
+    /// the trailing semicolon (shared with `for` headers).
+    fn simple_stmt_no_semicolon(&mut self) -> Result<Stmt, ParseError> {
+        // Local declaration?
+        if matches!(
+            self.peek(),
+            TokenKind::Kw(
+                Keyword::Int
+                    | Keyword::Long
+                    | Keyword::Short
+                    | Keyword::Char
+                    | Keyword::Unsigned
+                    | Keyword::Bit
+            )
+        ) {
+            let ty = self.data_type()?;
+            let name = self.ident("a variable name")?;
+            let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Local { ty, name, init });
+        }
+        let target = self.expr()?;
+        let op = match self.peek() {
+            TokenKind::Assign => Some(AssignOp::Set),
+            TokenKind::PlusAssign => Some(AssignOp::Add),
+            TokenKind::MinusAssign => Some(AssignOp::Sub),
+            TokenKind::StarAssign => Some(AssignOp::Mul),
+            TokenKind::SlashAssign => Some(AssignOp::Div),
+            TokenKind::ShlAssign => Some(AssignOp::Shl),
+            TokenKind::ShrAssign => Some(AssignOp::Shr),
+            TokenKind::AmpAssign => Some(AssignOp::And),
+            TokenKind::PipeAssign => Some(AssignOp::Or),
+            TokenKind::CaretAssign => Some(AssignOp::Xor),
+            TokenKind::PlusPlus => {
+                self.bump();
+                return Ok(Stmt::IncDec { target, delta: 1 });
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                return Ok(Stmt::IncDec { target, delta: -1 });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target, op, value })
+        } else {
+            Ok(Stmt::Expr(target))
+        }
+    }
+
+    fn int_or_negative(&mut self, what: &str) -> Result<(i64, Span), ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let (v, span) = self.int(what)?;
+            Ok((-v, span))
+        } else {
+            self.int(what)
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    /// Entry point for expressions (ternary is lowest precedence).
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logic_or()?;
+        if self.eat(&TokenKind::Question) {
+            let then_expr = self.expr()?;
+            self.expect(TokenKind::Colon, "`:`")?;
+            let else_expr = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_expr: Box::new(then_expr),
+                else_expr: Box::new(else_expr),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logic_and()?;
+        while self.eat(&TokenKind::PipePipe) {
+            let rhs = self.logic_and()?;
+            lhs = bin(BinOp::LogOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AmpAmp) {
+            let rhs = self.bit_or()?;
+            lhs = bin(BinOp::LogAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_xor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = bin(BinOp::BitOr, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_and()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = bin(BinOp::BitXor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality()?;
+            lhs = bin(BinOp::BitAnd, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat(&TokenKind::EqEq) {
+                BinOp::Eq
+            } else if self.eat(&TokenKind::NotEq) {
+                BinOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.relational()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinOp::Ge
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.shift()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat(&TokenKind::Shl) {
+                BinOp::Shl
+            } else if self.eat(&TokenKind::Shr) {
+                BinOp::Shr
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.additive()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.multiplicative()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = if self.eat(&TokenKind::Minus) {
+            Some(UnOp::Neg)
+        } else if self.eat(&TokenKind::Bang) {
+            Some(UnOp::Not)
+        } else if self.eat(&TokenKind::Tilde) {
+            Some(UnOp::BitNot)
+        } else if self.eat(&TokenKind::Plus) {
+            None // unary plus is a no-op; continue into the operand
+        } else {
+            return self.postfix();
+        };
+        let operand = self.unary()?;
+        Ok(match op {
+            Some(op) => Expr::Unary { op, expr: Box::new(operand) },
+            None => operand,
+        })
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.at(&TokenKind::LBracket) {
+                self.bump();
+                let index = self.expr()?;
+                self.expect(TokenKind::RBracket, "`]`")?;
+                expr = Expr::Index { base: Box::new(expr), index: Box::new(index) };
+            } else if self.at(&TokenKind::Dot) || self.at(&TokenKind::LParen) {
+                // Only bare names can head a call path.
+                if let Expr::Name(first) = expr {
+                    let call = self.call_after_first(first)?;
+                    expr = Expr::Call(call);
+                } else if self.at(&TokenKind::Dot) {
+                    return Err(self.unexpected("no `.` after a non-name expression"));
+                } else {
+                    return Err(self.unexpected("no call on a non-name expression"));
+                }
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Int(_) => {
+                let (v, span) = self.int("an integer")?;
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::PatternLit(_) => {
+                let (v, span) = self.int("a binary literal without `x` bits")?;
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Name(self.ident("a name")?)),
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("an expression")),
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Description {
+        match parse(src) {
+            Ok(d) => d,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_example_1_resources() {
+        let d = parse_ok(
+            r#"RESOURCE {
+                PROGRAM_COUNTER int pc;
+                CONTROL_REGISTER int instruction_register;
+                REGISTER bit[48] accu;
+                REGISTER bit carry;
+                DATA_MEMORY int data_mem1[0x80000];
+                DATA_MEMORY int data_mem2[4]([0x20000]);
+                PROGRAM_MEMORY int prog_mem[0x100..0xffff];
+            }"#,
+        );
+        assert_eq!(d.resources.len(), 7);
+        assert_eq!(d.resources[0].class, ResourceClass::ProgramCounter);
+        assert_eq!(d.resources[2].ty, DataType::Bit(48));
+        assert_eq!(d.resources[3].ty, DataType::Bit(1));
+        assert_eq!(d.resources[4].dims, vec![Dim::Size(0x80000)]);
+        assert_eq!(d.resources[5].dims, vec![Dim::Size(4), Dim::Size(0x20000)]);
+        assert_eq!(d.resources[6].dims, vec![Dim::Range(0x100, 0xffff)]);
+    }
+
+    #[test]
+    fn parses_paper_example_2_pipelines() {
+        let d = parse_ok(
+            r#"RESOURCE {
+                PIPELINE fetch_pipe = { PG; PS; PW; PR; DP };
+                PIPELINE execute_pipe = { DC; E1; E2; E3; E4; E5 };
+            }"#,
+        );
+        assert_eq!(d.pipelines.len(), 2);
+        assert_eq!(d.pipelines[0].name.name, "fetch_pipe");
+        let stages: Vec<&str> =
+            d.pipelines[0].stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(stages, vec!["PG", "PS", "PW", "PR", "DP"]);
+        assert_eq!(d.pipelines[1].stages.len(), 6);
+    }
+
+    #[test]
+    fn parses_paper_example_3_coding_root() {
+        let d = parse_ok(
+            r#"OPERATION decode {
+                DECLARE {
+                    GROUP Instruction = { abs || add || and || cmp || ld || mul };
+                }
+                CODING { instruction_register == Instruction }
+                SYNTAX { Instruction }
+                BEHAVIOR { Instruction; }
+            }"#,
+        );
+        let op = &d.operations[0];
+        let OpItem::Declare(decl) = &op.items[0] else { panic!("expected DECLARE") };
+        assert_eq!(decl.groups[0].names[0].name, "Instruction");
+        assert_eq!(decl.groups[0].members.len(), 6);
+        let OpItem::Coding(coding) = &op.items[1] else { panic!("expected CODING") };
+        assert_eq!(coding.root.as_ref().unwrap().name, "instruction_register");
+        assert_eq!(coding.elements.len(), 1);
+    }
+
+    #[test]
+    fn parses_paper_example_4_operation_groups_and_labels() {
+        let d = parse_ok(
+            r#"OPERATION add_d {
+                DECLARE { GROUP Dest, Src1, Src2 = { register }; }
+                CODING { Dest Src2 Src1 0b1000000 0b10000 }
+                SYNTAX { "ADD" ".D" Src1 "," Src2 "," Dest }
+                BEHAVIOR { Dest = Src1 + Src2; }
+            }
+            OPERATION register {
+                DECLARE { LABEL index; }
+                CODING { 0bx index:0bx[4] }
+                SYNTAX { "A" index:#u }
+                EXPRESSION { A[index] }
+            }"#,
+        );
+        assert_eq!(d.operations.len(), 2);
+        let add = &d.operations[0];
+        let OpItem::Declare(decl) = &add.items[0] else { panic!() };
+        assert_eq!(
+            decl.groups[0].names.iter().map(|n| n.name.as_str()).collect::<Vec<_>>(),
+            vec!["Dest", "Src1", "Src2"]
+        );
+        let OpItem::Coding(coding) = &add.items[1] else { panic!() };
+        assert_eq!(coding.elements.len(), 5);
+        assert!(matches!(&coding.elements[0], CodingElement::Ref(r) if r.name == "Dest"));
+        let CodingElement::Pattern(p, _) = &coding.elements[3] else { panic!() };
+        assert_eq!(p.width(), 7);
+
+        let reg = &d.operations[1];
+        let OpItem::Coding(coding) = &reg.items[1] else { panic!() };
+        let CodingElement::LabelField { label, pattern } = &coding.elements[1] else {
+            panic!()
+        };
+        assert_eq!(label.name, "index");
+        assert_eq!(pattern.width(), 4);
+        assert_eq!(pattern.dont_care_count(), 4);
+        let OpItem::Syntax(syn) = &reg.items[2] else { panic!() };
+        assert!(matches!(
+            &syn.elements[1],
+            SyntaxElement::Num { name, format: NumFormat::Unsigned } if name.name == "index"
+        ));
+        let OpItem::Expression(Expr::Index { .. }) = &reg.items[3] else {
+            panic!("expected EXPRESSION with index")
+        };
+    }
+
+    #[test]
+    fn parses_paper_example_5_activation() {
+        let d = parse_ok(
+            r#"OPERATION main {
+                ACTIVATION {
+                    if (dispatch_complete && !multicycle_nop) {
+                        Prog_Address_Generate, Prog_Address_Send,
+                        Prog_Access_Ready_Wait, Prog_Fetch_Packet_Receive,
+                        Dispatch
+                    }
+                    if (multicycle_nop) {
+                        fetch_pipe.DP.stall(), execute_pipe.DC.stall()
+                    }
+                    fetch_pipe.shift(), execute_pipe.shift()
+                }
+            }"#,
+        );
+        let OpItem::Activation(act) = &d.operations[0].items[0] else { panic!() };
+        assert_eq!(act.items.len(), 4);
+        let ActNode::If { cond, then_items, .. } = &act.items[0] else { panic!() };
+        assert!(matches!(cond, Expr::Binary { op: BinOp::LogAnd, .. }));
+        assert_eq!(then_items.len(), 5);
+        let ActNode::If { then_items, .. } = &act.items[1] else { panic!() };
+        let ActNode::Call { call, .. } = &then_items[0] else { panic!() };
+        assert_eq!(call.path.len(), 3);
+        assert_eq!(call.path[2].name, "stall");
+        let ActNode::Call { call, .. } = &act.items[2] else { panic!() };
+        assert_eq!(call.path.len(), 2);
+        assert_eq!(call.path[1].name, "shift");
+    }
+
+    #[test]
+    fn parses_paper_example_6_switch_case() {
+        let d = parse_ok(
+            r#"OPERATION register {
+                DECLARE {
+                    GROUP Side = { side1 || side2 };
+                    LABEL index;
+                }
+                CODING { Side index:0bx[4] }
+                SWITCH (Side) {
+                    CASE side1: {
+                        SYNTAX { "A" index:#u }
+                        EXPRESSION { A[index] }
+                    }
+                    CASE side2: {
+                        SYNTAX { "B" index:#u }
+                        EXPRESSION { B[index] }
+                    }
+                }
+            }"#,
+        );
+        let op = &d.operations[0];
+        let OpItem::Switch(sw) = &op.items[2] else { panic!("expected SWITCH") };
+        assert_eq!(sw.group.name, "Side");
+        assert_eq!(sw.cases.len(), 2);
+        assert_eq!(sw.cases[0].members[0].name, "side1");
+        assert_eq!(sw.cases[1].items.len(), 2);
+        assert!(sw.default.is_none());
+    }
+
+    #[test]
+    fn parses_activation_delays() {
+        let d = parse_ok(
+            r#"OPERATION seq {
+                ACTIVATION { first, second; third; ; fourth }
+            }"#,
+        );
+        let OpItem::Activation(act) = &d.operations[0].items[0] else { panic!() };
+        let delays: Vec<u32> = act
+            .items
+            .iter()
+            .map(|n| match n {
+                ActNode::Activate { delay, .. } => *delay,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(delays, vec![0, 0, 1, 3]);
+    }
+
+    #[test]
+    fn parses_operation_header_options() {
+        let d = parse_ok(
+            r#"OPERATION mv ALIAS { CODING { 0b0 } }
+            OPERATION add IN execute_pipe.E1 { CODING { 0b1 } }"#,
+        );
+        assert!(d.operations[0].alias);
+        assert!(d.operations[0].stage.is_none());
+        let stage = d.operations[1].stage.as_ref().unwrap();
+        assert_eq!(stage.pipeline.name, "execute_pipe");
+        assert_eq!(stage.stage.name, "E1");
+    }
+
+    #[test]
+    fn parses_behavior_c_subset() {
+        let d = parse_ok(
+            r#"OPERATION mac {
+                BEHAVIOR {
+                    int prod;
+                    prod = x * y;
+                    if (sat_mode) {
+                        accu = saturate(accu + prod, 40);
+                    } else {
+                        accu += prod;
+                    }
+                    for (int i = 0; i < 4; i++) {
+                        window[i] = window[i + 1];
+                    }
+                    while (norm_count > 0) {
+                        norm_count--;
+                    }
+                    switch (mode) {
+                        case 0: accu = 0; break;
+                        case 1: { accu = accu >> 1; }
+                        default: nop();
+                    }
+                }
+            }"#,
+        );
+        let OpItem::Behavior(block) = &d.operations[0].items[0] else { panic!() };
+        assert_eq!(block.stmts.len(), 6);
+        assert!(matches!(block.stmts[0], Stmt::Local { ty: DataType::Int, .. }));
+        assert!(matches!(block.stmts[2], Stmt::If { .. }));
+        assert!(matches!(block.stmts[3], Stmt::For { .. }));
+        let Stmt::Switch { cases, default, .. } = &block.stmts[5] else { panic!() };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let d = parse_ok("OPERATION t { BEHAVIOR { r = 1 + 2 * 3 << 1 | 7 & 3; } }");
+        let OpItem::Behavior(b) = &d.operations[0].items[0] else { panic!() };
+        let Stmt::Assign { value, .. } = &b.stmts[0] else { panic!() };
+        // ((1 + (2*3)) << 1) | (7 & 3)
+        let Expr::Binary { op: BinOp::BitOr, lhs, rhs } = value else { panic!() };
+        assert!(matches!(**lhs, Expr::Binary { op: BinOp::Shl, .. }));
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::BitAnd, .. }));
+    }
+
+    #[test]
+    fn ternary_and_unary() {
+        let d = parse_ok("OPERATION t { BEHAVIOR { r = a ? -b : ~c + !d; } }");
+        let OpItem::Behavior(b) = &d.operations[0].items[0] else { panic!() };
+        let Stmt::Assign { value: Expr::Ternary { .. }, .. } = &b.stmts[0] else {
+            panic!("expected ternary")
+        };
+    }
+
+    #[test]
+    fn semantics_and_custom_sections_are_raw() {
+        let d = parse_ok(
+            r#"OPERATION add {
+                SEMANTICS { ADD(dst, src1, src2) { nested } }
+                POWER { 1.5 mW typical }
+            }"#,
+        );
+        let OpItem::Semantics(raw) = &d.operations[0].items[0] else { panic!() };
+        assert_eq!(raw.text, "ADD(dst, src1, src2) { nested }");
+        let OpItem::Custom(name, raw) = &d.operations[0].items[1] else { panic!() };
+        assert_eq!(name.name, "POWER");
+        assert!(raw.text.contains("1.5 mW"));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_with_positions() {
+        for (src, needle) in [
+            ("RESOURCE { int ; }", "resource name"),
+            ("OPERATION { }", "operation name"),
+            ("OPERATION x { CODING { , } }", "bit pattern"),
+            ("OPERATION x { SYNTAX { 12 } }", "string literal"),
+            ("RESOURCE { bit[0] z; }", "invalid numeric"),
+            ("RESOURCE { int m[0]; }", "invalid numeric"),
+            ("RESOURCE { int m[5..2]; }", "invalid numeric"),
+            ("OPERATION x { CODING { 0bx[200] } }", "repetition"),
+            ("OPERATION x { BEHAVIOR { a = 0b1x; } }", "invalid numeric"),
+        ] {
+            let err = parse(src).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "source {src:?} gave {msg:?}, wanted {needle:?}");
+        }
+    }
+
+    #[test]
+    fn repetition_expands_patterns() {
+        let d = parse_ok("OPERATION x { CODING { 0b10[3] imm:0bx[8] } }");
+        let OpItem::Coding(c) = &d.operations[0].items[0] else { panic!() };
+        let CodingElement::Pattern(p, _) = &c.elements[0] else { panic!() };
+        assert_eq!(p.to_string(), "0b101010");
+        let CodingElement::LabelField { pattern, .. } = &c.elements[1] else { panic!() };
+        assert_eq!(pattern.width(), 8);
+    }
+
+    #[test]
+    fn empty_description_parses() {
+        let d = parse_ok("");
+        assert!(d.resources.is_empty() && d.operations.is_empty());
+    }
+
+    #[test]
+    fn eof_inside_operation_is_an_error() {
+        assert!(parse("OPERATION x { CODING {").is_err());
+        assert!(parse("OPERATION x { SEMANTICS { never closed").is_err());
+    }
+}

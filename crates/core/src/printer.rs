@@ -1,0 +1,579 @@
+//! Pretty-printer: renders an AST back to LISA source text.
+//!
+//! The printed form re-parses to an equal AST (checked by round-trip
+//! tests), making the printer usable for model normalisation and for the
+//! "automatic generation of text book documentation" workflow the paper
+//! describes.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a description as LISA source.
+///
+/// # Examples
+///
+/// ```
+/// use lisa_core::{parser::parse, printer::print};
+///
+/// # fn main() -> Result<(), lisa_core::diag::ParseError> {
+/// let desc = parse("RESOURCE { REGISTER bit[48] accu; }")?;
+/// let text = print(&desc);
+/// // Printing is a fixpoint modulo source spans:
+/// assert_eq!(print(&parse(&text)?), text);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn print(desc: &Description) -> String {
+    let mut p = Printer { out: String::new(), indent: 0 };
+    p.description(desc);
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn open(&mut self, head: &str) {
+        self.line(&format!("{head} {{"));
+        self.indent += 1;
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn description(&mut self, desc: &Description) {
+        if !desc.resources.is_empty() || !desc.pipelines.is_empty() {
+            self.open("RESOURCE");
+            for r in &desc.resources {
+                let decl = format_resource(r);
+                self.line(&decl);
+            }
+            for p in &desc.pipelines {
+                let stages: Vec<&str> = p.stages.iter().map(|s| s.name.as_str()).collect();
+                self.line(&format!("PIPELINE {} = {{ {} }};", p.name, stages.join("; ")));
+            }
+            self.close();
+        }
+        for op in &desc.operations {
+            self.operation(op);
+        }
+    }
+
+    fn operation(&mut self, op: &OperationDecl) {
+        let mut head = format!("OPERATION {}", op.name);
+        if op.alias {
+            head.push_str(" ALIAS");
+        }
+        if let Some(stage) = &op.stage {
+            let _ = write!(head, " IN {}.{}", stage.pipeline, stage.stage);
+        }
+        self.open(&head);
+        for item in &op.items {
+            self.op_item(item);
+        }
+        self.close();
+    }
+
+    fn op_item(&mut self, item: &OpItem) {
+        match item {
+            OpItem::Declare(d) => {
+                self.open("DECLARE");
+                for g in &d.groups {
+                    let names: Vec<&str> = g.names.iter().map(|n| n.name.as_str()).collect();
+                    let members: Vec<&str> =
+                        g.members.iter().map(|m| m.name.as_str()).collect();
+                    self.line(&format!(
+                        "GROUP {} = {{ {} }};",
+                        names.join(", "),
+                        members.join(" || ")
+                    ));
+                }
+                if !d.labels.is_empty() {
+                    let labels: Vec<&str> = d.labels.iter().map(|l| l.name.as_str()).collect();
+                    self.line(&format!("LABEL {};", labels.join(", ")));
+                }
+                if !d.references.is_empty() {
+                    let refs: Vec<&str> =
+                        d.references.iter().map(|r| r.name.as_str()).collect();
+                    self.line(&format!("REFERENCE {};", refs.join(", ")));
+                }
+                self.close();
+            }
+            OpItem::Coding(c) => {
+                let mut parts = Vec::new();
+                if let Some(root) = &c.root {
+                    parts.push(format!("{root} =="));
+                }
+                for e in &c.elements {
+                    parts.push(match e {
+                        CodingElement::Pattern(p, _) => p.to_string(),
+                        CodingElement::Ref(r) => r.name.clone(),
+                        CodingElement::LabelField { label, pattern } => {
+                            format!("{label}:{pattern}")
+                        }
+                    });
+                }
+                self.line(&format!("CODING {{ {} }}", parts.join(" ")));
+            }
+            OpItem::Syntax(s) => {
+                let parts: Vec<String> = s
+                    .elements
+                    .iter()
+                    .map(|e| match e {
+                        SyntaxElement::Literal(text, _) => format!("{text:?}"),
+                        SyntaxElement::Ref(r) => r.name.clone(),
+                        SyntaxElement::Num { name, format } => {
+                            format!("{name}:#{}", format_suffix(*format))
+                        }
+                    })
+                    .collect();
+                self.line(&format!("SYNTAX {{ {} }}", parts.join(" ")));
+            }
+            OpItem::Semantics(raw) => {
+                self.line(&format!("SEMANTICS {{ {} }}", raw.text));
+            }
+            OpItem::Behavior(block) => {
+                self.open("BEHAVIOR");
+                for stmt in &block.stmts {
+                    self.stmt(stmt);
+                }
+                self.close();
+            }
+            OpItem::Expression(expr) => {
+                self.line(&format!("EXPRESSION {{ {} }}", print_expr(expr)));
+            }
+            OpItem::Activation(act) => {
+                self.open("ACTIVATION");
+                self.act_list(&act.items);
+                self.close();
+            }
+            OpItem::Switch(sw) => {
+                self.open(&format!("SWITCH ({})", sw.group));
+                for case in &sw.cases {
+                    let members: Vec<&str> =
+                        case.members.iter().map(|m| m.name.as_str()).collect();
+                    self.open(&format!("CASE {}:", members.join(", ")));
+                    for item in &case.items {
+                        self.op_item(item);
+                    }
+                    self.close();
+                }
+                if let Some(default) = &sw.default {
+                    self.open("DEFAULT:");
+                    for item in default {
+                        self.op_item(item);
+                    }
+                    self.close();
+                }
+                self.close();
+            }
+            OpItem::If(ifitem) => {
+                self.open(&format!("IF ({} == {})", ifitem.group, ifitem.member));
+                for item in &ifitem.then_items {
+                    self.op_item(item);
+                }
+                self.close();
+                if !ifitem.else_items.is_empty() {
+                    self.open("ELSE");
+                    for item in &ifitem.else_items {
+                        self.op_item(item);
+                    }
+                    self.close();
+                }
+            }
+            OpItem::Custom(name, raw) => {
+                self.line(&format!("{name} {{ {} }}", raw.text));
+            }
+        }
+    }
+
+    fn act_list(&mut self, items: &[ActNode]) {
+        let mut last_delay = 0u32;
+        for node in items {
+            let delay = match node {
+                ActNode::Activate { delay, .. }
+                | ActNode::Call { delay, .. }
+                | ActNode::If { delay, .. }
+                | ActNode::Switch { delay, .. } => *delay,
+            };
+            // Emit `;` markers to encode delay increases, `,` otherwise.
+            let mut prefix = String::new();
+            for _ in last_delay..delay {
+                prefix.push(';');
+            }
+            if prefix.is_empty() && last_delay > 0 {
+                // separators between same-delay items are commas, but a
+                // line break suffices visually; emit comma for fidelity
+            }
+            last_delay = delay;
+            match node {
+                ActNode::Activate { name, .. } => self.line(&format!("{prefix}{name},")),
+                ActNode::Call { call, .. } => {
+                    self.line(&format!("{prefix}{},", print_call(call)));
+                }
+                ActNode::If { cond, then_items, else_items, .. } => {
+                    self.open(&format!("{prefix}if ({})", print_expr(cond)));
+                    self.act_list(then_items);
+                    self.close();
+                    if !else_items.is_empty() {
+                        self.open("else");
+                        self.act_list(else_items);
+                        self.close();
+                    }
+                }
+                ActNode::Switch { scrutinee, cases, default, .. } => {
+                    self.open(&format!("{prefix}switch ({})", print_expr(scrutinee)));
+                    for (value, body) in cases {
+                        self.open(&format!("case {value}:"));
+                        self.act_list(body);
+                        self.close();
+                    }
+                    if !default.is_empty() {
+                        self.open("default:");
+                        self.act_list(default);
+                        self.close();
+                    }
+                    self.close();
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Local { ty, name, init } => match init {
+                Some(e) => self.line(&format!(
+                    "{} {name} = {};",
+                    format_type(*ty),
+                    print_expr(e)
+                )),
+                None => self.line(&format!("{} {name};", format_type(*ty))),
+            },
+            Stmt::Assign { target, op, value } => {
+                self.line(&format!(
+                    "{} {} {};",
+                    print_expr(target),
+                    assign_op_str(*op),
+                    print_expr(value)
+                ));
+            }
+            Stmt::IncDec { target, delta } => {
+                let op = if *delta > 0 { "++" } else { "--" };
+                self.line(&format!("{}{op};", print_expr(target)));
+            }
+            Stmt::Expr(e) => self.line(&format!("{};", print_expr(e))),
+            Stmt::If { cond, then_block, else_block } => {
+                self.open(&format!("if ({})", print_expr(cond)));
+                for s in &then_block.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+                if !else_block.stmts.is_empty() {
+                    self.open("else");
+                    for s in &else_block.stmts {
+                        self.stmt(s);
+                    }
+                    self.close();
+                }
+            }
+            Stmt::While { cond, body } => {
+                self.open(&format!("while ({})", print_expr(cond)));
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.open("do");
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line(&format!("}} while ({});", print_expr(cond)));
+            }
+            Stmt::For { init, cond, step, body } => {
+                let init_s = init.as_ref().map_or(String::new(), |s| print_simple_stmt(s));
+                let cond_s = cond.as_ref().map_or(String::new(), print_expr);
+                let step_s = step.as_ref().map_or(String::new(), |s| print_simple_stmt(s));
+                self.open(&format!("for ({init_s}; {cond_s}; {step_s})"));
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+            Stmt::Switch { scrutinee, cases, default } => {
+                // The printed `case N: { … }` re-parses as a case body
+                // holding one block statement; splice sole blocks so
+                // printing is a fixpoint.
+                fn case_stmts(block: &Block) -> &[Stmt] {
+                    match block.stmts.as_slice() {
+                        [Stmt::Block(inner)] => &inner.stmts,
+                        stmts => stmts,
+                    }
+                }
+                self.open(&format!("switch ({})", print_expr(scrutinee)));
+                for (value, block) in cases {
+                    self.open(&format!("case {value}:"));
+                    for s in case_stmts(block) {
+                        self.stmt(s);
+                    }
+                    self.close();
+                }
+                if let Some(block) = default {
+                    self.open("default:");
+                    for s in case_stmts(block) {
+                        self.stmt(s);
+                    }
+                    self.close();
+                }
+                self.close();
+            }
+            Stmt::Break => self.line("break;"),
+            Stmt::Continue => self.line("continue;"),
+            Stmt::Block(b) => {
+                self.open("");
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.close();
+            }
+        }
+    }
+}
+
+fn format_resource(r: &ResourceDecl) -> String {
+    let class = match r.class {
+        ResourceClass::Plain => "",
+        ResourceClass::Register => "REGISTER ",
+        ResourceClass::ControlRegister => "CONTROL_REGISTER ",
+        ResourceClass::ProgramCounter => "PROGRAM_COUNTER ",
+        ResourceClass::DataMemory => "DATA_MEMORY ",
+        ResourceClass::ProgramMemory => "PROGRAM_MEMORY ",
+    };
+    let mut decl = format!("{class}{} {}", format_type(r.ty), r.name);
+    for dim in &r.dims {
+        match dim {
+            Dim::Size(n) => {
+                let _ = write!(decl, "[{:#x}]", n);
+            }
+            Dim::Range(lo, hi) => {
+                let _ = write!(decl, "[{:#x}..{:#x}]", lo, hi);
+            }
+        }
+    }
+    decl.push(';');
+    decl
+}
+
+fn format_type(ty: DataType) -> String {
+    match ty {
+        DataType::Int => "int".into(),
+        DataType::Long => "long".into(),
+        DataType::Short => "short".into(),
+        DataType::Char => "char".into(),
+        DataType::UnsignedInt => "unsigned int".into(),
+        DataType::UnsignedLong => "unsigned long".into(),
+        DataType::UnsignedShort => "unsigned short".into(),
+        DataType::UnsignedChar => "unsigned char".into(),
+        DataType::Bit(1) => "bit".into(),
+        DataType::Bit(w) => format!("bit[{w}]"),
+    }
+}
+
+fn format_suffix(f: NumFormat) -> &'static str {
+    match f {
+        NumFormat::Signed => "s",
+        NumFormat::Unsigned => "u",
+        NumFormat::Hex => "x",
+    }
+}
+
+fn assign_op_str(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Set => "=",
+        AssignOp::Add => "+=",
+        AssignOp::Sub => "-=",
+        AssignOp::Mul => "*=",
+        AssignOp::Div => "/=",
+        AssignOp::Shl => "<<=",
+        AssignOp::Shr => ">>=",
+        AssignOp::And => "&=",
+        AssignOp::Or => "|=",
+        AssignOp::Xor => "^=",
+    }
+}
+
+fn print_simple_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Local { ty, name, init } => match init {
+            Some(e) => format!("{} {name} = {}", format_type(*ty), print_expr(e)),
+            None => format!("{} {name}", format_type(*ty)),
+        },
+        Stmt::Assign { target, op, value } => {
+            format!("{} {} {}", print_expr(target), assign_op_str(*op), print_expr(value))
+        }
+        Stmt::IncDec { target, delta } => {
+            format!("{}{}", print_expr(target), if *delta > 0 { "++" } else { "--" })
+        }
+        Stmt::Expr(e) => print_expr(e),
+        _ => String::new(),
+    }
+}
+
+fn print_call(call: &Call) -> String {
+    let path: Vec<&str> = call.path.iter().map(|p| p.name.as_str()).collect();
+    let args: Vec<String> = call.args.iter().map(print_expr).collect();
+    format!("{}({})", path.join("."), args.join(", "))
+}
+
+/// Renders an expression with full parenthesisation (safe for re-parsing).
+#[must_use]
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Name(id) => id.name.clone(),
+        Expr::Index { base, index } => {
+            format!("{}[{}]", print_expr(base), print_expr(index))
+        }
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("{sym}({})", print_expr(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::LogAnd => "&&",
+                BinOp::LogOr => "||",
+            };
+            format!("({} {sym} {})", print_expr(lhs), print_expr(rhs))
+        }
+        Expr::Ternary { cond, then_expr, else_expr } => {
+            format!(
+                "({} ? {} : {})",
+                print_expr(cond),
+                print_expr(then_expr),
+                print_expr(else_expr)
+            )
+        }
+        Expr::Call(call) => print_call(call),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let first = parse(src).expect("first parse");
+        let printed = print(&first);
+        let second = match parse(&printed) {
+            Ok(d) => d,
+            Err(e) => panic!("re-parse failed: {e}\nprinted:\n{printed}"),
+        };
+        // Spans differ; compare printed forms instead, which erases them.
+        assert_eq!(print(&second), printed, "printer not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn resources_round_trip() {
+        round_trip(
+            r#"RESOURCE {
+                PROGRAM_COUNTER int pc;
+                REGISTER bit[48] accu;
+                DATA_MEMORY int mem[0x1000];
+                PROGRAM_MEMORY short prog[0x100..0x1ff];
+                PIPELINE pipe = { FE; DC; EX };
+                unsigned int flags;
+            }"#,
+        );
+    }
+
+    #[test]
+    fn operations_round_trip() {
+        round_trip(
+            r#"OPERATION add IN pipe.EX {
+                DECLARE { GROUP Dest, Src = { register }; LABEL imm; }
+                CODING { 0b0011 Dest Src imm:0bx[8] }
+                SYNTAX { "ADD" Dest "," Src "," imm:#s }
+                BEHAVIOR {
+                    int t;
+                    t = Src + imm;
+                    Dest = t;
+                    if (t == 0) { zflag = 1; } else { zflag = 0; }
+                    for (int i = 0; i < 3; i++) { window[i] = window[i + 1]; }
+                    while (x > 0) { x--; }
+                }
+            }
+            OPERATION register {
+                DECLARE { LABEL index; }
+                CODING { index:0bx[4] }
+                SYNTAX { "R" index:#u }
+                EXPRESSION { R[index] }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn activation_and_switch_round_trip() {
+        round_trip(
+            r#"OPERATION main {
+                DECLARE { GROUP Side = { side1 || side2 }; }
+                ACTIVATION {
+                    if (go) { fetch, decode; execute } else { idle }
+                    pipe.shift()
+                }
+                SWITCH (Side) {
+                    CASE side1: { SYNTAX { "A" } }
+                    CASE side2: { SYNTAX { "B" } }
+                }
+            }
+            OPERATION side1 { CODING { 0b0 } }
+            OPERATION side2 { CODING { 0b1 } }"#,
+        );
+    }
+
+    #[test]
+    fn alias_and_semantics_round_trip() {
+        round_trip(
+            r#"OPERATION mv ALIAS {
+                SEMANTICS { MOVE(dst, src) }
+                CODING { 0b1010 }
+                SYNTAX { "MV" }
+            }"#,
+        );
+    }
+}

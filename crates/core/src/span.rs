@@ -1,0 +1,101 @@
+//! Source locations and spans for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into a LISA source file, with line/column of the
+/// start for human-readable diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use lisa_core::span::Span;
+/// let span = Span::new(10, 13, 2, 5);
+/// assert_eq!(span.to_string(), "2:5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span from raw components.
+    #[must_use]
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width span at the origin, for synthesized nodes.
+    #[must_use]
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`; keeps the
+    /// earlier line/column.
+    #[must_use]
+    pub fn merge(&self, other: Span) -> Span {
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col)
+            && self.line != 0
+        {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Extracts the spanned text from the original source.
+    #[must_use]
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_extremes() {
+        let a = Span::new(5, 9, 1, 6);
+        let b = Span::new(12, 20, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 5);
+        assert_eq!(m.end, 20);
+        assert_eq!((m.line, m.col), (1, 6));
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn merge_with_synthetic_prefers_real_location() {
+        let real = Span::new(3, 7, 4, 2);
+        let m = Span::synthetic().merge(real);
+        assert_eq!((m.line, m.col), (4, 2));
+    }
+
+    #[test]
+    fn slice_is_safe_on_bad_ranges() {
+        let s = Span::new(0, 100, 1, 1);
+        assert_eq!(s.slice("abc"), "");
+        let ok = Span::new(4, 7, 1, 5);
+        assert_eq!(ok.slice("the cat"), "cat");
+    }
+}

@@ -1,0 +1,367 @@
+//! Token kinds produced by the LISA lexer.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// Keywords of the LISA language.
+///
+/// Section keywords (`CODING`, `SYNTAX`, …) and structural keywords
+/// (`OPERATION`, `RESOURCE`, `PIPELINE`, …) are reserved; resource-class
+/// attributes (`REGISTER`, `PROGRAM_COUNTER`, …) are also keywords since
+/// they prefix declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // each variant is the keyword it names
+pub enum Keyword {
+    Resource,
+    Operation,
+    Pipeline,
+    Register,
+    ControlRegister,
+    ProgramCounter,
+    DataMemory,
+    ProgramMemory,
+    Declare,
+    Group,
+    Label,
+    Reference,
+    Coding,
+    Syntax,
+    Semantics,
+    Behavior,
+    Expression,
+    Activation,
+    In,
+    Switch,
+    Case,
+    Default,
+    If,
+    Else,
+    Alias,
+    // Behavior-language keywords.
+    Int,
+    Long,
+    Short,
+    Char,
+    Unsigned,
+    Bit,
+    While,
+    For,
+    Do,
+    Break,
+    Continue,
+}
+
+impl Keyword {
+    /// Looks up an identifier; returns `None` if it is not a keyword.
+    #[must_use]
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "RESOURCE" => Keyword::Resource,
+            "OPERATION" => Keyword::Operation,
+            "PIPELINE" => Keyword::Pipeline,
+            "REGISTER" => Keyword::Register,
+            "CONTROL_REGISTER" => Keyword::ControlRegister,
+            "PROGRAM_COUNTER" => Keyword::ProgramCounter,
+            "DATA_MEMORY" => Keyword::DataMemory,
+            "PROGRAM_MEMORY" => Keyword::ProgramMemory,
+            "DECLARE" => Keyword::Declare,
+            "GROUP" => Keyword::Group,
+            "LABEL" => Keyword::Label,
+            "REFERENCE" => Keyword::Reference,
+            "CODING" => Keyword::Coding,
+            "SYNTAX" => Keyword::Syntax,
+            "SEMANTICS" => Keyword::Semantics,
+            "BEHAVIOR" => Keyword::Behavior,
+            "EXPRESSION" => Keyword::Expression,
+            "ACTIVATION" => Keyword::Activation,
+            "IN" => Keyword::In,
+            "SWITCH" => Keyword::Switch,
+            "CASE" => Keyword::Case,
+            "DEFAULT" => Keyword::Default,
+            "IF" => Keyword::If,
+            "ELSE" => Keyword::Else,
+            "ALIAS" => Keyword::Alias,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "short" => Keyword::Short,
+            "char" => Keyword::Char,
+            "unsigned" => Keyword::Unsigned,
+            "bit" => Keyword::Bit,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "do" => Keyword::Do,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            // Lower-case `if`/`else`/`switch`/`case`/`default` inside
+            // behavior code share the upper-case keyword variants.
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            _ => return None,
+        })
+    }
+
+    /// The canonical spelling (upper-case form for section keywords).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Resource => "RESOURCE",
+            Keyword::Operation => "OPERATION",
+            Keyword::Pipeline => "PIPELINE",
+            Keyword::Register => "REGISTER",
+            Keyword::ControlRegister => "CONTROL_REGISTER",
+            Keyword::ProgramCounter => "PROGRAM_COUNTER",
+            Keyword::DataMemory => "DATA_MEMORY",
+            Keyword::ProgramMemory => "PROGRAM_MEMORY",
+            Keyword::Declare => "DECLARE",
+            Keyword::Group => "GROUP",
+            Keyword::Label => "LABEL",
+            Keyword::Reference => "REFERENCE",
+            Keyword::Coding => "CODING",
+            Keyword::Syntax => "SYNTAX",
+            Keyword::Semantics => "SEMANTICS",
+            Keyword::Behavior => "BEHAVIOR",
+            Keyword::Expression => "EXPRESSION",
+            Keyword::Activation => "ACTIVATION",
+            Keyword::In => "IN",
+            Keyword::Switch => "SWITCH",
+            Keyword::Case => "CASE",
+            Keyword::Default => "DEFAULT",
+            Keyword::If => "IF",
+            Keyword::Else => "ELSE",
+            Keyword::Alias => "ALIAS",
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Short => "short",
+            Keyword::Char => "char",
+            Keyword::Unsigned => "unsigned",
+            Keyword::Bit => "bit",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Do => "do",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+        }
+    }
+}
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Identifier (operation, group, label, resource, or variable name).
+    Ident(String),
+    /// Reserved word.
+    Kw(Keyword),
+    /// Integer literal (decimal, `0x…` hex, or pure-binary `0b…` without
+    /// don't-cares), with its value.
+    Int(i64),
+    /// Bit-pattern literal containing at least one `x` don't-care
+    /// (`0b01xx`), kept textually; the parser turns it into a
+    /// [`lisa_bits::BitPattern`].
+    PatternLit(String),
+    /// Double-quoted string literal (syntax mnemonics), unescaped.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `#`
+    Hash,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `+=`
+    PlusAssign,
+    /// `-`
+    Minus,
+    /// `-=`
+    MinusAssign,
+    /// `*`
+    Star,
+    /// `*=`
+    StarAssign,
+    /// `/`
+    Slash,
+    /// `/=`
+    SlashAssign,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `&=`
+    AmpAssign,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `|=`
+    PipeAssign,
+    /// `^`
+    Caret,
+    /// `^=`
+    CaretAssign,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `<<=`
+    ShlAssign,
+    /// `>>`
+    Shr,
+    /// `>>=`
+    ShrAssign,
+    /// `?`
+    Question,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Kw(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::PatternLit(s) => write!(f, "bit pattern `{s}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            other => {
+                let text = match other {
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Semi => ";",
+                    TokenKind::Comma => ",",
+                    TokenKind::Colon => ":",
+                    TokenKind::Dot => ".",
+                    TokenKind::DotDot => "..",
+                    TokenKind::Hash => "#",
+                    TokenKind::Assign => "=",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::Plus => "+",
+                    TokenKind::PlusAssign => "+=",
+                    TokenKind::Minus => "-",
+                    TokenKind::MinusAssign => "-=",
+                    TokenKind::Star => "*",
+                    TokenKind::StarAssign => "*=",
+                    TokenKind::Slash => "/",
+                    TokenKind::SlashAssign => "/=",
+                    TokenKind::Percent => "%",
+                    TokenKind::Amp => "&",
+                    TokenKind::AmpAmp => "&&",
+                    TokenKind::AmpAssign => "&=",
+                    TokenKind::Pipe => "|",
+                    TokenKind::PipePipe => "||",
+                    TokenKind::PipeAssign => "|=",
+                    TokenKind::Caret => "^",
+                    TokenKind::CaretAssign => "^=",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Bang => "!",
+                    TokenKind::Shl => "<<",
+                    TokenKind::ShlAssign => "<<=",
+                    TokenKind::Shr => ">>",
+                    TokenKind::ShrAssign => ">>=",
+                    TokenKind::Question => "?",
+                    TokenKind::PlusPlus => "++",
+                    TokenKind::MinusMinus => "--",
+                    TokenKind::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                if matches!(other, TokenKind::Eof) {
+                    write!(f, "{text}")
+                } else {
+                    write!(f, "`{text}`")
+                }
+            }
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in [
+            Keyword::Resource,
+            Keyword::Operation,
+            Keyword::Coding,
+            Keyword::ProgramCounter,
+            Keyword::Int,
+            Keyword::While,
+        ] {
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_ident("add"), None);
+        // Lower-case control keywords map onto the shared variants.
+        assert_eq!(Keyword::from_ident("if"), Some(Keyword::If));
+        assert_eq!(Keyword::from_ident("switch"), Some(Keyword::Switch));
+    }
+
+    #[test]
+    fn display_is_helpful() {
+        assert_eq!(TokenKind::Ident("add".into()).to_string(), "identifier `add`");
+        assert_eq!(TokenKind::Shl.to_string(), "`<<`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+        assert_eq!(TokenKind::Kw(Keyword::Coding).to_string(), "`CODING`");
+    }
+}

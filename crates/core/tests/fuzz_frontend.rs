@@ -1,0 +1,128 @@
+//! Robustness properties of the LISA front-end: the lexer, parser and
+//! model builder must be total (return errors, never panic) on arbitrary
+//! and on mutated-valid input.
+
+use lisa_core::{lexer::lex, parser::parse, Model};
+use proptest::prelude::*;
+
+/// A corpus of valid fragments to splice into mutation tests.
+const VALID: &str = r#"
+RESOURCE {
+    PROGRAM_COUNTER int pc;
+    CONTROL_REGISTER int ir;
+    REGISTER bit[48] accu;
+    DATA_MEMORY int mem[0x100];
+    PROGRAM_MEMORY int pmem[0x10..0xff];
+    PIPELINE pipe = { FE; DC; EX };
+}
+OPERATION reg {
+    DECLARE { LABEL index; }
+    CODING { index:0bx[4] }
+    SYNTAX { "R" index:#u }
+    EXPRESSION { mem[index] }
+}
+OPERATION add IN pipe.EX {
+    DECLARE { GROUP Dest, Src = { reg }; }
+    CODING { 0b0001 Dest Src Src 0bx[16] }
+    SYNTAX { "ADD" Dest "," Src }
+    SEMANTICS { ADD(Dest, Src) }
+    BEHAVIOR { Dest = Src + Src; pc = pc + 1; }
+    ACTIVATION { if (pc > 0) { reg } pipe.shift() }
+}
+OPERATION decode {
+    DECLARE { GROUP Instruction = { add }; }
+    CODING { ir == Instruction }
+    SYNTAX { Instruction }
+    BEHAVIOR { Instruction; }
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lexer_is_total(input in "\\PC{0,200}") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_is_total(input in "[ -~\\n]{0,300}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn model_builder_is_total(input in "[ -~\\n]{0,300}") {
+        let _ = Model::from_source(&input);
+    }
+
+    /// Random single-byte corruptions of a valid source never panic the
+    /// pipeline (they may, of course, error).
+    #[test]
+    fn mutated_valid_source_never_panics(
+        pos in 0usize..VALID.len(),
+        replacement in any::<u8>(),
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes[pos] = replacement;
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = Model::from_source(&text);
+        }
+    }
+
+    /// Random truncations of a valid source never panic.
+    #[test]
+    fn truncated_valid_source_never_panics(len in 0usize..VALID.len()) {
+        if VALID.is_char_boundary(len) {
+            let _ = Model::from_source(&VALID[..len]);
+        }
+    }
+
+    /// Deleting a random line never panics (common editing mistake).
+    #[test]
+    fn line_deleted_source_never_panics(line in 0usize..40) {
+        let text: String = VALID
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != line)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = Model::from_source(&text);
+    }
+
+    /// The printer round-trips the valid corpus after whitespace
+    /// perturbation (extra spaces/newlines between tokens are semantically
+    /// irrelevant).
+    #[test]
+    fn whitespace_insensitivity(seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 60
+        };
+        // Insert random extra whitespace after semicolons and braces.
+        let mut mutated = String::new();
+        for ch in VALID.chars() {
+            mutated.push(ch);
+            if matches!(ch, ';' | '{' | '}') {
+                for _ in 0..next() % 3 {
+                    mutated.push(if next() % 2 == 0 { ' ' } else { '\n' });
+                }
+            }
+        }
+        let original = parse(VALID).expect("corpus parses");
+        let perturbed = parse(&mutated).expect("perturbed corpus parses");
+        prop_assert_eq!(
+            lisa_core::printer::print(&original),
+            lisa_core::printer::print(&perturbed)
+        );
+    }
+}
+
+/// The full valid corpus builds into a model (sanity anchor for the
+/// mutation tests).
+#[test]
+fn corpus_is_valid() {
+    let model = Model::from_source(VALID).expect("corpus builds");
+    assert_eq!(model.pipelines().len(), 1);
+    assert!(model.operation_by_name("add").is_some());
+}

@@ -1,0 +1,130 @@
+//! Printer fidelity on the less-common constructs: numeric formats,
+//! operation options, IF/ELSE structuring, do-while, and custom
+//! sections — each must survive a print → re-parse → print fixpoint and
+//! preserve the construct (not just parse).
+
+use lisa_core::ast::{NumFormat, OpItem, SyntaxElement};
+use lisa_core::{parser::parse, printer::print};
+
+fn fixpoint(src: &str) -> String {
+    let first = parse(src).expect("parses");
+    let printed = print(&first);
+    let second = parse(&printed).unwrap_or_else(|e| panic!("re-parse: {e}\n{printed}"));
+    assert_eq!(print(&second), printed, "fixpoint");
+    printed
+}
+
+#[test]
+fn hex_format_and_bare_label_syntax() {
+    let printed = fixpoint(
+        r#"OPERATION t {
+            DECLARE { LABEL addr; }
+            CODING { addr:0bx[16] }
+            SYNTAX { "AT" addr:#x }
+        }"#,
+    );
+    assert!(printed.contains("addr:#x"), "{printed}");
+
+    let desc = parse(&printed).unwrap();
+    let OpItem::Syntax(s) = &desc.operations[0].items[2] else { panic!() };
+    assert!(matches!(
+        &s.elements[1],
+        SyntaxElement::Num { format: NumFormat::Hex, .. }
+    ));
+}
+
+#[test]
+fn alias_and_stage_options_survive() {
+    let printed = fixpoint(
+        r#"RESOURCE { PIPELINE p = { A; B }; }
+        OPERATION mv ALIAS IN p.B { CODING { 0b1 } SYNTAX { "MV" } }"#,
+    );
+    assert!(printed.contains("OPERATION mv ALIAS IN p.B"), "{printed}");
+}
+
+#[test]
+fn if_else_structuring_survives() {
+    let printed = fixpoint(
+        r#"OPERATION m1 { CODING { 0b0 } SYNTAX { "m1" } }
+        OPERATION m2 { CODING { 0b1 } SYNTAX { "m2" } }
+        OPERATION pick {
+            DECLARE { GROUP G = { m1 || m2 }; }
+            CODING { G 0bx }
+            IF (G == m1) { SYNTAX { "FAST" } } ELSE { SYNTAX { "SLOW" } }
+        }"#,
+    );
+    assert!(printed.contains("IF (G == m1)"), "{printed}");
+    assert!(printed.contains("ELSE"), "{printed}");
+}
+
+#[test]
+fn do_while_and_switch_statements_survive() {
+    let printed = fixpoint(
+        r#"OPERATION t {
+            BEHAVIOR {
+                int i = 0;
+                do { i++; } while (i < 3);
+                switch (i) {
+                    case 3: { i = 30; }
+                    case -1: { i = 10; }
+                    default: { i = 0; }
+                }
+            }
+        }"#,
+    );
+    assert!(printed.contains("} while ("), "{printed}");
+    assert!(printed.contains("case -1:"), "{printed}");
+    assert!(printed.contains("default:"), "{printed}");
+}
+
+#[test]
+fn custom_sections_survive() {
+    let printed = fixpoint(
+        r#"OPERATION t {
+            CODING { 0b1 }
+            SYNTAX { "T" }
+            POWER { 2.5 mW }
+            AREA { 120 gates }
+        }"#,
+    );
+    assert!(printed.contains("POWER { 2.5 mW }"), "{printed}");
+    assert!(printed.contains("AREA { 120 gates }"), "{printed}");
+}
+
+#[test]
+fn activation_delays_survive() {
+    // `a` at delay 0, `b` at delay 2, `c` at delay 3.
+    let printed = fixpoint(
+        r#"OPERATION x { ACTIVATION { a ;; b ; c } }
+        OPERATION a { BEHAVIOR { } }
+        OPERATION b { BEHAVIOR { } }
+        OPERATION c { BEHAVIOR { } }"#,
+    );
+    let desc = parse(&printed).unwrap();
+    let OpItem::Activation(act) = &desc.operations[0].items[0] else { panic!() };
+    let delays: Vec<u32> = act
+        .items
+        .iter()
+        .map(|n| match n {
+            lisa_core::ast::ActNode::Activate { delay, .. } => *delay,
+            _ => panic!("expected plain activations"),
+        })
+        .collect();
+    assert_eq!(delays, vec![0, 2, 3], "delays preserved through printing");
+}
+
+#[test]
+fn banked_dims_and_ranges_survive() {
+    let printed = fixpoint(
+        r#"RESOURCE {
+            DATA_MEMORY short banked[4]([0x20]);
+            PROGRAM_MEMORY int ranged[0x10..0x1f];
+            unsigned short us;
+            unsigned long ul;
+        }"#,
+    );
+    let desc = parse(&printed).unwrap();
+    assert_eq!(desc.resources[0].dims.len(), 2);
+    assert_eq!(desc.resources[1].dims[0].base(), 0x10);
+    assert!(!desc.resources[2].ty.is_signed());
+}

@@ -1,0 +1,314 @@
+//! Automatic text-book documentation generated from LISA model databases.
+//!
+//! The paper argues that a LISA description is "a very valuable
+//! replacement for the textual documentation written by designers which
+//! is usually faulty and not up-to-date" and that the approach "even
+//! enables the automatic generation of such text book documentation"
+//! (§1.1). This crate renders a model database as a Markdown ISA manual:
+//! resource tables, pipeline diagrams, and one section per instruction
+//! with encoding layout, assembly syntax, semantics and behavior.
+//!
+//! # Examples
+//!
+//! ```
+//! use lisa_docgen::manual;
+//! use lisa_models::tinyrisc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wb = tinyrisc::workbench()?;
+//! let text = manual(wb.model(), "tinyrisc");
+//! assert!(text.contains("# tinyrisc Instruction Set Manual"));
+//! assert!(text.contains("## Resources"));
+//! assert!(text.contains("ADD"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use lisa_core::ast::{NumFormat, ResourceClass};
+use lisa_core::model::{CodingTarget, Model, ModelStats, OpId, Operation, SynElem};
+
+/// Renders the complete Markdown manual for a model.
+#[must_use]
+pub fn manual(model: &Model, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title} Instruction Set Manual\n");
+    let _ = writeln!(
+        out,
+        "*Generated from the LISA machine description — the single source\nfor simulator, assembler, disassembler and this manual.*\n"
+    );
+
+    let stats = ModelStats::of(model);
+    let _ = writeln!(out, "## Summary\n");
+    let _ = writeln!(out, "| Metric | Value |");
+    let _ = writeln!(out, "|--------|-------|");
+    let _ = writeln!(out, "| Resources | {} |", stats.resources);
+    let _ = writeln!(out, "| Operations | {} |", stats.operations);
+    let _ = writeln!(out, "| Instructions | {} |", stats.instructions);
+    let _ = writeln!(out, "| Instruction aliases | {} |", stats.aliases);
+    let _ = writeln!(out, "| Pipelines | {} ({} stages) |", stats.pipelines, stats.pipeline_stages);
+    let _ = writeln!(out);
+
+    resources_section(model, &mut out);
+    pipelines_section(model, &mut out);
+    instructions_section(model, &mut out);
+    out
+}
+
+fn resources_section(model: &Model, out: &mut String) {
+    let _ = writeln!(out, "## Resources\n");
+    let _ = writeln!(out, "| Name | Class | Width | Elements |");
+    let _ = writeln!(out, "|------|-------|-------|----------|");
+    for res in model.resources() {
+        let class = match res.class {
+            ResourceClass::Plain => "—",
+            ResourceClass::Register => "register",
+            ResourceClass::ControlRegister => "control register",
+            ResourceClass::ProgramCounter => "program counter",
+            ResourceClass::DataMemory => "data memory",
+            ResourceClass::ProgramMemory => "program memory",
+        };
+        let dims = if res.dims.is_empty() {
+            "scalar".to_owned()
+        } else {
+            res.dims
+                .iter()
+                .map(|d| match d {
+                    lisa_core::ast::Dim::Size(n) => format!("{n}"),
+                    lisa_core::ast::Dim::Range(lo, hi) => format!("{lo:#x}..{hi:#x}"),
+                })
+                .collect::<Vec<_>>()
+                .join(" × ")
+        };
+        let _ = writeln!(out, "| `{}` | {class} | {} | {dims} |", res.name, res.ty.width());
+    }
+    let _ = writeln!(out);
+}
+
+fn pipelines_section(model: &Model, out: &mut String) {
+    if model.pipelines().is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "## Pipelines\n");
+    for pipe in model.pipelines() {
+        let stages = pipe.stages.join(" → ");
+        let _ = writeln!(out, "* **{}**: {stages}", pipe.name);
+    }
+    let _ = writeln!(out);
+}
+
+/// Instruction operations in the decode root's group order, aliases
+/// included.
+fn instruction_ops(model: &Model) -> Vec<OpId> {
+    let mut ops = Vec::new();
+    let Some(&root) = model.decode_roots().first() else { return ops };
+    let root_op = model.operation(root);
+    for variant in &root_op.variants {
+        let Some(coding) = &variant.coding else { continue };
+        for field in &coding.fields {
+            match &field.target {
+                CodingTarget::Group(g) => {
+                    for &m in &root_op.groups[*g].members {
+                        if !ops.contains(&m) {
+                            ops.push(m);
+                        }
+                    }
+                }
+                CodingTarget::Op(o)
+                    if !ops.contains(o) => {
+                        ops.push(*o);
+                    }
+                _ => {}
+            }
+        }
+    }
+    ops
+}
+
+fn instructions_section(model: &Model, out: &mut String) {
+    let ops = instruction_ops(model);
+    if ops.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "## Instructions\n");
+    for id in ops {
+        let op = model.operation(id);
+        instruction_entry(model, op, out);
+    }
+}
+
+fn instruction_entry(model: &Model, op: &Operation, out: &mut String) {
+    let alias = if op.alias { " *(alias)*" } else { "" };
+    let _ = writeln!(out, "### `{}`{alias}\n", op.name);
+    for (section, text) in &op.customs {
+        let _ = writeln!(out, "*{}*: {text}\n", section.to_lowercase());
+    }
+    if let Some((pid, stage)) = op.stage {
+        let pipe = model.pipeline(pid);
+        let _ = writeln!(out, "*Executes in* `{}.{}`.\n", pipe.name, pipe.stages[stage]);
+    }
+    for (vidx, variant) in op.variants.iter().enumerate() {
+        if op.variants.len() > 1 {
+            let guard: Vec<String> = variant
+                .guard
+                .iter()
+                .map(|(g, m)| {
+                    format!("{} = {}", op.groups[*g].name, model.operation(*m).name)
+                })
+                .collect();
+            let label =
+                if guard.is_empty() { "default".to_owned() } else { guard.join(", ") };
+            let _ = writeln!(out, "**Variant {} ({label})**\n", vidx + 1);
+        }
+        if let Some(syntax) = &variant.syntax {
+            let _ = writeln!(out, "Syntax: `{}`", render_syntax(model, op, syntax));
+        }
+        if let Some(coding) = &variant.coding {
+            let fields: Vec<String> = coding
+                .fields
+                .iter()
+                .map(|f| {
+                    let what = match &f.target {
+                        CodingTarget::Pattern(p) => format!("`{p}`"),
+                        CodingTarget::Label { label, .. } => {
+                            format!("{}[{}]", op.labels[*label], f.width)
+                        }
+                        CodingTarget::Group(g) => {
+                            format!("{}[{}]", op.groups[*g].name, f.width)
+                        }
+                        CodingTarget::Op(o) => {
+                            format!("{}[{}]", model.operation(*o).name, f.width)
+                        }
+                    };
+                    format!("{what}@{}", f.offset)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "\nEncoding ({} bits, msb first): {}",
+                coding.width(),
+                fields.join(" ")
+            );
+        }
+        if let Some(semantics) = &variant.semantics {
+            let _ = writeln!(out, "\nSemantics: `{semantics}`");
+        }
+        if let Some(behavior) = &variant.behavior {
+            let printed = lisa_core::printer::print(&behavior_only(behavior));
+            let body = printed
+                .lines()
+                .skip_while(|l| !l.contains("BEHAVIOR"))
+                .skip(1)
+                .take_while(|l| l.trim() != "}")
+                .collect::<Vec<_>>()
+                .join("\n");
+            let _ = writeln!(out, "\nBehavior:\n\n```c\n{}\n```", body.trim_end());
+        }
+        let _ = writeln!(out);
+    }
+}
+
+/// Wraps a behavior block in a dummy operation so the AST printer can
+/// render it.
+fn behavior_only(block: &lisa_core::ast::Block) -> lisa_core::ast::Description {
+    use lisa_core::ast::{Ident, OpItem, OperationDecl};
+    lisa_core::ast::Description {
+        resources: Vec::new(),
+        pipelines: Vec::new(),
+        operations: vec![OperationDecl {
+            name: Ident::synthetic("doc"),
+            alias: false,
+            stage: None,
+            items: vec![OpItem::Behavior(block.clone())],
+            span: lisa_core::span::Span::synthetic(),
+        }],
+    }
+}
+
+/// Renders a syntax template with operand placeholders.
+fn render_syntax(model: &Model, op: &Operation, syntax: &[SynElem]) -> String {
+    let mut parts = Vec::new();
+    for elem in syntax {
+        match elem {
+            SynElem::Literal(text) => {
+                if !text.trim().is_empty() {
+                    parts.push(text.trim().to_owned());
+                }
+            }
+            SynElem::Group { group, .. } => {
+                parts.push(format!("<{}>", op.groups[*group].name));
+            }
+            SynElem::Op { op: o, .. } => {
+                parts.push(format!("<{}>", model.operation(*o).name));
+            }
+            SynElem::Label { label, format } => {
+                let suffix = match format {
+                    NumFormat::Signed => "s",
+                    NumFormat::Unsigned => "u",
+                    NumFormat::Hex => "x",
+                };
+                parts.push(format!("<{}:#{suffix}>", op.labels[*label]));
+            }
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_covers_all_models() {
+        for (wb, name) in [
+            (lisa_models::tinyrisc::workbench().unwrap(), "tinyrisc"),
+            (lisa_models::accu16::workbench().unwrap(), "accu16"),
+            (lisa_models::vliw62::workbench().unwrap(), "vliw62"),
+        ] {
+            let text = manual(wb.model(), name);
+            assert!(text.contains("Instruction Set Manual"), "{name}");
+            assert!(text.contains("## Resources"), "{name}");
+            assert!(text.contains("## Instructions"), "{name}");
+            let stats = ModelStats::of(wb.model());
+            // Every instruction (and alias) has its own section.
+            let sections = text.matches("\n### `").count();
+            assert!(
+                sections >= stats.instructions + stats.aliases,
+                "{name}: {sections} sections for {} instructions",
+                stats.instructions + stats.aliases
+            );
+        }
+    }
+
+    #[test]
+    fn vliw_manual_shows_pipelines_and_variants() {
+        let wb = lisa_models::vliw62::workbench().unwrap();
+        let text = manual(wb.model(), "vliw62");
+        assert!(text.contains("PG → PS → PW → PR → DP"));
+        assert!(text.contains("Executes in* `execute_pipe.E1`"));
+        assert!(text.contains("*(alias)*"));
+        assert!(text.contains("```c"));
+    }
+
+    #[test]
+    fn custom_sections_render_as_attributes() {
+        let wb = lisa_models::vliw62::workbench().unwrap();
+        let text = manual(wb.model(), "vliw62");
+        assert!(
+            text.contains("*power*: high - the 16x16 multiplier array dominates dynamic power"),
+            "user-defined POWER sections appear in the manual"
+        );
+    }
+
+    #[test]
+    fn alias_sections_present_for_tinyrisc_mv() {
+        let wb = lisa_models::tinyrisc::workbench().unwrap();
+        let text = manual(wb.model(), "tinyrisc");
+        assert!(text.contains("### `mv` *(alias)*"));
+        assert!(text.contains("Semantics: `MOVE(Dest, Src)`"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Errors of the generated instruction-set tools.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the decoder, encoder, assembler or disassembler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The model has no decode root (`CODING { resource == group }`), so
+    /// no decoder entry point exists.
+    NoDecodeRoot,
+    /// No operation coding matches the instruction word.
+    NoMatch {
+        /// The undecodable word.
+        word: u128,
+        /// The width that was attempted.
+        width: u32,
+    },
+    /// An operation referenced during decode has no coding of the needed
+    /// width (model validation normally prevents this).
+    InternalWidth {
+        /// The operation name.
+        operation: String,
+    },
+    /// A label value does not fit the coding field reserved for it.
+    LabelValueTooWide {
+        /// The operation name.
+        operation: String,
+        /// The label name.
+        label: String,
+        /// The offending value.
+        value: i128,
+        /// Field width in bits.
+        width: u32,
+    },
+    /// A label value conflicts with fixed bits inside its coding field.
+    LabelFixedBitConflict {
+        /// The operation name.
+        operation: String,
+        /// The label name.
+        label: String,
+        /// The offending value.
+        value: u128,
+    },
+    /// No instruction syntax matches the assembly statement.
+    AsmNoMatch {
+        /// The statement that failed to assemble.
+        statement: String,
+    },
+    /// An assembly statement matched an instruction but has trailing
+    /// input.
+    AsmTrailing {
+        /// The statement.
+        statement: String,
+        /// The unconsumed suffix.
+        rest: String,
+    },
+    /// A decoded tree is structurally inconsistent with the model (e.g. a
+    /// group field without a child); indicates a hand-built tree.
+    MalformedDecoded {
+        /// The operation name.
+        operation: String,
+        /// What was missing.
+        missing: &'static str,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::NoDecodeRoot => {
+                write!(f, "model has no decode root (`CODING {{ resource == group }}`)")
+            }
+            IsaError::NoMatch { word, width } => {
+                write!(f, "no instruction coding matches word {word:#x} ({width} bits)")
+            }
+            IsaError::InternalWidth { operation } => {
+                write!(f, "operation `{operation}` has no usable coding width")
+            }
+            IsaError::LabelValueTooWide { operation, label, value, width } => {
+                write!(
+                    f,
+                    "value {value} does not fit the {width}-bit field of label `{label}` in `{operation}`"
+                )
+            }
+            IsaError::LabelFixedBitConflict { operation, label, value } => {
+                write!(
+                    f,
+                    "value {value:#x} conflicts with fixed coding bits of label `{label}` in `{operation}`"
+                )
+            }
+            IsaError::AsmNoMatch { statement } => {
+                write!(f, "no instruction syntax matches `{statement}`")
+            }
+            IsaError::AsmTrailing { statement, rest } => {
+                write!(f, "trailing input `{rest}` after assembling `{statement}`")
+            }
+            IsaError::MalformedDecoded { operation, missing } => {
+                write!(f, "decoded tree for `{operation}` is missing {missing}")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bounds() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<IsaError>();
+        let err = IsaError::NoMatch { word: 0xdead, width: 32 };
+        assert!(err.to_string().contains("0xdead"));
+    }
+}

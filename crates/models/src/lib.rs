@@ -1,0 +1,33 @@
+//! Processor models written in LISA, plus DSP kernel workloads and golden
+//! reference results.
+//!
+//! Three models, mirroring the paper's modeling experience (§4):
+//!
+//! * [`vliw62`] — the test case: a TMS320C62xx-*shaped* 8-issue VLIW DSP
+//!   with two register file sides (A/B), fetch packets with p-bit
+//!   parallel chaining, predicated execution, load/multiply/branch delay
+//!   slots, the paper's fetch pipeline (`PG PS PW PR DP`) and execute
+//!   pipeline (`DC E1`), and a multicycle-NOP stall (paper Example 5);
+//! * [`accu16`] — an accumulator DSP in the style of paper Example 1:
+//!   a 40-bit accumulator, MAC with saturation, banked data memories;
+//! * [`scalar2`] — a dual-issue in-order superscalar (the paper's third
+//!   claimed architecture class), with the issue/hazard logic written in
+//!   the description;
+//! * [`tinyrisc`] — a 16-bit teaching core used by the quickstart.
+//!
+//! Each model module exposes `SOURCE` (the LISA text), a [`Workbench`]
+//! constructor, and kernel programs with golden results for differential
+//! verification (experiment E4: the stand-in for the paper's `sim62x`
+//! cross-check).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accu16;
+pub mod kernels;
+pub mod scalar2;
+pub mod tinyrisc;
+pub mod vliw62;
+mod workbench;
+
+pub use workbench::{Workbench, WorkbenchError};

@@ -1,0 +1,1043 @@
+//! Compiled simulation: behaviors lowered to slot-resolved code.
+//!
+//! The paper's headline performance technique (§3.3) moves work from
+//! simulation run time to simulator generation time: instruction decoding
+//! happens once per program word, and compile-time-evaluable structure
+//! (SWITCH/CASE specialisation, name binding) is resolved before the cycle
+//! loop starts. This module is the "generation" half: each operation
+//! variant's BEHAVIOR and EXPRESSION sections are lowered once into an IR
+//! whose locals are stack slots, whose resources are ids, and whose group
+//! operands dispatch through precomputed variant tables — no string
+//! lookups remain on the cycle path.
+
+use lisa_core::ast::{
+    AssignOp, BinOp, Block, Call, DataType, Expr, Stmt, UnOp,
+};
+use lisa_core::model::{CodingTarget, Model, OpId, PipelineId, ResourceId};
+use lisa_isa::Decoded;
+
+use crate::eval::{apply_binop, apply_compound, saturate};
+use crate::{SimError, Simulator};
+
+/// Built-in functions recognised in behavior code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Builtin {
+    Sext,
+    Zext,
+    Saturate,
+    Abs,
+    Min,
+    Max,
+    Norm,
+    Print,
+    Nop,
+}
+
+impl Builtin {
+    fn from_name(name: &str) -> Option<(Builtin, usize)> {
+        Some(match name {
+            "sext" => (Builtin::Sext, 2),
+            "zext" => (Builtin::Zext, 2),
+            "saturate" => (Builtin::Saturate, 2),
+            "abs" => (Builtin::Abs, 1),
+            "min" => (Builtin::Min, 2),
+            "max" => (Builtin::Max, 2),
+            "norm" => (Builtin::Norm, 2),
+            "print" => (Builtin::Print, 1),
+            "nop" => (Builtin::Nop, 0),
+            _ => return None,
+        })
+    }
+}
+
+/// Lowered expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LExpr {
+    Const(i64),
+    Local(u16),
+    Label(u16),
+    ResScalar(ResourceId),
+    ResElem { res: ResourceId, indices: Vec<LExpr> },
+    GroupValue(u16),
+    OpRefValue(OpId),
+    Unary { op: UnOp, expr: Box<LExpr> },
+    Binary { op: BinOp, lhs: Box<LExpr>, rhs: Box<LExpr> },
+    Ternary { cond: Box<LExpr>, then_expr: Box<LExpr>, else_expr: Box<LExpr> },
+    Builtin { f: Builtin, args: Vec<LExpr> },
+}
+
+/// Lowered lvalue.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LPlace {
+    Local(u16),
+    Res { res: ResourceId, indices: Vec<LExpr> },
+    Group(u16),
+    OpRef(OpId),
+}
+
+/// Lowered pipeline intrinsic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PipeOp {
+    Shift(PipelineId),
+    Stall(PipelineId, usize),
+    Flush(PipelineId, Option<usize>),
+}
+
+/// Lowered statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum LStmt {
+    DeclLocal { slot: u16, init: Option<LExpr>, width: u32, signed: bool },
+    Assign { place: LPlace, op: AssignOp, value: LExpr },
+    IncDec { place: LPlace, delta: i64 },
+    InvokeGroup(u16),
+    InvokeOp(OpId),
+    Intrinsic(PipeOp),
+    EvalDrop(LExpr),
+    If { cond: LExpr, then_block: LBlock, else_block: LBlock },
+    While { cond: LExpr, body: LBlock },
+    DoWhile { body: LBlock, cond: LExpr },
+    For {
+        init: Option<Box<LStmt>>,
+        cond: Option<LExpr>,
+        step: Option<Box<LStmt>>,
+        body: LBlock,
+    },
+    Switch { scrutinee: LExpr, cases: Vec<(i64, LBlock)>, default: Option<LBlock> },
+    Break,
+    Continue,
+    Block(LBlock),
+}
+
+/// A lowered block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct LBlock {
+    pub stmts: Vec<LStmt>,
+}
+
+/// All lowered code for a model, indexed by flattened (operation,
+/// variant).
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledTables {
+    variant_base: Vec<usize>,
+    behaviors: Vec<Option<LBlock>>,
+    expressions: Vec<Option<LExpr>>,
+    expr_places: Vec<Option<LPlace>>,
+    locals_count: Vec<u16>,
+}
+
+impl CompiledTables {
+    #[inline]
+    pub(crate) fn slot(&self, op: OpId, variant: usize) -> usize {
+        self.variant_base[op.0] + variant
+    }
+
+    /// Lowers every operation variant of a model.
+    pub(crate) fn lower(model: &Model) -> Result<CompiledTables, SimError> {
+        let mut variant_base = Vec::with_capacity(model.operations().len());
+        let mut total = 0usize;
+        for op in model.operations() {
+            variant_base.push(total);
+            total += op.variants.len();
+        }
+        let mut tables = CompiledTables {
+            variant_base,
+            behaviors: vec![None; total],
+            expressions: vec![None; total],
+            expr_places: vec![None; total],
+            locals_count: vec![0; total],
+        };
+        for op in model.operations() {
+            for (vidx, variant) in op.variants.iter().enumerate() {
+                let idx = tables.slot(op.id, vidx);
+                let mut ctx = LowerCtx::new(model, op.id);
+                if let Some(behavior) = &variant.behavior {
+                    let block = ctx.lower_block(behavior)?;
+                    tables.behaviors[idx] = Some(block);
+                }
+                if let Some(expr) = &variant.expression {
+                    tables.expressions[idx] = Some(ctx.lower_expr(expr)?);
+                    tables.expr_places[idx] = ctx.lower_place(expr).ok();
+                }
+                tables.locals_count[idx] = ctx.max_slots;
+            }
+        }
+        Ok(tables)
+    }
+}
+
+/// Name-resolution context while lowering one operation.
+struct LowerCtx<'m> {
+    model: &'m Model,
+    op: OpId,
+    locals: Vec<String>,
+    scopes: Vec<usize>,
+    max_slots: u16,
+}
+
+impl<'m> LowerCtx<'m> {
+    fn new(model: &'m Model, op: OpId) -> Self {
+        LowerCtx { model, op, locals: Vec::new(), scopes: Vec::new(), max_slots: 0 }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(self.locals.len());
+    }
+
+    fn pop_scope(&mut self) {
+        let mark = self.scopes.pop().unwrap_or(0);
+        self.locals.truncate(mark);
+    }
+
+    fn declare(&mut self, name: &str) -> u16 {
+        self.locals.push(name.to_owned());
+        let slot = (self.locals.len() - 1) as u16;
+        self.max_slots = self.max_slots.max(self.locals.len() as u16);
+        slot
+    }
+
+    fn local(&self, name: &str) -> Option<u16> {
+        self.locals.iter().rposition(|n| n == name).map(|i| i as u16)
+    }
+
+    fn unknown(&self, name: &str) -> SimError {
+        SimError::UnknownName {
+            name: name.to_owned(),
+            operation: self.model.operation(self.op).name.clone(),
+        }
+    }
+
+    fn lower_block(&mut self, block: &Block) -> Result<LBlock, SimError> {
+        self.push_scope();
+        let stmts = block
+            .stmts
+            .iter()
+            .map(|s| self.lower_stmt(s))
+            .collect::<Result<Vec<_>, _>>();
+        self.pop_scope();
+        Ok(LBlock { stmts: stmts? })
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<LStmt, SimError> {
+        Ok(match stmt {
+            Stmt::Local { ty, name, init } => {
+                let init = init.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                let slot = self.declare(&name.name);
+                let width = width_of(*ty);
+                LStmt::DeclLocal { slot, init, width, signed: ty.is_signed() }
+            }
+            Stmt::Assign { target, op, value } => {
+                let value = self.lower_expr(value)?;
+                let place = self.lower_place(target)?;
+                LStmt::Assign { place, op: *op, value }
+            }
+            Stmt::IncDec { target, delta } => {
+                LStmt::IncDec { place: self.lower_place(target)?, delta: *delta }
+            }
+            Stmt::Expr(expr) => self.lower_effect(expr)?,
+            Stmt::If { cond, then_block, else_block } => LStmt::If {
+                cond: self.lower_expr(cond)?,
+                then_block: self.lower_block(then_block)?,
+                else_block: self.lower_block(else_block)?,
+            },
+            Stmt::While { cond, body } => LStmt::While {
+                cond: self.lower_expr(cond)?,
+                body: self.lower_block(body)?,
+            },
+            Stmt::DoWhile { body, cond } => LStmt::DoWhile {
+                body: self.lower_block(body)?,
+                cond: self.lower_expr(cond)?,
+            },
+            Stmt::For { init, cond, step, body } => {
+                self.push_scope();
+                let init = init.as_ref().map(|s| self.lower_stmt(s)).transpose()?.map(Box::new);
+                let cond = cond.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                let step = step.as_ref().map(|s| self.lower_stmt(s)).transpose()?.map(Box::new);
+                let body = self.lower_block(body)?;
+                self.pop_scope();
+                LStmt::For { init, cond, step, body }
+            }
+            Stmt::Switch { scrutinee, cases, default } => LStmt::Switch {
+                scrutinee: self.lower_expr(scrutinee)?,
+                cases: cases
+                    .iter()
+                    .map(|(v, b)| Ok((*v, self.lower_block(b)?)))
+                    .collect::<Result<Vec<_>, SimError>>()?,
+                default: default.as_ref().map(|b| self.lower_block(b)).transpose()?,
+            },
+            Stmt::Break => LStmt::Break,
+            Stmt::Continue => LStmt::Continue,
+            Stmt::Block(b) => LStmt::Block(self.lower_block(b)?),
+        })
+    }
+
+    /// Statement-position expressions: invocations and intrinsics.
+    fn lower_effect(&mut self, expr: &Expr) -> Result<LStmt, SimError> {
+        let operation = self.model.operation(self.op);
+        match expr {
+            Expr::Name(id) => {
+                if let Some(g) = operation.group_index(&id.name) {
+                    return Ok(LStmt::InvokeGroup(g as u16));
+                }
+                if let Some(target) = self.model.operation_by_name(&id.name) {
+                    return Ok(LStmt::InvokeOp(target.id));
+                }
+                Ok(LStmt::EvalDrop(self.lower_expr(expr)?))
+            }
+            Expr::Call(call) => {
+                if let Some(pipe_op) = self.lower_intrinsic(call)? {
+                    return Ok(LStmt::Intrinsic(pipe_op));
+                }
+                if call.path.len() == 1 {
+                    let name = &call.path[0].name;
+                    if Builtin::from_name(name).is_some() {
+                        return Ok(LStmt::EvalDrop(self.lower_expr(expr)?));
+                    }
+                    if let Some(g) = operation.group_index(name) {
+                        return Ok(LStmt::InvokeGroup(g as u16));
+                    }
+                    if let Some(target) = self.model.operation_by_name(name) {
+                        return Ok(LStmt::InvokeOp(target.id));
+                    }
+                }
+                Ok(LStmt::EvalDrop(self.lower_expr(expr)?))
+            }
+            _ => Ok(LStmt::EvalDrop(self.lower_expr(expr)?)),
+        }
+    }
+
+    fn lower_intrinsic(&mut self, call: &Call) -> Result<Option<PipeOp>, SimError> {
+        let Some(first) = call.path.first() else { return Ok(None) };
+        let Some(pipeline) =
+            self.model.pipelines().iter().find(|p| p.name == first.name)
+        else {
+            return Ok(None);
+        };
+        let path_str = || {
+            call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".")
+        };
+        let op = match call.path.len() {
+            2 => match call.path[1].name.as_str() {
+                "shift" => PipeOp::Shift(pipeline.id),
+                "stall" => PipeOp::Stall(pipeline.id, pipeline.depth().saturating_sub(1)),
+                "flush" => PipeOp::Flush(pipeline.id, None),
+                _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+            },
+            3 => {
+                let sidx = pipeline
+                    .stage_index(&call.path[1].name)
+                    .ok_or_else(|| SimError::UnknownPipeline { path: path_str() })?;
+                match call.path[2].name.as_str() {
+                    "stall" => PipeOp::Stall(pipeline.id, sidx),
+                    "flush" => PipeOp::Flush(pipeline.id, Some(sidx)),
+                    _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+                }
+            }
+            _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+        };
+        Ok(Some(op))
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<LExpr, SimError> {
+        let operation = self.model.operation(self.op);
+        Ok(match expr {
+            Expr::Int(v, _) => LExpr::Const(*v),
+            Expr::Name(id) => {
+                if let Some(slot) = self.local(&id.name) {
+                    LExpr::Local(slot)
+                } else if let Some(l) = operation.label_index(&id.name) {
+                    LExpr::Label(l as u16)
+                } else if let Some(g) = operation.group_index(&id.name) {
+                    LExpr::GroupValue(g as u16)
+                } else if let Some(res) = self.model.resource_by_name(&id.name) {
+                    LExpr::ResScalar(res.id)
+                } else if let Some(target) = self.model.operation_by_name(&id.name) {
+                    LExpr::OpRefValue(target.id)
+                } else {
+                    return Err(self.unknown(&id.name));
+                }
+            }
+            Expr::Index { .. } => {
+                let (res, indices) = self.lower_indexed(expr)?;
+                LExpr::ResElem { res, indices }
+            }
+            Expr::Unary { op, expr } => {
+                LExpr::Unary { op: *op, expr: Box::new(self.lower_expr(expr)?) }
+            }
+            Expr::Binary { op, lhs, rhs } => LExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.lower_expr(lhs)?),
+                rhs: Box::new(self.lower_expr(rhs)?),
+            },
+            Expr::Ternary { cond, then_expr, else_expr } => LExpr::Ternary {
+                cond: Box::new(self.lower_expr(cond)?),
+                then_expr: Box::new(self.lower_expr(then_expr)?),
+                else_expr: Box::new(self.lower_expr(else_expr)?),
+            },
+            Expr::Call(call) => {
+                if call.path.len() == 1 {
+                    let name = &call.path[0].name;
+                    if let Some((f, expected)) = Builtin::from_name(name) {
+                        if call.args.len() != expected {
+                            return Err(SimError::BadArity {
+                                builtin: name.clone(),
+                                got: call.args.len(),
+                                expected,
+                            });
+                        }
+                        let args = call
+                            .args
+                            .iter()
+                            .map(|a| self.lower_expr(a))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        return Ok(LExpr::Builtin { f, args });
+                    }
+                    if let Some(g) = operation.group_index(name) {
+                        return Ok(LExpr::GroupValue(g as u16));
+                    }
+                    if let Some(target) = self.model.operation_by_name(name) {
+                        return Ok(LExpr::OpRefValue(target.id));
+                    }
+                }
+                return Err(SimError::UnknownCall {
+                    path: call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join("."),
+                    operation: operation.name.clone(),
+                });
+            }
+        })
+    }
+
+    fn lower_indexed(&mut self, expr: &Expr) -> Result<(ResourceId, Vec<LExpr>), SimError> {
+        let mut indices_rev = Vec::new();
+        let mut cur = expr;
+        loop {
+            match cur {
+                Expr::Index { base, index } => {
+                    indices_rev.push(self.lower_expr(index)?);
+                    cur = base;
+                }
+                Expr::Name(id) => {
+                    let res = self
+                        .model
+                        .resource_by_name(&id.name)
+                        .ok_or_else(|| self.unknown(&id.name))?;
+                    indices_rev.reverse();
+                    return Ok((res.id, indices_rev));
+                }
+                _ => {
+                    return Err(SimError::NotAnLvalue {
+                        operation: self.model.operation(self.op).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn lower_place(&mut self, expr: &Expr) -> Result<LPlace, SimError> {
+        let operation = self.model.operation(self.op);
+        Ok(match expr {
+            Expr::Name(id) => {
+                if let Some(slot) = self.local(&id.name) {
+                    LPlace::Local(slot)
+                } else if let Some(g) = operation.group_index(&id.name) {
+                    LPlace::Group(g as u16)
+                } else if let Some(res) = self.model.resource_by_name(&id.name) {
+                    LPlace::Res { res: res.id, indices: Vec::new() }
+                } else if let Some(target) = self.model.operation_by_name(&id.name) {
+                    LPlace::OpRef(target.id)
+                } else {
+                    return Err(self.unknown(&id.name));
+                }
+            }
+            Expr::Index { .. } => {
+                let (res, indices) = self.lower_indexed(expr)?;
+                LPlace::Res { res, indices }
+            }
+            _ => {
+                return Err(SimError::NotAnLvalue { operation: operation.name.clone() });
+            }
+        })
+    }
+}
+
+fn width_of(ty: DataType) -> u32 {
+    ty.width().min(64)
+}
+
+// ---------------------------------------------------------------------------
+// Execution of lowered code
+// ---------------------------------------------------------------------------
+
+/// Local-variable slots: behaviors with up to 16 locals (all bundled
+/// models) run allocation-free.
+enum LocalSlots {
+    Inline([i64; 16]),
+    Heap(Vec<i64>),
+}
+
+impl LocalSlots {
+    #[inline]
+    fn new(n: usize) -> LocalSlots {
+        if n <= 16 {
+            LocalSlots::Inline([0; 16])
+        } else {
+            LocalSlots::Heap(vec![0; n])
+        }
+    }
+
+    #[inline]
+    fn get(&self, slot: u16) -> i64 {
+        match self {
+            LocalSlots::Inline(a) => a[slot as usize],
+            LocalSlots::Heap(v) => v[slot as usize],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u16, value: i64) {
+        match self {
+            LocalSlots::Inline(a) => a[slot as usize] = value,
+            LocalSlots::Heap(v) => v[slot as usize] = value,
+        }
+    }
+}
+
+/// Runtime frame for lowered code: slot-addressed locals only.
+struct LFrame<'d> {
+    decoded: Option<&'d Decoded>,
+    op: OpId,
+    #[allow(dead_code)] // kept for diagnostics
+    variant: usize,
+    locals: LocalSlots,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+/// A resolved place at run time.
+#[derive(Debug, Clone, Copy)]
+enum RPlace {
+    Local(u16),
+    Flat { res: ResourceId, flat: usize },
+}
+
+impl Simulator<'_> {
+    /// Executes an operation's BEHAVIOR using the lowered tables.
+    pub(crate) fn exec_behavior_compiled(
+        &mut self,
+        op: OpId,
+        variant: usize,
+        decoded: Option<&Decoded>,
+    ) -> Result<(), SimError> {
+        let tables =
+            std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode has tables"));
+        let idx = tables.slot(op, variant);
+        let Some(block) = tables.behaviors[idx].as_ref() else {
+            return Ok(());
+        };
+        let n_locals = tables.locals_count[idx] as usize;
+        let mut frame = LFrame { decoded, op, variant, locals: LocalSlots::new(n_locals) };
+        self.run_lblock(block, &mut frame)?;
+        Ok(())
+    }
+
+    fn run_lblock(&mut self, block: &LBlock, frame: &mut LFrame<'_>) -> Result<Flow, SimError> {
+        for stmt in &block.stmts {
+            match self.run_lstmt(stmt, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn run_lstmt(&mut self, stmt: &LStmt, frame: &mut LFrame<'_>) -> Result<Flow, SimError> {
+        match stmt {
+            LStmt::DeclLocal { slot, init, width, signed } => {
+                let mut value = match init {
+                    Some(e) => self.eval_lexpr(e, frame)?,
+                    None => 0,
+                };
+                if *width < 64 {
+                    let wrapped = lisa_bits::Bits::from_i128_wrapped(*width, i128::from(value));
+                    value = if *signed {
+                        wrapped.to_i128() as i64
+                    } else {
+                        wrapped.to_u128() as i64
+                    };
+                }
+                frame.locals.set(*slot, value);
+                Ok(Flow::Normal)
+            }
+            LStmt::Assign { place, op, value } => {
+                let rhs = self.eval_lexpr(value, frame)?;
+                let rplace = self.resolve_place(place, frame)?;
+                let new = match op {
+                    AssignOp::Set => rhs,
+                    _ => {
+                        let old = self.read_rplace(rplace, frame)?;
+                        apply_compound(*op, old, rhs).map_err(|_| SimError::DivisionByZero {
+                            operation: self.model.operation(frame.op).name.clone(),
+                        })?
+                    }
+                };
+                self.write_rplace(rplace, new, frame)?;
+                Ok(Flow::Normal)
+            }
+            LStmt::IncDec { place, delta } => {
+                let rplace = self.resolve_place(place, frame)?;
+                let old = self.read_rplace(rplace, frame)?;
+                self.write_rplace(rplace, old.wrapping_add(*delta), frame)?;
+                Ok(Flow::Normal)
+            }
+            LStmt::InvokeGroup(g) => {
+                let child = frame
+                    .decoded
+                    .and_then(|d| d.group_child(self.model, *g as usize))
+                    .ok_or_else(|| {
+                        let operation = self.model.operation(frame.op);
+                        SimError::UnboundGroup {
+                            group: operation.groups[*g as usize].name.clone(),
+                            operation: operation.name.clone(),
+                        }
+                    })?;
+                self.invoke_decoded(child)?;
+                Ok(Flow::Normal)
+            }
+            LStmt::InvokeOp(target) => {
+                let bound = frame.decoded.and_then(|d| {
+                    let coding = self
+                        .model
+                        .operation(frame.op)
+                        .variants
+                        .get(d.variant)?
+                        .coding
+                        .as_ref()?;
+                    coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
+                        match (&f.target, c) {
+                            (CodingTarget::Op(o), Some(c)) if o == target => Some(&**c),
+                            _ => None,
+                        }
+                    })
+                });
+                match bound {
+                    Some(child) => self.invoke_decoded(child)?,
+                    None => self.invoke_unbound(*target)?,
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::Intrinsic(op) => {
+                self.apply_pipe_op(*op);
+                Ok(Flow::Normal)
+            }
+            LStmt::EvalDrop(e) => {
+                self.eval_lexpr(e, frame)?;
+                Ok(Flow::Normal)
+            }
+            LStmt::If { cond, then_block, else_block } => {
+                if self.eval_lexpr(cond, frame)? != 0 {
+                    self.run_lblock(then_block, frame)
+                } else {
+                    self.run_lblock(else_block, frame)
+                }
+            }
+            LStmt::While { cond, body } => {
+                while self.eval_lexpr(cond, frame)? != 0 {
+                    if self.run_lblock(body, frame)? == Flow::Break {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::DoWhile { body, cond } => {
+                loop {
+                    if self.run_lblock(body, frame)? == Flow::Break {
+                        break;
+                    }
+                    if self.eval_lexpr(cond, frame)? == 0 {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::For { init, cond, step, body } => {
+                if let Some(init) = init {
+                    self.run_lstmt(init, frame)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if self.eval_lexpr(cond, frame)? == 0 {
+                            break;
+                        }
+                    }
+                    if self.run_lblock(body, frame)? == Flow::Break {
+                        break;
+                    }
+                    if let Some(step) = step {
+                        self.run_lstmt(step, frame)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            LStmt::Switch { scrutinee, cases, default } => {
+                let value = self.eval_lexpr(scrutinee, frame)?;
+                let body = cases
+                    .iter()
+                    .find(|(v, _)| *v == value)
+                    .map(|(_, b)| b)
+                    .or(default.as_ref());
+                match body {
+                    Some(block) => match self.run_lblock(block, frame)? {
+                        Flow::Break => Ok(Flow::Normal),
+                        other => Ok(other),
+                    },
+                    None => Ok(Flow::Normal),
+                }
+            }
+            LStmt::Break => Ok(Flow::Break),
+            LStmt::Continue => Ok(Flow::Continue),
+            LStmt::Block(b) => self.run_lblock(b, frame),
+        }
+    }
+
+    fn apply_pipe_op(&mut self, op: PipeOp) {
+        // Mirror of the engine's interpretive intrinsic handling, with
+        // everything pre-resolved.
+        match op {
+            PipeOp::Shift(pid) => {
+                let stall_upto = self.pipes[pid.0].stall_upto;
+                for p in &mut self.pending {
+                    if let Some((ppid, stage)) = p.pipe {
+                        if ppid == pid
+                            && p.remaining > 0
+                            && stall_upto.is_none_or(|s| stage > s)
+                        {
+                            p.remaining -= 1;
+                        }
+                    }
+                }
+            }
+            PipeOp::Stall(pid, upto) => {
+                self.stats.stalls += 1;
+                let entry = &mut self.pipes[pid.0].stall_upto;
+                *entry = Some(entry.map_or(upto, |prev| prev.max(upto)));
+            }
+            PipeOp::Flush(pid, upto) => {
+                self.stats.flushes += 1;
+                self.pending.retain(|p| match p.pipe {
+                    Some((ppid, stage)) if ppid == pid => match upto {
+                        None => false,
+                        Some(s) => stage > s,
+                    },
+                    _ => true,
+                });
+            }
+        }
+    }
+
+    fn eval_lexpr(&mut self, expr: &LExpr, frame: &mut LFrame<'_>) -> Result<i64, SimError> {
+        Ok(match expr {
+            LExpr::Const(v) => *v,
+            LExpr::Local(slot) => frame.locals.get(*slot),
+            LExpr::Label(l) => frame
+                .decoded
+                .map(|d| d.labels.get(*l as usize).copied().unwrap_or(0))
+                .unwrap_or(0) as i64,
+            LExpr::ResScalar(res) => {
+                self.state.read_flat(*res, 0).unwrap_or(0)
+            }
+            LExpr::ResElem { res, indices } => {
+                let flat = self.flat_of(*res, indices, frame)?;
+                self.state.read_flat(*res, flat).ok_or_else(|| {
+                    SimError::IndexOutOfBounds {
+                        resource: self.model.resource(*res).name.clone(),
+                        index: flat as i64,
+                        dim: 0,
+                    }
+                })?
+            }
+            LExpr::GroupValue(g) => {
+                let child = frame
+                    .decoded
+                    .and_then(|d| d.group_child(self.model, *g as usize))
+                    .ok_or_else(|| {
+                        let operation = self.model.operation(frame.op);
+                        SimError::UnboundGroup {
+                            group: operation.groups[*g as usize].name.clone(),
+                            operation: operation.name.clone(),
+                        }
+                    })?;
+                self.eval_child_expression(child)?
+            }
+            LExpr::OpRefValue(target) => {
+                let child = frame
+                    .decoded
+                    .and_then(|d| {
+                        let coding = self
+                            .model
+                            .operation(frame.op)
+                            .variants
+                            .get(d.variant)?
+                            .coding
+                            .as_ref()?;
+                        coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
+                            match (&f.target, c) {
+                                (CodingTarget::Op(o), Some(c)) if o == target => Some(&**c),
+                                _ => None,
+                            }
+                        })
+                    })
+                    .ok_or_else(|| SimError::UnboundGroup {
+                        group: self.model.operation(*target).name.clone(),
+                        operation: self.model.operation(frame.op).name.clone(),
+                    })?;
+                self.eval_child_expression(child)?
+            }
+            LExpr::Unary { op, expr } => {
+                let v = self.eval_lexpr(expr, frame)?;
+                match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                    UnOp::BitNot => !v,
+                }
+            }
+            LExpr::Binary { op, lhs, rhs } => {
+                match op {
+                    BinOp::LogAnd => {
+                        let l = self.eval_lexpr(lhs, frame)?;
+                        if l == 0 {
+                            return Ok(0);
+                        }
+                        return Ok(i64::from(self.eval_lexpr(rhs, frame)? != 0));
+                    }
+                    BinOp::LogOr => {
+                        let l = self.eval_lexpr(lhs, frame)?;
+                        if l != 0 {
+                            return Ok(1);
+                        }
+                        return Ok(i64::from(self.eval_lexpr(rhs, frame)? != 0));
+                    }
+                    _ => {}
+                }
+                let l = self.eval_lexpr(lhs, frame)?;
+                let r = self.eval_lexpr(rhs, frame)?;
+                apply_binop(*op, l, r).map_err(|_| SimError::DivisionByZero {
+                    operation: self.model.operation(frame.op).name.clone(),
+                })?
+            }
+            LExpr::Ternary { cond, then_expr, else_expr } => {
+                if self.eval_lexpr(cond, frame)? != 0 {
+                    self.eval_lexpr(then_expr, frame)?
+                } else {
+                    self.eval_lexpr(else_expr, frame)?
+                }
+            }
+            LExpr::Builtin { f, args } => {
+                let mut vals = [0i64; 2];
+                for (i, a) in args.iter().enumerate().take(2) {
+                    vals[i] = self.eval_lexpr(a, frame)?;
+                }
+                match f {
+                    Builtin::Sext => {
+                        let w = vals[1].clamp(1, 64) as u32;
+                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_i128()
+                            as i64
+                    }
+                    Builtin::Zext => {
+                        let w = vals[1].clamp(1, 64) as u32;
+                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_u128()
+                            as i64
+                    }
+                    Builtin::Saturate => saturate(vals[0], vals[1].clamp(1, 64) as u32),
+                    Builtin::Abs => vals[0].wrapping_abs(),
+                    Builtin::Min => vals[0].min(vals[1]),
+                    Builtin::Max => vals[0].max(vals[1]),
+                    Builtin::Norm => {
+                        let w = vals[1].clamp(1, 64) as u32;
+                        i64::from(
+                            lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).norm(),
+                        )
+                    }
+                    Builtin::Print => {
+                        let v = vals[0];
+                        let op_name = self.model.operation(frame.op).name.clone();
+                        self.trace_event(|| format!("print {v} (from {op_name})"));
+                        v
+                    }
+                    Builtin::Nop => 0,
+                }
+            }
+        })
+    }
+
+    /// Evaluates an operand child's lowered EXPRESSION (falling back to
+    /// its sole label for immediates).
+    fn eval_child_expression(&mut self, child: &Decoded) -> Result<i64, SimError> {
+        let tables = std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode"));
+        let idx = tables.slot(child.op, child.variant);
+        match tables.expressions[idx].as_ref() {
+            Some(expr) => {
+                let n_locals = tables.locals_count[idx] as usize;
+                let mut child_frame = LFrame {
+                    decoded: Some(child),
+                    op: child.op,
+                    variant: child.variant,
+                    locals: LocalSlots::new(n_locals),
+                };
+                self.eval_lexpr(expr, &mut child_frame)
+            }
+            None => {
+                let operation = self.model.operation(child.op);
+                if operation.labels.len() == 1 {
+                    Ok(child.labels[0] as i64)
+                } else {
+                    Err(SimError::UnknownName {
+                        name: format!("<expression of {}>", operation.name),
+                        operation: operation.name.clone(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn flat_of(
+        &mut self,
+        res: ResourceId,
+        indices: &[LExpr],
+        frame: &mut LFrame<'_>,
+    ) -> Result<usize, SimError> {
+        // Stack-allocated fast path: all bundled models use at most two
+        // dimensions; the cycle loop must not allocate per access.
+        let mut buf = [0i64; 4];
+        if indices.len() <= 4 {
+            for (i, e) in indices.iter().enumerate() {
+                buf[i] = self.eval_lexpr(e, frame)?;
+            }
+            return self
+                .state
+                .flatten_indices(self.model.resource(res), &buf[..indices.len()]);
+        }
+        let mut vals = Vec::with_capacity(indices.len());
+        for e in indices {
+            vals.push(self.eval_lexpr(e, frame)?);
+        }
+        self.state.flatten_indices(self.model.resource(res), &vals)
+    }
+
+    fn resolve_place(
+        &mut self,
+        place: &LPlace,
+        frame: &mut LFrame<'_>,
+    ) -> Result<RPlace, SimError> {
+        Ok(match place {
+            LPlace::Local(slot) => RPlace::Local(*slot),
+            LPlace::Res { res, indices } => {
+                let flat = self.flat_of(*res, indices, frame)?;
+                RPlace::Flat { res: *res, flat }
+            }
+            LPlace::Group(g) => {
+                let child = frame
+                    .decoded
+                    .and_then(|d| d.group_child(self.model, *g as usize))
+                    .ok_or_else(|| {
+                        let operation = self.model.operation(frame.op);
+                        SimError::UnboundGroup {
+                            group: operation.groups[*g as usize].name.clone(),
+                            operation: operation.name.clone(),
+                        }
+                    })?;
+                self.child_place(child)?
+            }
+            LPlace::OpRef(target) => {
+                let child = frame
+                    .decoded
+                    .and_then(|d| {
+                        let coding = self
+                            .model
+                            .operation(frame.op)
+                            .variants
+                            .get(d.variant)?
+                            .coding
+                            .as_ref()?;
+                        coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
+                            match (&f.target, c) {
+                                (CodingTarget::Op(o), Some(c)) if o == target => Some(&**c),
+                                _ => None,
+                            }
+                        })
+                    })
+                    .ok_or_else(|| SimError::NotAnLvalue {
+                        operation: self.model.operation(frame.op).name.clone(),
+                    })?;
+                self.child_place(child)?
+            }
+        })
+    }
+
+    /// Resolves an operand child's lowered EXPRESSION as a place.
+    fn child_place(&mut self, child: &Decoded) -> Result<RPlace, SimError> {
+        let tables = std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode"));
+        let idx = tables.slot(child.op, child.variant);
+        let place = tables.expr_places[idx].as_ref().ok_or_else(|| SimError::NotAnLvalue {
+            operation: self.model.operation(child.op).name.clone(),
+        })?;
+        let n_locals = tables.locals_count[idx] as usize;
+        let mut child_frame = LFrame {
+            decoded: Some(child),
+            op: child.op,
+            variant: child.variant,
+            locals: LocalSlots::new(n_locals),
+        };
+        match self.resolve_place(place, &mut child_frame)? {
+            RPlace::Flat { res, flat } => Ok(RPlace::Flat { res, flat }),
+            RPlace::Local(_) => Err(SimError::NotAnLvalue {
+                operation: self.model.operation(child.op).name.clone(),
+            }),
+        }
+    }
+
+    fn read_rplace(&self, place: RPlace, frame: &LFrame<'_>) -> Result<i64, SimError> {
+        match place {
+            RPlace::Local(slot) => Ok(frame.locals.get(slot)),
+            RPlace::Flat { res, flat } => {
+                self.state.read_flat(res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
+                    resource: self.model.resource(res).name.clone(),
+                    index: flat as i64,
+                    dim: 0,
+                })
+            }
+        }
+    }
+
+    fn write_rplace(
+        &mut self,
+        place: RPlace,
+        value: i64,
+        frame: &mut LFrame<'_>,
+    ) -> Result<(), SimError> {
+        match place {
+            RPlace::Local(slot) => {
+                frame.locals.set(slot, value);
+                Ok(())
+            }
+            RPlace::Flat { res, flat } => {
+                if self.trace_enabled {
+                    let name = self.model.resource(res).name.clone();
+                    self.trace_event(|| format!("write {name}[{flat}] = {value}"));
+                }
+                if self.state.write_flat(res, flat, value) {
+                    Ok(())
+                } else {
+                    Err(SimError::IndexOutOfBounds {
+                        resource: self.model.resource(res).name.clone(),
+                        index: flat as i64,
+                        dim: 0,
+                    })
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! The generic pipeline engine and control-step loop.
+//!
+//! LISA "assumes all operations to be executed synchronously to control
+//! steps" (paper §3.2.3). Each control step the engine:
+//!
+//! 1. executes the `main` operation (the cycle driver, paper Example 5),
+//! 2. executes every pending activation whose delay reached zero, in
+//!    activation (FIFO) order,
+//! 3. advances non-pipelined delayed activations by one control step.
+//!
+//! Pipelined activations advance only when their pipeline **shifts**
+//! (`pipe.shift()`), are held by **stalls** (`pipe.stall()`,
+//! `pipe.stage.stall()` — holds the stages up to and including the named
+//! stage), and are discarded by **flushes** (`pipe.flush()`,
+//! `pipe.stage.flush()`). The activation delay of an operation equals its
+//! *spatial distance* in the pipeline (stage index difference) plus one
+//! per `;` separator in the `ACTIVATION` list.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lisa_bits::Bits;
+use lisa_core::model::{Model, OpId, PipelineId};
+use lisa_isa::{Decoded, Decoder};
+
+use crate::compiled::CompiledTables;
+use crate::{SimError, SimStats, State};
+
+/// An operation instance scheduled for execution: the operation plus its
+/// operand binding (the decoded subtree), if any.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecItem {
+    pub op: OpId,
+    pub decoded: Option<Arc<Decoded>>,
+}
+
+/// A delayed activation waiting in the schedule.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub item: ExecItem,
+    /// Target pipeline and stage when the operation is pipelined.
+    pub pipe: Option<(PipelineId, usize)>,
+    /// Shifts (pipelined) or control steps (non-pipelined) to go.
+    pub remaining: u32,
+    /// FIFO tiebreaker.
+    pub seq: u64,
+}
+
+/// Per-pipeline per-step control state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PipeState {
+    /// Stages `0..=stall_upto` are held this control step.
+    pub stall_upto: Option<usize>,
+}
+
+/// Execution backend: the paper's two simulation techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Interpretive simulation: every decode-root execution re-decodes the
+    /// instruction word, and behaviors are evaluated directly on the AST
+    /// with name-based resolution.
+    Interpretive,
+    /// Compiled simulation (paper §3.3): instruction words are decoded at
+    /// most once (pre-decoded from program memory or memoised) and
+    /// behaviors run as pre-lowered, slot-resolved code.
+    Compiled,
+}
+
+/// A cycle-accurate simulator generated from a LISA model.
+///
+/// # Examples
+///
+/// ```
+/// use lisa_core::Model;
+/// use lisa_sim::{SimMode, Simulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = Model::from_source(r#"
+///     RESOURCE { PROGRAM_COUNTER int pc; REGISTER int r0; }
+///     OPERATION main {
+///         BEHAVIOR { r0 = r0 + 2; pc = pc + 1; }
+///     }
+/// "#)?;
+/// let mut sim = Simulator::new(&model, SimMode::Interpretive)?;
+/// sim.run(10)?;
+/// let r0 = model.resource_by_name("r0").expect("r0 exists");
+/// assert_eq!(sim.state().read_int(r0, &[])?, 20);
+/// assert_eq!(sim.stats().cycles, 10);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator<'m> {
+    pub(crate) model: &'m Model,
+    pub(crate) decoder: Option<Decoder<'m>>,
+    pub(crate) state: State,
+    pub(crate) pipes: Vec<PipeState>,
+    pub(crate) pending: Vec<Pending>,
+    pub(crate) stats: SimStats,
+    pub(crate) mode: SimMode,
+    pub(crate) decode_cache: HashMap<u128, Arc<Decoded>>,
+    pub(crate) compiled: Option<std::sync::Arc<CompiledTables>>,
+    pub(crate) seq: u64,
+    pub(crate) trace_enabled: bool,
+    pub(crate) trace: Vec<String>,
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    /// A concise summary (mode, cycle count, schedule depth) — the full
+    /// architectural state is available through [`Simulator::state`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("mode", &self.mode)
+            .field("cycles", &self.stats.cycles)
+            .field("in_flight", &self.pending.len())
+            .field("decode_cache", &self.decode_cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator over zeroed state.
+    ///
+    /// In [`SimMode::Compiled`], behaviors, expressions and activations
+    /// are lowered to slot-resolved code up front (part of the paper's
+    /// simulator-generation step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors for compiled mode (e.g. names that can
+    /// never resolve).
+    pub fn new(model: &'m Model, mode: SimMode) -> Result<Simulator<'m>, SimError> {
+        let decoder = Decoder::new(model).ok();
+        let compiled = match mode {
+            SimMode::Interpretive => None,
+            SimMode::Compiled => Some(std::sync::Arc::new(CompiledTables::lower(model)?)),
+        };
+        Ok(Simulator {
+            model,
+            decoder,
+            state: State::new(model),
+            pipes: vec![PipeState::default(); model.pipelines().len()],
+            pending: Vec::new(),
+            stats: SimStats::default(),
+            mode,
+            decode_cache: HashMap::new(),
+            compiled,
+            seq: 0,
+            trace_enabled: false,
+            trace: Vec::new(),
+        })
+    }
+
+    /// The model being simulated.
+    #[must_use]
+    pub fn model(&self) -> &'m Model {
+        self.model
+    }
+
+    /// The execution backend in use.
+    #[must_use]
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
+    /// Read access to the architectural state.
+    #[must_use]
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Mutable access to the architectural state (for loading programs and
+    /// data).
+    pub fn state_mut(&mut self) -> &mut State {
+        &mut self.state
+    }
+
+    /// Accumulated execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Enables or disables the execution trace.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// Takes the accumulated trace lines.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+
+    pub(crate) fn trace_event(&mut self, text: impl FnOnce() -> String) {
+        if self.trace_enabled {
+            let line = format!("[{}] {}", self.stats.cycles, text());
+            self.trace.push(line);
+        }
+    }
+
+    /// Pre-decodes every word of all `PROGRAM_MEMORY` resources into the
+    /// decode cache — the translate-time part of compiled simulation.
+    /// Words that do not decode are skipped (data in program memory).
+    ///
+    /// Returns the number of distinct words pre-decoded.
+    pub fn predecode_program_memory(&mut self) -> usize {
+        use lisa_core::ast::ResourceClass;
+        let Some(decoder) = &self.decoder else { return 0 };
+        let mut added = 0;
+        for res in self.model.resources() {
+            if res.class != ResourceClass::ProgramMemory {
+                continue;
+            }
+            for flat in 0..self.state.element_count(res.id) {
+                let Some(raw) = self.state.read_flat(res.id, flat) else { continue };
+                let word = raw as u64 as u128;
+                if self.decode_cache.contains_key(&word) {
+                    continue;
+                }
+                if let Ok(decoded) = decoder.decode(word) {
+                    self.decode_cache.insert(word, Arc::new(decoded));
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Decodes an instruction word, through the cache in compiled mode.
+    pub(crate) fn decode_word(&mut self, word: u128) -> Result<Arc<Decoded>, SimError> {
+        self.stats.decodes += 1;
+        match self.mode {
+            SimMode::Compiled => {
+                if let Some(hit) = self.decode_cache.get(&word) {
+                    self.stats.decode_cache_hits += 1;
+                    return Ok(Arc::clone(hit));
+                }
+                let decoder = self.decoder.as_ref().ok_or(SimError::Decode(
+                    lisa_isa::IsaError::NoDecodeRoot,
+                ))?;
+                let decoded = Arc::new(decoder.decode(word)?);
+                self.decode_cache.insert(word, Arc::clone(&decoded));
+                Ok(decoded)
+            }
+            SimMode::Interpretive => {
+                let decoder = self.decoder.as_ref().ok_or(SimError::Decode(
+                    lisa_isa::IsaError::NoDecodeRoot,
+                ))?;
+                Ok(Arc::new(decoder.decode(word)?))
+            }
+        }
+    }
+
+    /// Executes one control step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates behavior-evaluation errors ([`SimError`]); the step is
+    /// partially applied when an error is returned.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        for pipe in &mut self.pipes {
+            pipe.stall_upto = None;
+        }
+
+        // Ready list: `main` first (the cycle driver), then matured
+        // pendings in FIFO order.
+        let mut ready: Vec<ExecItem> = Vec::new();
+        if let Some(main) = self.model.main_op() {
+            ready.push(ExecItem { op: main, decoded: None });
+        }
+        let mut matured: Vec<Pending> = Vec::new();
+        self.pending.retain_mut(|p| {
+            if p.remaining == 0 {
+                matured.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        matured.sort_by_key(|p| p.seq);
+        ready.extend(matured.into_iter().map(|p| p.item));
+
+        let mut i = 0;
+        while i < ready.len() {
+            let item = ready[i].clone();
+            i += 1;
+            // A stalled stage holds its operation: re-queue for the next
+            // control step instead of executing (`pipe.stage.stall()`
+            // freezes that stage and everything upstream of it).
+            if let Some((pid, stage)) = self.model.operation(item.op).stage {
+                if self.pipes[pid.0].stall_upto.is_some_and(|s| stage <= s) {
+                    self.seq += 1;
+                    self.pending.push(Pending {
+                        item,
+                        pipe: Some((pid, stage)),
+                        remaining: 0,
+                        seq: self.seq,
+                    });
+                    continue;
+                }
+            }
+            self.execute_item(&item, &mut ready)?;
+        }
+
+        // Advance non-pipelined delayed activations; pipelined ones only
+        // advance on `shift()`.
+        for p in &mut self.pending {
+            if p.pipe.is_none() && p.remaining > 0 {
+                p.remaining -= 1;
+            }
+        }
+
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    /// Runs `steps` control steps.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing step.
+    pub fn run(&mut self, steps: u64) -> Result<(), SimError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `halted` returns true (checked after each step), up to
+    /// `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimit`] if the budget is exhausted first.
+    pub fn run_until(
+        &mut self,
+        mut halted: impl FnMut(&State) -> bool,
+        max_steps: u64,
+    ) -> Result<u64, SimError> {
+        let start = self.stats.cycles;
+        for _ in 0..max_steps {
+            self.step()?;
+            if halted(&self.state) {
+                return Ok(self.stats.cycles - start);
+            }
+        }
+        Err(SimError::StepLimit { limit: max_steps })
+    }
+
+    /// Executes one scheduled item: behavior, then activation.
+    fn execute_item(
+        &mut self,
+        item: &ExecItem,
+        ready: &mut Vec<ExecItem>,
+    ) -> Result<(), SimError> {
+        self.stats.executed_ops += 1;
+        let operation = self.model.operation(item.op);
+
+        // Decode-root operations fetch their binding from the compared
+        // resource ("the coding sequences of all defined operations must be
+        // compared to the actual value of the current instruction word").
+        let decoded: Option<Arc<Decoded>> = match (&item.decoded, operation.decode_root) {
+            (Some(d), _) => Some(Arc::clone(d)),
+            (None, Some(root_res)) => {
+                let word = self.state.scalar(root_res).to_u128();
+                Some(self.decode_word(word)?)
+            }
+            (None, None) => None,
+        };
+
+        let variant = match &decoded {
+            Some(d) if d.op == item.op => d.variant,
+            _ => {
+                // No binding: select the default (guard-free) variant.
+                let choices = vec![None; operation.groups.len()];
+                operation
+                    .variants
+                    .iter()
+                    .position(|v| v.matches(&choices))
+                    .unwrap_or(0)
+            }
+        };
+
+        self.trace_event(|| format!("exec {}", operation.name));
+
+        match self.mode {
+            SimMode::Interpretive => {
+                self.exec_behavior_interp(item.op, variant, decoded.as_deref())?;
+            }
+            SimMode::Compiled => {
+                self.exec_behavior_compiled(item.op, variant, decoded.as_deref())?;
+            }
+        }
+
+        self.run_activation(item.op, variant, decoded.as_deref(), ready)?;
+        Ok(())
+    }
+
+    /// Runs the ACTIVATION section of an operation (shared by both
+    /// backends; condition expressions are evaluated interpretively — they
+    /// are tiny and run against resources).
+    fn run_activation(
+        &mut self,
+        op: OpId,
+        variant: usize,
+        decoded: Option<&Decoded>,
+        ready: &mut Vec<ExecItem>,
+    ) -> Result<(), SimError> {
+        let operation = self.model.operation(op);
+        let Some(activation) = operation.variants[variant].activation.as_ref() else {
+            return Ok(());
+        };
+        self.run_act_nodes(activation, op, variant, decoded, ready)
+    }
+
+    pub(crate) fn run_act_nodes(
+        &mut self,
+        nodes: &[lisa_core::ast::ActNode],
+        op: OpId,
+        variant: usize,
+        decoded: Option<&Decoded>,
+        ready: &mut Vec<ExecItem>,
+    ) -> Result<(), SimError> {
+        use lisa_core::ast::ActNode;
+        for node in nodes {
+            match node {
+                ActNode::Activate { name, delay } => {
+                    self.activate_name(&name.name, *delay, op, decoded, ready)?;
+                }
+                ActNode::Call { call, delay } => {
+                    // Pipeline intrinsics act immediately regardless of
+                    // delay 0 (stall/flush/shift are control operations);
+                    // operation calls schedule like activations.
+                    if self.try_pipe_intrinsic(call)? {
+                        continue;
+                    }
+                    let target = call.path.first().map(|p| p.name.clone()).unwrap_or_default();
+                    self.activate_name(&target, *delay, op, decoded, ready)?;
+                }
+                ActNode::If { cond, then_items, else_items, .. } => {
+                    let value = self.eval_condition(cond, op, variant, decoded)?;
+                    let branch = if value != 0 { then_items } else { else_items };
+                    self.run_act_nodes(branch, op, variant, decoded, ready)?;
+                }
+                ActNode::Switch { scrutinee, cases, default, .. } => {
+                    let value = self.eval_condition(scrutinee, op, variant, decoded)?;
+                    let body = cases
+                        .iter()
+                        .find(|(v, _)| *v == value)
+                        .map(|(_, b)| b)
+                        .unwrap_or(default);
+                    self.run_act_nodes(body, op, variant, decoded, ready)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves an activation target name (group of the current operation,
+    /// then operation by name) and schedules it.
+    fn activate_name(
+        &mut self,
+        name: &str,
+        extra_delay: u32,
+        from_op: OpId,
+        decoded: Option<&Decoded>,
+        ready: &mut Vec<ExecItem>,
+    ) -> Result<(), SimError> {
+        let operation = self.model.operation(from_op);
+        let item = if let Some(gidx) = operation.group_index(name) {
+            let child = decoded
+                .and_then(|d| d.group_child_rc(self.model, gidx))
+                .ok_or_else(|| SimError::UnboundGroup {
+                    group: name.to_owned(),
+                    operation: operation.name.clone(),
+                })?;
+            ExecItem { op: child.op, decoded: Some(child) }
+        } else if let Some(target) = self.model.operation_by_name(name) {
+            // Direct operation activation; if the current binding has a
+            // matching op-reference child, pass it along.
+            let child = decoded.and_then(|d| {
+                let coding =
+                    self.model.operation(from_op).variants.get(d.variant)?.coding.as_ref()?;
+                coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
+                    match (&f.target, c) {
+                        (lisa_core::model::CodingTarget::Op(o), Some(c))
+                            if *o == target.id =>
+                        {
+                            Some(Arc::clone(c))
+                        }
+                        _ => None,
+                    }
+                })
+            });
+            ExecItem { op: target.id, decoded: child }
+        } else {
+            return Err(SimError::UnknownActivation {
+                name: name.to_owned(),
+                operation: operation.name.clone(),
+            });
+        };
+
+        self.stats.activations += 1;
+        let target_stage = self.model.operation(item.op).stage;
+        let from_stage = operation.stage;
+        let spatial = match (from_stage, target_stage) {
+            (_, None) => 0,
+            (None, Some((_, s))) => s as u32,
+            (Some((p0, s0)), Some((p1, s1))) if p0 == p1 => s1.saturating_sub(s0) as u32,
+            (Some(_), Some((_, s1))) => s1 as u32,
+        };
+        let total = spatial + extra_delay;
+        if total == 0 {
+            ready.push(item);
+        } else {
+            self.seq += 1;
+            self.pending.push(Pending {
+                item,
+                pipe: target_stage,
+                remaining: total,
+                seq: self.seq,
+            });
+        }
+        Ok(())
+    }
+
+    /// Handles `pipe.shift()`, `pipe.stall()`, `pipe.flush()` and their
+    /// per-stage forms. Returns `false` if the call is not a pipeline
+    /// intrinsic.
+    pub(crate) fn try_pipe_intrinsic(
+        &mut self,
+        call: &lisa_core::ast::Call,
+    ) -> Result<bool, SimError> {
+        let Some(first) = call.path.first() else { return Ok(false) };
+        let Some(pipeline) =
+            self.model.pipelines().iter().find(|p| p.name == first.name)
+        else {
+            return Ok(false);
+        };
+        let pid = pipeline.id;
+        let path_str = || {
+            call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".")
+        };
+        match call.path.len() {
+            2 => {
+                let action = call.path[1].name.as_str();
+                match action {
+                    "shift" => self.pipe_shift(pid),
+                    "stall" => self.pipe_stall(pid, pipeline.depth().saturating_sub(1)),
+                    "flush" => self.pipe_flush(pid, None),
+                    _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+                }
+            }
+            3 => {
+                let stage = call.path[1].name.as_str();
+                let sidx = pipeline
+                    .stage_index(stage)
+                    .ok_or_else(|| SimError::UnknownPipeline { path: path_str() })?;
+                let action = call.path[2].name.as_str();
+                match action {
+                    "stall" => self.pipe_stall(pid, sidx),
+                    "flush" => self.pipe_flush(pid, Some(sidx)),
+                    _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+                }
+            }
+            _ => return Err(SimError::UnknownPipeline { path: path_str() }),
+        }
+        Ok(true)
+    }
+
+    /// Advances a pipeline by one stage: delayed activations bound for
+    /// non-stalled stages move one step closer to execution.
+    fn pipe_shift(&mut self, pid: PipelineId) {
+        let stall_upto = self.pipes[pid.0].stall_upto;
+        for p in &mut self.pending {
+            if let Some((ppid, stage)) = p.pipe {
+                if ppid == pid
+                    && p.remaining > 0
+                    && stall_upto.is_none_or(|s| stage > s)
+                {
+                    p.remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Requests a stall of stages `0..=upto` for the current control step.
+    fn pipe_stall(&mut self, pid: PipelineId, upto: usize) {
+        self.stats.stalls += 1;
+        let entry = &mut self.pipes[pid.0].stall_upto;
+        *entry = Some(entry.map_or(upto, |prev| prev.max(upto)));
+    }
+
+    /// Discards in-flight activations bound for stages `0..=upto` (whole
+    /// pipeline when `upto` is `None`).
+    fn pipe_flush(&mut self, pid: PipelineId, upto: Option<usize>) {
+        self.stats.flushes += 1;
+        self.pending.retain(|p| match p.pipe {
+            Some((ppid, stage)) if ppid == pid => match upto {
+                None => false,
+                Some(s) => stage > s,
+            },
+            _ => true,
+        });
+    }
+
+    /// Evaluates a small condition expression (shared by both backends).
+    fn eval_condition(
+        &mut self,
+        expr: &lisa_core::ast::Expr,
+        op: OpId,
+        variant: usize,
+        decoded: Option<&Decoded>,
+    ) -> Result<i64, SimError> {
+        let mut frame = crate::eval::Frame::new(op, variant, decoded);
+        self.eval_expr_interp(expr, &mut frame)
+    }
+
+    /// Directly injects a decoded instruction for execution this step —
+    /// used by tests and by front-ends that bypass fetch modelling.
+    pub fn execute_decoded(&mut self, decoded: &Decoded) -> Result<(), SimError> {
+        let mut ready = vec![ExecItem {
+            op: decoded.op,
+            decoded: Some(Arc::new(decoded.clone())),
+        }];
+        let mut i = 0;
+        while i < ready.len() {
+            let item = ready[i].clone();
+            self.execute_item(&item, &mut ready)?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of delayed activations currently in flight (diagnostics).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Writes a program image (words) into a `PROGRAM_MEMORY` resource
+    /// starting at its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns addressing errors if the image exceeds the memory.
+    pub fn load_program(
+        &mut self,
+        memory: &str,
+        words: &[u128],
+    ) -> Result<(), SimError> {
+        let res = self.model.resource_by_name(memory).ok_or_else(|| {
+            SimError::UnknownName { name: memory.to_owned(), operation: "<loader>".into() }
+        })?;
+        let base = res.dims.first().map_or(0, |d| d.base()) as i64;
+        let res = res.clone();
+        for (i, &word) in words.iter().enumerate() {
+            let value = Bits::from_u128_wrapped(res.ty.width(), word);
+            self.state.write(&res, &[base + i as i64], value)?;
+        }
+        Ok(())
+    }
+}

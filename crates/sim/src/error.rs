@@ -1,0 +1,167 @@
+//! Runtime errors of the generated simulators.
+
+use std::error::Error;
+use std::fmt;
+
+use lisa_isa::IsaError;
+
+/// An error raised while simulating a LISA model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A name used in behavior code resolves to nothing (no local, label,
+    /// group, operation or resource).
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+        /// The operation whose behavior was executing.
+        operation: String,
+    },
+    /// An assignment target is not an lvalue (e.g. a literal or a group
+    /// whose member has no expression).
+    NotAnLvalue {
+        /// The operation whose behavior was executing.
+        operation: String,
+    },
+    /// An array/memory access is out of bounds.
+    IndexOutOfBounds {
+        /// The resource name.
+        resource: String,
+        /// The offending index.
+        index: i64,
+        /// The dimension addressed.
+        dim: usize,
+    },
+    /// Wrong number of indices for a resource access.
+    WrongArity {
+        /// The resource name.
+        resource: String,
+        /// Indices supplied.
+        got: usize,
+        /// Dimensions declared.
+        expected: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// The operation whose behavior was executing.
+        operation: String,
+    },
+    /// A call target is neither a builtin, an intrinsic, nor a known
+    /// operation/group.
+    UnknownCall {
+        /// The dotted call path.
+        path: String,
+        /// The operation whose behavior was executing.
+        operation: String,
+    },
+    /// A pipeline intrinsic named an unknown pipeline or stage.
+    UnknownPipeline {
+        /// The dotted path used.
+        path: String,
+    },
+    /// Wrong number of arguments to a builtin.
+    BadArity {
+        /// The builtin name.
+        builtin: String,
+        /// Arguments supplied.
+        got: usize,
+        /// Arguments expected.
+        expected: usize,
+    },
+    /// Decoding failed while executing a decode-root operation.
+    Decode(IsaError),
+    /// The model has no `main` operation to drive control steps.
+    NoMain,
+    /// An activation named something that is neither a group, an
+    /// operation, nor resolvable in context.
+    UnknownActivation {
+        /// The name.
+        name: String,
+        /// The activating operation.
+        operation: String,
+    },
+    /// Execution exceeded the configured step budget
+    /// ([`crate::Simulator::run_until`]).
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A group operand was used in behavior code, but the instruction
+    /// word did not bind that group (no coding field).
+    UnboundGroup {
+        /// The group name.
+        group: String,
+        /// The operation whose behavior was executing.
+        operation: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownName { name, operation } => {
+                write!(f, "unknown name `{name}` in behavior of `{operation}`")
+            }
+            SimError::NotAnLvalue { operation } => {
+                write!(f, "assignment target in `{operation}` is not an lvalue")
+            }
+            SimError::IndexOutOfBounds { resource, index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim} of `{resource}`")
+            }
+            SimError::WrongArity { resource, got, expected } => {
+                write!(f, "`{resource}` needs {expected} indices, got {got}")
+            }
+            SimError::DivisionByZero { operation } => {
+                write!(f, "division by zero in `{operation}`")
+            }
+            SimError::UnknownCall { path, operation } => {
+                write!(f, "unknown call `{path}` in `{operation}`")
+            }
+            SimError::UnknownPipeline { path } => {
+                write!(f, "unknown pipeline or stage in `{path}`")
+            }
+            SimError::BadArity { builtin, got, expected } => {
+                write!(f, "builtin `{builtin}` takes {expected} arguments, got {got}")
+            }
+            SimError::Decode(e) => write!(f, "decode failed: {e}"),
+            SimError::NoMain => write!(f, "model has no `main` operation"),
+            SimError::UnknownActivation { name, operation } => {
+                write!(f, "activation of unknown `{name}` from `{operation}`")
+            }
+            SimError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} control steps exceeded")
+            }
+            SimError::UnboundGroup { group, operation } => {
+                write!(f, "group `{group}` of `{operation}` is not bound by the instruction")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_display() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+        let e = SimError::IndexOutOfBounds { resource: "A".into(), index: 99, dim: 0 };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Processor state: one storage cell per declared resource element.
+//!
+//! The memory model from the `RESOURCE` section materialises here: scalars
+//! (registers, control registers, the program counter) and arrays (register
+//! files, data/program memories, banked memories) with their declared bit
+//! widths and address ranges.
+
+use lisa_bits::Bits;
+use lisa_core::ast::Dim;
+use lisa_core::model::{Model, Resource, ResourceId};
+
+use crate::SimError;
+
+/// One resource's storage.
+#[derive(Debug, Clone, PartialEq)]
+struct Storage {
+    width: u32,
+    signed: bool,
+    dims: Vec<Dim>,
+    /// Flattened row-major data; length 1 for scalars.
+    data: Vec<Bits>,
+}
+
+/// The complete architectural state of a simulated processor.
+///
+/// Values are stored bit-accurately at each resource's declared width;
+/// reads return sign- or zero-extended `i64` views matching the declared
+/// C type (`int` is signed, `bit[N]` unsigned), and writes wrap to the
+/// declared width like hardware register writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    storages: Vec<Storage>,
+}
+
+impl State {
+    /// Allocates zeroed state for all resources of a model.
+    #[must_use]
+    pub fn new(model: &Model) -> State {
+        let storages = model
+            .resources()
+            .iter()
+            .map(|r| {
+                let count = r.element_count().max(1) as usize;
+                Storage {
+                    width: r.ty.width(),
+                    signed: r.ty.is_signed(),
+                    dims: r.dims.clone(),
+                    data: vec![Bits::zero(r.ty.width()); count],
+                }
+            })
+            .collect();
+        State { storages }
+    }
+
+    /// Resets every resource to zero.
+    pub fn reset(&mut self) {
+        for s in &mut self.storages {
+            for cell in &mut s.data {
+                *cell = Bits::zero(s.width);
+            }
+        }
+    }
+
+    fn flat_index(&self, res: &Resource, indices: &[i64]) -> Result<usize, SimError> {
+        let storage = &self.storages[res.id.0];
+        if indices.len() != storage.dims.len() {
+            return Err(SimError::WrongArity {
+                resource: res.name.clone(),
+                got: indices.len(),
+                expected: storage.dims.len(),
+            });
+        }
+        let mut flat = 0usize;
+        for (d, (&idx, dim)) in indices.iter().zip(&storage.dims).enumerate() {
+            let base = dim.base() as i64;
+            let len = dim.len() as i64;
+            if idx < base || idx >= base + len {
+                return Err(SimError::IndexOutOfBounds {
+                    resource: res.name.clone(),
+                    index: idx,
+                    dim: d,
+                });
+            }
+            flat = flat * len as usize + (idx - base) as usize;
+        }
+        Ok(flat)
+    }
+
+    /// Reads a resource element as raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WrongArity`] or [`SimError::IndexOutOfBounds`]
+    /// on bad addressing (scalars take an empty index slice).
+    pub fn read(&self, res: &Resource, indices: &[i64]) -> Result<Bits, SimError> {
+        let flat = self.flat_index(res, indices)?;
+        Ok(self.storages[res.id.0].data[flat])
+    }
+
+    /// Reads a resource element as an `i64`, honouring the declared
+    /// signedness (`int` sign-extends; `bit[N]`/`unsigned` zero-extend;
+    /// 64-bit unsigned reads wrap into `i64`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`State::read`].
+    pub fn read_int(&self, res: &Resource, indices: &[i64]) -> Result<i64, SimError> {
+        let bits = self.read(res, indices)?;
+        let signed = self.storages[res.id.0].signed;
+        Ok(if signed { bits.to_i128() as i64 } else { bits.to_u128() as i64 })
+    }
+
+    /// Writes a resource element, wrapping `value` to the declared width.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`State::read`].
+    pub fn write_int(&mut self, res: &Resource, indices: &[i64], value: i64) -> Result<(), SimError> {
+        let flat = self.flat_index(res, indices)?;
+        let storage = &mut self.storages[res.id.0];
+        storage.data[flat] = Bits::from_i128_wrapped(storage.width, i128::from(value));
+        Ok(())
+    }
+
+    /// Writes raw bits (must already have the declared width).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`State::read`], plus a wrap if widths differ (the value is
+    /// resized with zero extension).
+    pub fn write(&mut self, res: &Resource, indices: &[i64], value: Bits) -> Result<(), SimError> {
+        let flat = self.flat_index(res, indices)?;
+        let storage = &mut self.storages[res.id.0];
+        storage.data[flat] = value.resize_zext(storage.width);
+        Ok(())
+    }
+
+    /// Fast unchecked-by-id scalar read (panics on arrays), used by the
+    /// engine for control resources like the instruction register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the resource is not scalar.
+    #[must_use]
+    pub fn scalar(&self, id: ResourceId) -> Bits {
+        let s = &self.storages[id.0];
+        assert!(s.dims.is_empty(), "resource is not scalar");
+        s.data[0]
+    }
+
+    /// Fast scalar write counterpart of [`State::scalar`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the resource is not scalar.
+    pub fn set_scalar(&mut self, id: ResourceId, value: Bits) {
+        let s = &mut self.storages[id.0];
+        assert!(s.dims.is_empty(), "resource is not scalar");
+        s.data[0] = value.resize_zext(s.width);
+    }
+
+    /// Direct flat read used by the compiled simulator's lowered code.
+    #[inline]
+    pub(crate) fn read_flat(&self, id: ResourceId, flat: usize) -> Option<i64> {
+        let s = self.storages.get(id.0)?;
+        let bits = s.data.get(flat)?;
+        Some(if s.signed { bits.to_i128() as i64 } else { bits.to_u128() as i64 })
+    }
+
+    /// Direct flat write used by the compiled simulator's lowered code.
+    #[inline]
+    pub(crate) fn write_flat(&mut self, id: ResourceId, flat: usize, value: i64) -> bool {
+        let Some(s) = self.storages.get_mut(id.0) else { return false };
+        let Some(cell) = s.data.get_mut(flat) else { return false };
+        *cell = Bits::from_i128_wrapped(s.width, i128::from(value));
+        true
+    }
+
+    /// Computes the flat element index for lowered code; mirrors
+    /// [`State::read`]'s addressing rules.
+    pub(crate) fn flatten_indices(
+        &self,
+        res: &Resource,
+        indices: &[i64],
+    ) -> Result<usize, SimError> {
+        self.flat_index(res, indices)
+    }
+
+    /// Number of elements stored for resource `id`.
+    #[must_use]
+    pub fn element_count(&self, id: ResourceId) -> usize {
+        self.storages[id.0].data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_core::Model;
+
+    fn model() -> Model {
+        Model::from_source(
+            r#"RESOURCE {
+                PROGRAM_COUNTER int pc;
+                REGISTER bit[48] accu;
+                REGISTER bit carry;
+                DATA_MEMORY short mem[0x10];
+                DATA_MEMORY int banked[2]([4]);
+                PROGRAM_MEMORY int prog[0x100..0x10f];
+            }"#,
+        )
+        .expect("model builds")
+    }
+
+    #[test]
+    fn scalars_read_back_written_values() {
+        let m = model();
+        let mut st = State::new(&m);
+        let pc = m.resource_by_name("pc").unwrap();
+        st.write_int(pc, &[], -5).unwrap();
+        assert_eq!(st.read_int(pc, &[]).unwrap(), -5);
+        let accu = m.resource_by_name("accu").unwrap();
+        st.write_int(accu, &[], -1).unwrap();
+        // bit[48] is unsigned: reads back as 2^48 - 1.
+        assert_eq!(st.read_int(accu, &[]).unwrap(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn short_memory_wraps_to_16_bits() {
+        let m = model();
+        let mut st = State::new(&m);
+        let mem = m.resource_by_name("mem").unwrap();
+        st.write_int(mem, &[3], 0x12345).unwrap();
+        assert_eq!(st.read_int(mem, &[3]).unwrap(), 0x2345);
+        st.write_int(mem, &[3], -1).unwrap();
+        assert_eq!(st.read_int(mem, &[3]).unwrap(), -1); // short is signed
+    }
+
+    #[test]
+    fn range_based_addressing() {
+        let m = model();
+        let mut st = State::new(&m);
+        let prog = m.resource_by_name("prog").unwrap();
+        st.write_int(prog, &[0x100], 42).unwrap();
+        st.write_int(prog, &[0x10f], 7).unwrap();
+        assert_eq!(st.read_int(prog, &[0x100]).unwrap(), 42);
+        assert_eq!(st.read_int(prog, &[0x10f]).unwrap(), 7);
+        assert!(matches!(
+            st.read(prog, &[0xff]),
+            Err(SimError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            st.read(prog, &[0x110]),
+            Err(SimError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn banked_memory_uses_two_indices() {
+        let m = model();
+        let mut st = State::new(&m);
+        let banked = m.resource_by_name("banked").unwrap();
+        st.write_int(banked, &[1, 2], 99).unwrap();
+        assert_eq!(st.read_int(banked, &[1, 2]).unwrap(), 99);
+        assert_eq!(st.read_int(banked, &[0, 2]).unwrap(), 0);
+        assert!(matches!(st.read(banked, &[1]), Err(SimError::WrongArity { .. })));
+        assert!(matches!(
+            st.read(banked, &[2, 0]),
+            Err(SimError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = model();
+        let mut st = State::new(&m);
+        let pc = m.resource_by_name("pc").unwrap();
+        st.write_int(pc, &[], 123).unwrap();
+        st.reset();
+        assert_eq!(st.read_int(pc, &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn carry_bit_is_one_bit_wide() {
+        let m = model();
+        let mut st = State::new(&m);
+        let carry = m.resource_by_name("carry").unwrap();
+        st.write_int(carry, &[], 3).unwrap();
+        assert_eq!(st.read_int(carry, &[]).unwrap(), 1); // wrapped to 1 bit
+    }
+}

@@ -1,0 +1,63 @@
+//! Simulation statistics.
+
+use std::fmt;
+
+/// Counters accumulated by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Control steps executed.
+    pub cycles: u64,
+    /// Operation executions (behavior runs), including invocations.
+    pub executed_ops: u64,
+    /// Instruction decodes requested (cache hits included).
+    pub decodes: u64,
+    /// Decodes served from the compiled-mode cache.
+    pub decode_cache_hits: u64,
+    /// Activations scheduled (delayed or same-step).
+    pub activations: u64,
+    /// Pipeline stall requests.
+    pub stalls: u64,
+    /// Pipeline flushes.
+    pub flushes: u64,
+}
+
+impl SimStats {
+    /// Fraction of decodes served from the cache (0 when none happened).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.decodes == 0 {
+            0.0
+        } else {
+            self.decode_cache_hits as f64 / self.decodes as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycles={} ops={} decodes={} (hits={}) activations={} stalls={} flushes={}",
+            self.cycles,
+            self.executed_ops,
+            self.decodes,
+            self.decode_cache_hits,
+            self.activations,
+            self.stalls,
+            self.flushes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(SimStats::default().cache_hit_rate(), 0.0);
+        let s = SimStats { decodes: 10, decode_cache_hits: 9, ..SimStats::default() };
+        assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!(s.to_string().contains("decodes=10"));
+    }
+}

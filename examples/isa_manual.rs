@@ -1,0 +1,37 @@
+//! Generates the automatic text-book ISA manuals for all bundled models
+//! (paper §1.1) and writes them under `target/manuals/`.
+//!
+//! ```sh
+//! cargo run --example isa_manual
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/manuals");
+    fs::create_dir_all(out_dir)?;
+    for (name, wb) in [
+        ("vliw62", lisa::models::vliw62::workbench()?),
+        ("accu16", lisa::models::accu16::workbench()?),
+        ("scalar2", lisa::models::scalar2::workbench()?),
+        ("tinyrisc", lisa::models::tinyrisc::workbench()?),
+    ] {
+        let manual = lisa::docgen::manual(wb.model(), name);
+        let path = out_dir.join(format!("{name}.md"));
+        fs::write(&path, &manual)?;
+        println!(
+            "{} -> {} ({} lines, {} instruction sections)",
+            name,
+            path.display(),
+            manual.lines().count(),
+            manual.matches("\n### `").count()
+        );
+    }
+    println!("\nexcerpt from vliw62.md:\n");
+    let text = fs::read_to_string(out_dir.join("vliw62.md"))?;
+    for line in text.lines().take(30) {
+        println!("  {line}");
+    }
+    Ok(())
+}

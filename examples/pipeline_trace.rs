@@ -1,0 +1,42 @@
+//! Watch the vliw62 fetch pipeline fill, stall on a multicycle NOP, and
+//! redirect on a branch — the cycle-accurate mechanisms of paper §3.2.3,
+//! via the simulator's execution trace.
+//!
+//! ```sh
+//! cargo run --example pipeline_trace
+//! ```
+
+use lisa::models::vliw62;
+use lisa::sim::SimMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wb = vliw62::workbench()?;
+    let program = lisa::asm::Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1)
+        .assemble(
+            r#"
+            MVK A2, 1
+            MVK B2, 2       ; serial packets: one dispatch per cycle
+            NOP 3           ; multicycle NOP: dispatch stalls 2 cycles
+            ADD .L A3, A2, B2
+            HALT
+            "#,
+        )?;
+    let mut sim = wb.simulator(SimMode::Interpretive)?;
+    sim.load_program("pmem", &program.words)?;
+    sim.set_trace(true);
+
+    let halt = wb.model().resource_by_name("halt").expect("halt").clone();
+    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100)?;
+
+    println!("pipeline trace (cycle in brackets; note the PG→PS→PW→PR→DP fill");
+    println!("and the Dispatch gap while the multicycle NOP stalls DP/DC):\n");
+    for line in sim.take_trace() {
+        if line.contains("exec") {
+            println!("  {line}");
+        }
+    }
+    println!("\nstats: {}", sim.stats());
+    let a = wb.model().resource_by_name("A").expect("A file");
+    assert_eq!(sim.state().read_int(a, &[3])?, 3);
+    Ok(())
+}

@@ -1,0 +1,281 @@
+//! `lisa-tool` — command-line front-end for the LISA toolchain.
+//!
+//! ```text
+//! lisa-tool check  <model>                     parse + analyse, report stats/warnings
+//! lisa-tool stats  <model>                     model complexity table (E1 metrics)
+//! lisa-tool doc    <model> [-o FILE]           generate the ISA manual
+//! lisa-tool asm    <model> <prog.s> [-o FILE]  assemble a program (listing to stdout)
+//! lisa-tool disasm <model> <image.hex>         disassemble an image
+//! lisa-tool run    <model> <prog.s> [options]  assemble + simulate to halt
+//!     --mode interp|compiled    backend (default compiled)
+//!     --max-steps N             step budget (default 1000000)
+//!     --trace                   print the execution trace
+//!     --dump RES[:N]            print a resource (first N elements) after the run
+//! ```
+//!
+//! `<model>` is a `.lisa` file path or one of the builtins `@vliw62`,
+//! `@accu16`, `@scalar2`, `@tinyrisc`. VLIW packing (`||` bars, p-bits) is enabled
+//! automatically for `@vliw62`; use `--packet N` for custom VLIW models.
+
+use std::fs;
+use std::process::ExitCode;
+
+use lisa::core::model::ModelStats;
+use lisa::core::Model;
+use lisa::sim::SimMode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("lisa-tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "check" => check(args.get(1).ok_or_else(usage)?),
+        "stats" => stats(args.get(1).ok_or_else(usage)?),
+        "doc" => doc(args.get(1).ok_or_else(usage)?, flag_value(args, "-o")),
+        "asm" => asm(
+            args.get(1).ok_or_else(usage)?,
+            args.get(2).ok_or_else(usage)?,
+            flag_value(args, "-o"),
+            packet_size(args),
+        ),
+        "disasm" => disasm(
+            args.get(1).ok_or_else(usage)?,
+            args.get(2).ok_or_else(usage)?,
+            packet_size(args),
+        ),
+        "run" => simulate(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run> <model> [...]\n\
+     model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
+     run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
+     asm/disasm options: -o FILE  --packet N"
+        .to_owned()
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Loads a model source: builtin (`@name`) or file path. Returns the
+/// source text plus default (program-memory, halt-flag, packet) settings.
+fn load_source(spec: &str) -> Result<(String, &'static str, &'static str, Option<usize>), String> {
+    match spec {
+        "@vliw62" => Ok((
+            lisa::models::vliw62::SOURCE.to_owned(),
+            "pmem",
+            "halt",
+            Some(lisa::models::vliw62::FETCH_PACKET),
+        )),
+        "@accu16" => Ok((lisa::models::accu16::SOURCE.to_owned(), "prog_mem", "halt", None)),
+        "@scalar2" => Ok((lisa::models::scalar2::SOURCE.to_owned(), "pmem", "halt", None)),
+        "@tinyrisc" => Ok((lisa::models::tinyrisc::SOURCE.to_owned(), "pmem", "halt", None)),
+        path => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model `{path}`: {e}"))?;
+            Ok((text, "pmem", "halt", None))
+        }
+    }
+}
+
+fn build_model(spec: &str) -> Result<(Model, &'static str, &'static str, Option<usize>), String> {
+    let (source, pmem, halt, packet) = load_source(spec)?;
+    let model = Model::from_source(&source).map_err(|e| e.to_string())?;
+    Ok((model, pmem, halt, packet))
+}
+
+fn packet_size(args: &[String]) -> Option<usize> {
+    flag_value(args, "--packet").and_then(|v| v.parse().ok())
+}
+
+fn check(spec: &str) -> Result<(), String> {
+    let (model, ..) = build_model(spec)?;
+    println!("ok: {} operations, {} resources", model.operations().len(), model.resources().len());
+    for warning in model.warnings() {
+        println!("warning: {warning}");
+    }
+    if model.decode_roots().is_empty() {
+        println!("note: no decode root — decoder/assembler generation will fail");
+    }
+    if model.main_op().is_none() {
+        println!("note: no `main` operation — the simulator has no cycle driver");
+    }
+    Ok(())
+}
+
+fn stats(spec: &str) -> Result<(), String> {
+    let (model, ..) = build_model(spec)?;
+    println!("{}", ModelStats::of(&model));
+    Ok(())
+}
+
+fn doc(spec: &str, out: Option<&str>) -> Result<(), String> {
+    let (model, ..) = build_model(spec)?;
+    let title = spec.trim_start_matches('@');
+    let manual = lisa::docgen::manual(&model, title);
+    match out {
+        Some(path) => {
+            fs::write(path, &manual).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {path} ({} lines)", manual.lines().count());
+        }
+        None => print!("{manual}"),
+    }
+    Ok(())
+}
+
+fn make_assembler<'m>(
+    model: &'m Model,
+    builtin_packet: Option<usize>,
+    cli_packet: Option<usize>,
+) -> lisa::asm::Assembler<'m> {
+    match cli_packet.or(builtin_packet) {
+        Some(n) => lisa::asm::Assembler::with_packet(model, n, 1),
+        None => lisa::asm::Assembler::new(model),
+    }
+}
+
+fn asm(
+    spec: &str,
+    program_path: &str,
+    out: Option<&str>,
+    cli_packet: Option<usize>,
+) -> Result<(), String> {
+    let (model, _, _, builtin_packet) = build_model(spec)?;
+    let source = fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
+    let assembler = make_assembler(&model, builtin_packet, cli_packet);
+    let program = assembler.assemble(&source).map_err(|e| e.to_string())?;
+    print!("{}", program.listing);
+    if let Some(path) = out {
+        let hex: String =
+            program.words.iter().map(|w| format!("{w:08x}\n")).collect();
+        fs::write(path, hex).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {} words to {path} (origin {:#x})", program.words.len(), program.origin);
+    }
+    Ok(())
+}
+
+fn disasm(spec: &str, image_path: &str, cli_packet: Option<usize>) -> Result<(), String> {
+    let (model, _, _, builtin_packet) = build_model(spec)?;
+    let text = fs::read_to_string(image_path)
+        .map_err(|e| format!("cannot read `{image_path}`: {e}"))?;
+    let words: Vec<u128> = text
+        .split_whitespace()
+        .map(|t| u128::from_str_radix(t.trim_start_matches("0x"), 16))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad hex word: {e}"))?;
+    let assembler = make_assembler(&model, builtin_packet, cli_packet);
+    print!("{}", assembler.disassemble_listing(&words, 0));
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let spec = args.get(1).ok_or_else(usage)?;
+    let program_path = args.get(2).ok_or_else(usage)?;
+    let (model, pmem_name, halt_name, builtin_packet) = build_model(spec)?;
+    let source = fs::read_to_string(program_path)
+        .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
+    let assembler = make_assembler(&model, builtin_packet, packet_size(args));
+    let program = assembler.assemble(&source).map_err(|e| e.to_string())?;
+
+    let mode = match flag_value(args, "--mode") {
+        Some("interp" | "interpretive") => SimMode::Interpretive,
+        Some("compiled") | None => SimMode::Compiled,
+        Some(other) => return Err(format!("unknown mode `{other}`")),
+    };
+    let max_steps: u64 = flag_value(args, "--max-steps")
+        .map(|v| v.parse().map_err(|e| format!("bad --max-steps: {e}")))
+        .transpose()?
+        .unwrap_or(1_000_000);
+
+    let mut sim =
+        lisa::sim::Simulator::new(&model, mode).map_err(|e| e.to_string())?;
+    // Load honouring the program origin.
+    let pmem = model
+        .resource_by_name(pmem_name)
+        .ok_or_else(|| format!("model has no `{pmem_name}` memory"))?
+        .clone();
+    for (i, &word) in program.words.iter().enumerate() {
+        let addr = program.origin as i64 + i as i64;
+        sim.state_mut()
+            .write(&pmem, &[addr], lisa::bits::Bits::from_u128_wrapped(pmem.ty.width(), word))
+            .map_err(|e| e.to_string())?;
+    }
+    if mode == SimMode::Compiled {
+        sim.predecode_program_memory();
+    }
+    sim.set_trace(has_flag(args, "--trace"));
+
+    let halt = model
+        .resource_by_name(halt_name)
+        .ok_or_else(|| format!("model has no `{halt_name}` flag"))?
+        .clone();
+    let t = std::time::Instant::now();
+    let cycles = sim
+        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max_steps)
+        .map_err(|e| e.to_string())?;
+    let elapsed = t.elapsed();
+
+    if has_flag(args, "--trace") {
+        for line in sim.take_trace() {
+            println!("{line}");
+        }
+    }
+    println!("halted after {cycles} control steps in {elapsed:?} ({mode:?})");
+    println!("stats: {}", sim.stats());
+
+    if let Some(dump) = flag_value(args, "--dump") {
+        let (name, count) = match dump.split_once(':') {
+            Some((n, c)) => {
+                (n, c.parse::<usize>().map_err(|e| format!("bad --dump count: {e}"))?)
+            }
+            None => (dump, 8),
+        };
+        let res = model
+            .resource_by_name(name)
+            .ok_or_else(|| format!("unknown resource `{name}`"))?;
+        if res.is_array() {
+            let base = res.dims.first().map_or(0, |d| d.base()) as i64;
+            print!("{name} =");
+            for i in 0..count.min(res.element_count() as usize) {
+                let v = sim
+                    .state()
+                    .read_int(res, &[base + i as i64])
+                    .map_err(|e| e.to_string())?;
+                print!(" {v}");
+            }
+            println!();
+        } else {
+            println!(
+                "{name} = {}",
+                sim.state().read_int(res, &[]).map_err(|e| e.to_string())?
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! LISA — a reproduction of *"LISA: Machine Description Language for
+//! Cycle-Accurate Models of Programmable DSP Architectures"* (Pees,
+//! Hoffmann, Zivojnovic, Meyr — DAC 1999) as a Rust workspace.
+//!
+//! This facade crate re-exports the whole toolchain:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`bits`] | `lisa-bits` | bit-accurate values and `0b01x` patterns |
+//! | [`core`] | `lisa-core` | the LISA language: lexer, parser, AST, model database |
+//! | [`isa`]  | `lisa-isa`  | generated decoder/encoder/assembler/disassembler |
+//! | [`sim`]  | `lisa-sim`  | interpretive + compiled cycle-accurate simulators |
+//! | [`asm`]  | `lisa-asm`  | program-level assembler (labels, `\|\|` bars, directives) |
+//! | [`docgen`] | `lisa-docgen` | automatic ISA manuals |
+//! | [`models`] | `lisa-models` | vliw62 / accu16 / tinyrisc models + DSP kernels |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lisa::models::tinyrisc;
+//! use lisa::sim::SimMode;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wb = tinyrisc::workbench()?;
+//! let program = lisa::asm::Assembler::new(wb.model()).assemble(
+//!     "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n",
+//! )?;
+//! let mut sim = wb.simulator(SimMode::Compiled)?;
+//! sim.load_program("pmem", &program.words)?;
+//! sim.predecode_program_memory();
+//! wb.run_to_halt(&mut sim, 100)?;
+//! let r = wb.model().resource_by_name("R").expect("register file");
+//! assert_eq!(sim.state().read_int(r, &[3])?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lisa_asm as asm;
+pub use lisa_bits as bits;
+pub use lisa_core as core;
+pub use lisa_docgen as docgen;
+pub use lisa_isa as isa;
+pub use lisa_models as models;
+pub use lisa_sim as sim;

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `lisa-tool` command-line binary, driving the
+//! real executable the way a user would.
+
+use std::fs;
+use std::process::Command;
+
+fn lisa_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lisa-tool"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = lisa_tool().args(args).output().expect("binary runs");
+    assert!(
+        output.status.success(),
+        "lisa-tool {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn check_reports_model_shape() {
+    let out = run_ok(&["check", "@vliw62"]);
+    assert!(out.contains("ok:"), "{out}");
+    assert!(out.contains("operations"), "{out}");
+}
+
+#[test]
+fn stats_prints_the_e1_metrics() {
+    let out = run_ok(&["stats", "@tinyrisc"]);
+    assert!(out.contains("instructions:     15"), "{out}");
+    assert!(out.contains("aliases:          1"), "{out}");
+}
+
+#[test]
+fn doc_writes_a_manual() {
+    let dir = std::env::temp_dir().join("lisa_cli_doc_test");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("manual.md");
+    let path_str = path.to_str().unwrap();
+    let out = run_ok(&["doc", "@accu16", "-o", path_str]);
+    assert!(out.contains("wrote"), "{out}");
+    let manual = fs::read_to_string(&path).unwrap();
+    assert!(manual.contains("# accu16 Instruction Set Manual"));
+    assert!(manual.contains("### `mac`"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn asm_run_and_disasm_round_trip() {
+    let dir = std::env::temp_dir().join("lisa_cli_asm_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    let hex = dir.join("prog.hex");
+    fs::write(
+        &src,
+        "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n",
+    )
+    .unwrap();
+
+    // Assemble to a hex image.
+    let out = run_ok(&["asm", "@tinyrisc", src.to_str().unwrap(), "-o", hex.to_str().unwrap()]);
+    assert!(out.contains("MUL R3, R1, R2"), "listing shown: {out}");
+    assert!(out.contains("wrote 5 words"), "{out}");
+
+    // Disassemble the image back.
+    let out = run_ok(&["disasm", "@tinyrisc", hex.to_str().unwrap()]);
+    assert!(out.contains("LDI R1, 6"), "{out}");
+    assert!(out.contains("HLT"), "{out}");
+
+    // Run it and dump the register file.
+    let out = run_ok(&[
+        "run",
+        "@tinyrisc",
+        src.to_str().unwrap(),
+        "--mode",
+        "interp",
+        "--dump",
+        "R:8",
+    ]);
+    assert!(out.contains("halted after"), "{out}");
+    assert!(out.contains("R = 0 6 7 42"), "{out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_vliw_program_with_packets() {
+    let dir = std::env::temp_dir().join("lisa_cli_vliw_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(
+        &src,
+        "MVK A2, 5\n || MVK B2, 6\nADD .L A3, A2, B2\nHALT\n",
+    )
+    .unwrap();
+    let out = run_ok(&["run", "@vliw62", src.to_str().unwrap(), "--dump", "A:4"]);
+    assert!(out.contains("A = 0 0 5 11"), "{out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_exit_nonzero_with_messages() {
+    let output = lisa_tool().args(["check", "/nonexistent.lisa"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read model"));
+
+    let output = lisa_tool().args(["frobnicate"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown command"));
+
+    let output = lisa_tool().output().unwrap();
+    assert!(!output.status.success());
+}

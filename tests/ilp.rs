@@ -1,0 +1,128 @@
+//! Instruction-level-parallelism accounting on vliw62: a hand-packed
+//! kernel must beat its serial equivalent by exactly the packets saved —
+//! the kind of schedule comparison a cycle-accurate model exists to
+//! support (paper §1: performance of "complex pipeline mechanisms …
+//! cannot be covered by models which just accumulate instruction
+//! latencies").
+
+use lisa::models::vliw62;
+use lisa::models::Workbench;
+use lisa::sim::SimMode;
+
+const N: usize = 24;
+
+fn dot_serial() -> String {
+    format!(
+        r#"
+        MVK A10, 0
+        MVK B10, 1024
+        MVK B0, {N}
+        MVK B9, 1
+        ZERO A9
+loop:   LDH *+A10[0], A3
+        LDH *+B10[0], B3
+        ADDK A10, 2
+        ADDK B10, 2
+        SUB .L B0, B0, B9
+        NOP 1
+        NOP 1
+        MPY A4, A3, B3
+        NOP 1
+        ADD .L A9, A9, A4
+        [B0] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+"#
+    )
+}
+
+/// The same computation with packed execute packets: dual loads, fused
+/// pointer/counter updates, and the branch issued in parallel with the
+/// accumulate.
+fn dot_packed() -> String {
+    format!(
+        r#"
+        MVK A10, 0
+     || MVK B10, 1024
+     || MVK B0, {N}
+     || MVK B9, 1
+        ZERO A9
+loop:   LDH *+A10[0], A3
+     || LDH *+B10[0], B3
+        ADDK A10, 2
+     || ADDK B10, 2
+     || SUB .L B0, B0, B9
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        MPY A4, A3, B3
+        NOP 1
+        ADD .L A9, A9, A4
+     || [B0] B loop
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        NOP 1
+        HALT
+"#
+    )
+}
+
+fn run(wb: &Workbench, source: &str) -> (u64, i64) {
+    let program = lisa::asm::Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1)
+        .assemble(source)
+        .expect("assembles");
+    let mut sim = wb.simulator(SimMode::Compiled).expect("sim");
+    sim.load_program("pmem", &program.words).unwrap();
+    let dmem = wb.model().resource_by_name("dmem").unwrap().clone();
+    for i in 0..N as i64 {
+        let x = (i * 3) % 13 - 6;
+        let y = (i * 7) % 11 - 5;
+        for (base, v) in [(2 * i, x), (1024 + 2 * i, y)] {
+            sim.state_mut().write_int(&dmem, &[base], v & 0xFF).unwrap();
+            sim.state_mut().write_int(&dmem, &[base + 1], (v >> 8) & 0xFF).unwrap();
+        }
+    }
+    sim.predecode_program_memory();
+    let halt = wb.model().resource_by_name("halt").unwrap().clone();
+    let cycles = sim
+        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 50_000)
+        .expect("halts");
+    let a = wb.model().resource_by_name("A").unwrap();
+    (cycles, sim.state().read_int(a, &[9]).unwrap())
+}
+
+#[test]
+fn packing_reduces_cycles_without_changing_results() {
+    let wb = vliw62::workbench().expect("builds");
+    let (serial_cycles, serial_result) = run(&wb, &dot_serial());
+    let (packed_cycles, packed_result) = run(&wb, &dot_packed());
+
+    assert_eq!(serial_result, packed_result, "same arithmetic");
+    // Golden dot product.
+    let golden: i64 = (0..N as i64)
+        .map(|i| ((i * 3) % 13 - 6) * ((i * 7) % 11 - 5))
+        .sum();
+    assert_eq!(serial_result, golden);
+
+    // Naive packet accounting says 2 packets saved per iteration
+    // (16 → 14). The cycle-accurate model shows only 1 is real: the dual
+    // load's result arrives a cycle later relative to the MPY (one extra
+    // delay-slot NOP), and the 3-slot packet straddles a fetch-packet
+    // boundary, inserting a pad NOP every iteration. Exactly the kind of
+    // schedule interaction the paper says latency-summing models miss.
+    let saved = serial_cycles - packed_cycles;
+    assert_eq!(
+        saved,
+        N as u64 + 3,
+        "serial {serial_cycles} vs packed {packed_cycles}"
+    );
+    let speedup = serial_cycles as f64 / packed_cycles as f64;
+    assert!(speedup > 1.05, "ILP packing is visible: {speedup:.2}x");
+}
