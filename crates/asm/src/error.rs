@@ -91,10 +91,7 @@ impl fmt::Display for AsmError {
                 write!(f, "line {line}: `||` with no instruction to join")
             }
             AsmError::PacketTooLong { line, packet_size } => {
-                write!(
-                    f,
-                    "line {line}: execute packet exceeds the {packet_size}-slot fetch packet"
-                )
+                write!(f, "line {line}: execute packet exceeds the {packet_size}-slot fetch packet")
             }
             AsmError::BadLabelName { line, label } => {
                 write!(f, "line {line}: label `{label}` is not a valid name")

@@ -87,10 +87,7 @@ impl<'m> Assembler<'m> {
     /// Splits the source into items; labels are recorded by the item
     /// index they precede.
     #[allow(clippy::type_complexity)] // (items, [(label, item idx, line)])
-    fn parse(
-        &self,
-        source: &str,
-    ) -> Result<(Vec<Item>, Vec<(String, usize, usize)>), AsmError> {
+    fn parse(&self, source: &str) -> Result<(Vec<Item>, Vec<(String, usize, usize)>), AsmError> {
         let mut items: Vec<Item> = Vec::new();
         let mut labels: Vec<(String, usize, usize)> = Vec::new(); // (name, item idx, line)
         let mut open_packet: Vec<(usize, String)> = Vec::new();
@@ -133,9 +130,7 @@ impl<'m> Assembler<'m> {
             while let Some(colon) = line.find(':') {
                 let candidate = line[..colon].trim();
                 if candidate.is_empty()
-                    || !candidate
-                        .chars()
-                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                    || !candidate.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
                     || candidate.starts_with(|c: char| c.is_ascii_digit())
                 {
                     break;
@@ -272,11 +267,7 @@ impl<'m> Assembler<'m> {
 
     // -- emission ---------------------------------------------------------
 
-    fn emit(
-        &self,
-        items: &[Item],
-        labels: &HashMap<String, u64>,
-    ) -> Result<Program, AsmError> {
+    fn emit(&self, items: &[Item], labels: &HashMap<String, u64>) -> Result<Program, AsmError> {
         let isa = lisa_isa::Assembler::new(self.model, &self.decoder);
         let pad_word = self.pad_word(&isa);
         let origin = match items.first() {
@@ -325,10 +316,9 @@ impl<'m> Assembler<'m> {
                     let n = slots.len();
                     for (i, (line, text)) in slots.iter().enumerate() {
                         let resolved = substitute_labels(text, labels);
-                        let decoded =
-                            isa.assemble_instruction(&resolved).map_err(|source| {
-                                AsmError::Instruction { line: *line, source }
-                            })?;
+                        let decoded = isa
+                            .assemble_instruction(&resolved)
+                            .map_err(|source| AsmError::Instruction { line: *line, source })?;
                         let mut word = decoded
                             .encode(self.model)
                             .map_err(|source| AsmError::Instruction { line: *line, source })?
@@ -380,7 +370,11 @@ impl<'m> Assembler<'m> {
             };
             let parallel = if self.packet_size.is_some() && i > 0 {
                 // The p-bit of the *previous* word chains this one.
-                if words[i - 1] & self.pbit_mask != 0 { "|| " } else { "" }
+                if words[i - 1] & self.pbit_mask != 0 {
+                    "|| "
+                } else {
+                    ""
+                }
             } else {
                 ""
             };
@@ -459,7 +453,6 @@ mod tests {
         // Run it: 5+4+3+2+1.
         let mut sim = wb.simulator(SimMode::Compiled).unwrap();
         sim.load_program("pmem", &program.words).unwrap();
-        sim.predecode_program_memory();
         wb.run_to_halt(&mut sim, 1000).unwrap();
         let r = wb.model().resource_by_name("R").unwrap();
         assert_eq!(sim.state().read_int(r, &[2]).unwrap(), 15);
@@ -564,9 +557,8 @@ mod tests {
     fn comments_and_blank_lines_are_ignored() {
         let wb = tinyrisc::workbench().unwrap();
         let asm = Assembler::new(wb.model());
-        let program = asm
-            .assemble("; header\n\n  // also a comment\nHLT ; trailing\n")
-            .expect("assembles");
+        let program =
+            asm.assemble("; header\n\n  // also a comment\nHLT ; trailing\n").expect("assembles");
         assert_eq!(program.words.len(), 1);
     }
 }

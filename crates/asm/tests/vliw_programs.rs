@@ -9,11 +9,8 @@ use lisa_models::vliw62;
 fn vliw_listing_shows_bars_and_pads() {
     let wb = vliw62::workbench().unwrap();
     let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
-    let program = asm
-        .assemble(
-            "MVK A2, 1\n || MVK B2, 2\n || MVK A3, 3\nHALT\n",
-        )
-        .expect("assembles");
+    let program =
+        asm.assemble("MVK A2, 1\n || MVK B2, 2\n || MVK A3, 3\nHALT\n").expect("assembles");
     let listing = &program.listing;
     assert!(listing.contains("|| MVK B2, 2"), "{listing}");
     assert!(listing.contains("|| MVK A3, 3"), "{listing}");
@@ -27,9 +24,8 @@ fn vliw_listing_shows_bars_and_pads() {
 fn disassembled_listing_reconstructs_bars() {
     let wb = vliw62::workbench().unwrap();
     let asm = Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1);
-    let program = asm
-        .assemble("ADD .L A2, A3, A4\n || SUB .L B2, B3, B4\nHALT\n")
-        .expect("assembles");
+    let program =
+        asm.assemble("ADD .L A2, A3, A4\n || SUB .L B2, B3, B4\nHALT\n").expect("assembles");
     let listing = asm.disassemble_listing(&program.words, 0);
     let lines: Vec<&str> = listing.lines().collect();
     assert!(lines[0].contains("ADD .L A2, A3, A4"), "{listing}");
@@ -63,9 +59,7 @@ fn data_words_between_code_disassemble_as_data_or_nop() {
 fn origin_is_respected_in_listing_addresses() {
     let wb = lisa_models::accu16::workbench().unwrap();
     let asm = Assembler::new(wb.model());
-    let program = asm
-        .assemble(".org 0x100\nCLR\nHLT\n")
-        .expect("assembles");
+    let program = asm.assemble(".org 0x100\nCLR\nHLT\n").expect("assembles");
     assert_eq!(program.origin, 0x100);
     let first = program.listing.lines().next().unwrap();
     assert!(first.starts_with("000100"), "{first}");

@@ -9,8 +9,7 @@ use lisa_sim::SimMode;
 fn bench_suite(c: &mut Criterion, label: &str, wb: &Workbench, suite: &[kernels::Kernel]) {
     for kernel in suite {
         // Cycle count is mode-independent; measure once for throughput.
-        let mut probe =
-            kernels::load_kernel(wb, kernel, SimMode::Interpretive).expect("loads");
+        let mut probe = kernels::load_kernel(wb, kernel, SimMode::Interpretive).expect("loads");
         let cycles = wb.run_to_halt(&mut probe, kernel.max_steps).expect("halts");
 
         let mut group = c.benchmark_group(format!("sim_speed/{label}/{}", kernel.name));

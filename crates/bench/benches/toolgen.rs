@@ -8,11 +8,7 @@ use lisa_sim::{SimMode, Simulator};
 use std::hint::black_box;
 
 fn models() -> Vec<(&'static str, &'static str)> {
-    vec![
-        ("vliw62", vliw62::SOURCE),
-        ("accu16", accu16::SOURCE),
-        ("tinyrisc", tinyrisc::SOURCE),
-    ]
+    vec![("vliw62", vliw62::SOURCE), ("accu16", accu16::SOURCE), ("tinyrisc", tinyrisc::SOURCE)]
 }
 
 fn bench_parse_analyze(c: &mut Criterion) {

@@ -43,9 +43,8 @@ fn dot_program(n: usize, fused: bool) -> String {
 }
 
 fn run_dot(wb: &Workbench, n: usize, fused: bool) -> (u64, i64) {
-    let program = lisa_asm::Assembler::new(wb.model())
-        .assemble(&dot_program(n, fused))
-        .expect("assembles");
+    let program =
+        lisa_asm::Assembler::new(wb.model()).assemble(&dot_program(n, fused)).expect("assembles");
     let mut sim = wb.simulator(SimMode::Compiled).expect("sim");
     let pmem = wb.model().resource_by_name("prog_mem").expect("pmem").clone();
     for (i, &word) in program.words.iter().enumerate() {
@@ -73,15 +72,14 @@ fn main() {
     let (base_cycles, base_result) = run_dot(&base, n, false);
 
     let t = Instant::now();
-    let extended_source = accu16::SOURCE
-        .replacen("OPERATION decode {", MACP_OP, 1)
-        .replacen("nop || clr ||", "nop || clr || macp ||", 1);
-    let extended = Workbench::from_source(
-        Box::leak(extended_source.into_boxed_str()),
-        "prog_mem",
-        "halt",
-    )
-    .expect("extended builds");
+    let extended_source = accu16::SOURCE.replacen("OPERATION decode {", MACP_OP, 1).replacen(
+        "nop || clr ||",
+        "nop || clr || macp ||",
+        1,
+    );
+    let extended =
+        Workbench::from_source(Box::leak(extended_source.into_boxed_str()), "prog_mem", "halt")
+            .expect("extended builds");
     // Force full tool generation for an honest turnaround time.
     let _decoder = extended.decoder().expect("decoder");
     let _sim = extended.simulator(SimMode::Compiled).expect("compiled sim");
@@ -89,10 +87,7 @@ fn main() {
     let (ext_cycles, ext_result) = run_dot(&extended, n, true);
 
     assert_eq!(base_result, ext_result, "bit-accurate custom instruction");
-    println!(
-        "{:<28} {:>10} {:>12}",
-        "architecture", "cycles", "dot result"
-    );
+    println!("{:<28} {:>10} {:>12}", "architecture", "cycles", "dot result");
     println!("{}", "-".repeat(54));
     println!("{:<28} {:>10} {:>12}", "accu16 (baseline)", base_cycles, base_result);
     println!("{:<28} {:>10} {:>12}", "accu16 + MACP", ext_cycles, ext_result);

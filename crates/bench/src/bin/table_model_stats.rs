@@ -8,7 +8,14 @@ fn main() {
     println!();
     println!(
         "{:<10} {:>10} {:>11} {:>13} {:>8} {:>11} {:>9} {:>8}",
-        "model", "resources", "operations", "instructions", "aliases", "LISA lines", "lines/op", "variants"
+        "model",
+        "resources",
+        "operations",
+        "instructions",
+        "aliases",
+        "LISA lines",
+        "lines/op",
+        "variants"
     );
     println!("{}", "-".repeat(86));
     for row in model_stats_rows() {

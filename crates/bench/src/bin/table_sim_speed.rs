@@ -44,8 +44,7 @@ fn main() {
         speedups.push(row.speedup());
     }
     println!("{}", "-".repeat(68));
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     println!("geometric-mean speedup: {geomean:.1}x");
     println!();
     println!("paper claim: compiled simulation > 100x over interpretive (DAC'99 §3.3 / [13]);");

@@ -11,10 +11,7 @@ fn main() {
     let spec = workbench(true).expect("specialized machine builds");
     let rt = workbench(false).expect("runtime machine builds");
 
-    println!(
-        "{:<24} {:>10} {:>14} {:>14}",
-        "machine", "cycles", "wall (best)", "cycles/s"
-    );
+    println!("{:<24} {:>10} {:>14} {:>14}", "machine", "cycles", "wall (best)", "cycles/s");
     println!("{}", "-".repeat(66));
     let mut times = Vec::new();
     for (name, wb) in [("switch-specialised", &spec), ("run-time checks", &rt)] {

@@ -13,11 +13,9 @@ fn main() {
         "model", "parse+analyze", "decoder", "lowering", "predecode", "total"
     );
     println!("{}", "-".repeat(80));
-    for (name, source) in [
-        ("vliw62", vliw62::SOURCE),
-        ("accu16", accu16::SOURCE),
-        ("tinyrisc", tinyrisc::SOURCE),
-    ] {
+    for (name, source) in
+        [("vliw62", vliw62::SOURCE), ("accu16", accu16::SOURCE), ("tinyrisc", tinyrisc::SOURCE)]
+    {
         // Warm up once, then keep the best of five runs.
         let _ = toolgen_once(source);
         let best = (0..5)

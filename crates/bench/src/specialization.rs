@@ -222,11 +222,7 @@ loop:   ADD A4, A2, B2
 ///
 /// Returns the usual workbench errors (the sources are covered by tests).
 pub fn workbench(specialized: bool) -> Result<Workbench, WorkbenchError> {
-    Workbench::from_source(
-        if specialized { SPECIALIZED } else { RUNTIME },
-        "pmem",
-        "halt",
-    )
+    Workbench::from_source(if specialized { SPECIALIZED } else { RUNTIME }, "pmem", "halt")
 }
 
 /// Runs the workload once in the given mode, returning cycles and wall
@@ -245,9 +241,6 @@ pub fn run_workload(
         .expect("workload assembles");
     let mut sim = wb.simulator(mode)?;
     sim.load_program("pmem", &program.words)?;
-    if mode == SimMode::Compiled {
-        sim.predecode_program_memory();
-    }
     let t = Instant::now();
     let cycles = wb.run_to_halt(&mut sim, 64 * u64::from(iterations) + 1000)?;
     Ok((cycles, t.elapsed()))
@@ -264,12 +257,9 @@ mod tests {
         let program = workload(10);
         let mut results = Vec::new();
         for wb in [&spec, &rt] {
-            let image = lisa_asm::Assembler::new(wb.model())
-                .assemble(&program)
-                .expect("assembles");
+            let image = lisa_asm::Assembler::new(wb.model()).assemble(&program).expect("assembles");
             let mut sim = wb.simulator(SimMode::Compiled).expect("sim");
             sim.load_program("pmem", &image.words).unwrap();
-            sim.predecode_program_memory();
             wb.run_to_halt(&mut sim, 10_000).expect("halts");
             let a = wb.model().resource_by_name("A").unwrap();
             let b = wb.model().resource_by_name("B").unwrap();

@@ -653,10 +653,7 @@ mod tests {
     #[test]
     fn extract_rejects_escaping_ranges() {
         let word = Bits::new(16, 0).unwrap();
-        assert!(matches!(
-            word.extract(10, 8),
-            Err(BitsError::RangeOutOfBounds { .. })
-        ));
+        assert!(matches!(word.extract(10, 8), Err(BitsError::RangeOutOfBounds { .. })));
         assert!(matches!(word.extract(0, 0), Err(BitsError::InvalidWidth { .. })));
         // Offset + length overflowing u32 must not panic.
         assert!(word.extract(u32::MAX, 2).is_err());

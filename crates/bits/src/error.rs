@@ -80,11 +80,7 @@ impl fmt::Display for BitsError {
                 write!(f, "invalid bit pattern literal `{text}`")
             }
             BitsError::ConcatTooWide { width } => {
-                write!(
-                    f,
-                    "concatenated width {width} exceeds maximum {}",
-                    crate::MAX_WIDTH
-                )
+                write!(f, "concatenated width {width} exceeds maximum {}", crate::MAX_WIDTH)
             }
             BitsError::UnderspecifiedPattern { dont_cares } => {
                 write!(f, "pattern has {dont_cares} unresolved don't-care bits")
@@ -103,27 +99,12 @@ mod tests {
     fn display_messages_are_lowercase_and_specific() {
         let cases: Vec<(BitsError, &str)> = vec![
             (BitsError::InvalidWidth { width: 0 }, "bit width 0"),
-            (
-                BitsError::ValueTooWide { value: 0x1ff, width: 8 },
-                "0x1ff",
-            ),
-            (
-                BitsError::WidthMismatch { left: 8, right: 16 },
-                "8 vs 16",
-            ),
-            (
-                BitsError::RangeOutOfBounds { lo: 4, len: 8, width: 8 },
-                "[4, 12)",
-            ),
-            (
-                BitsError::InvalidPattern { text: "0b12".into() },
-                "`0b12`",
-            ),
+            (BitsError::ValueTooWide { value: 0x1ff, width: 8 }, "0x1ff"),
+            (BitsError::WidthMismatch { left: 8, right: 16 }, "8 vs 16"),
+            (BitsError::RangeOutOfBounds { lo: 4, len: 8, width: 8 }, "[4, 12)"),
+            (BitsError::InvalidPattern { text: "0b12".into() }, "`0b12`"),
             (BitsError::ConcatTooWide { width: 200 }, "200"),
-            (
-                BitsError::UnderspecifiedPattern { dont_cares: 3 },
-                "3 unresolved",
-            ),
+            (BitsError::UnderspecifiedPattern { dont_cares: 3 }, "3 unresolved"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

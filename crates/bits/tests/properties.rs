@@ -6,15 +6,13 @@ use proptest::prelude::*;
 
 /// A strategy producing (width, value) pairs with value masked to width.
 fn bits_strategy() -> impl Strategy<Value = Bits> {
-    (1u32..=128, any::<u128>())
-        .prop_map(|(w, v)| Bits::from_u128_wrapped(w, v))
+    (1u32..=128, any::<u128>()).prop_map(|(w, v)| Bits::from_u128_wrapped(w, v))
 }
 
 /// Two same-width values.
 fn bits_pair() -> impl Strategy<Value = (Bits, Bits)> {
-    (1u32..=128, any::<u128>(), any::<u128>()).prop_map(|(w, a, b)| {
-        (Bits::from_u128_wrapped(w, a), Bits::from_u128_wrapped(w, b))
-    })
+    (1u32..=128, any::<u128>(), any::<u128>())
+        .prop_map(|(w, a, b)| (Bits::from_u128_wrapped(w, a), Bits::from_u128_wrapped(w, b)))
 }
 
 fn tern_vec() -> impl Strategy<Value = Vec<Tern>> {

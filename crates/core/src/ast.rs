@@ -106,10 +106,7 @@ impl DataType {
     /// Whether values are interpreted as signed two's-complement.
     #[must_use]
     pub fn is_signed(&self) -> bool {
-        matches!(
-            self,
-            DataType::Int | DataType::Long | DataType::Short | DataType::Char
-        )
+        matches!(self, DataType::Int | DataType::Long | DataType::Short | DataType::Char)
     }
 }
 

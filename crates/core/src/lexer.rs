@@ -206,8 +206,9 @@ impl<'s> Lexer<'s> {
                 });
             }
             // Parse as u64 then reinterpret, so 0xFFFFFFFFFFFFFFFF lexes.
-            let value = u64::from_str_radix(&digits, 16).map_err(|_| {
-                ParseError::InvalidNumber { text: text.to_owned(), span: self.span_from(start) }
+            let value = u64::from_str_radix(&digits, 16).map_err(|_| ParseError::InvalidNumber {
+                text: text.to_owned(),
+                span: self.span_from(start),
             })? as i64;
             self.push(TokenKind::Int(value), start);
             return Ok(());
@@ -518,8 +519,8 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                EqEq, NotEq, Le, Ge, Shl, Shr, ShlAssign, ShrAssign, AmpAmp, PipePipe,
-                PlusPlus, MinusMinus, PlusAssign, DotDot, PipeAssign, Eof
+                EqEq, NotEq, Le, Ge, Shl, Shr, ShlAssign, ShrAssign, AmpAmp, PipePipe, PlusPlus,
+                MinusMinus, PlusAssign, DotDot, PipeAssign, Eof
             ]
         );
     }

@@ -8,8 +8,8 @@ use crate::ast::*;
 
 use super::coding::{Coding, CodingField, CodingTarget};
 use super::{
-    Group, Model, ModelError, ModelWarning, OpId, Operation, Pipeline, PipelineId,
-    Resource, ResourceId, SynElem, Variant,
+    Group, Model, ModelError, ModelWarning, OpId, Operation, Pipeline, PipelineId, Resource,
+    ResourceId, SynElem, Variant,
 };
 
 impl Model {
@@ -203,30 +203,27 @@ impl Builder {
         let stage = match &decl.stage {
             None => None,
             Some(sr) => {
-                let pid = self.pipeline_names.get(&sr.pipeline.name).copied().ok_or_else(
-                    || ModelError::UnknownStage {
+                let pid = self.pipeline_names.get(&sr.pipeline.name).copied().ok_or_else(|| {
+                    ModelError::UnknownStage {
                         pipeline: sr.pipeline.name.clone(),
                         stage: sr.stage.name.clone(),
                         span: sr.pipeline.span,
-                    },
-                )?;
-                let sidx = self.pipelines[pid.0].stage_index(&sr.stage.name).ok_or_else(
-                    || ModelError::UnknownStage {
+                    }
+                })?;
+                let sidx = self.pipelines[pid.0].stage_index(&sr.stage.name).ok_or_else(|| {
+                    ModelError::UnknownStage {
                         pipeline: sr.pipeline.name.clone(),
                         stage: sr.stage.name.clone(),
                         span: sr.stage.span,
-                    },
-                )?;
+                    }
+                })?;
                 Some((pid, sidx))
             }
         };
 
         // Expand conditional structuring into variants.
-        let ctx = OpCtx {
-            name: &decl.name.name,
-            groups: &resolved_groups,
-            op_names: &self.op_names,
-        };
+        let ctx =
+            OpCtx { name: &decl.name.name, groups: &resolved_groups, op_names: &self.op_names };
         let mut sets = vec![SectionSet::default()];
         expand_items(&decl.items, &mut sets, &ctx)?;
         // Most-specific guard first so `select_variant` finds the right
@@ -535,13 +532,7 @@ fn expand_items(
                 assign_section(sets, ctx.name, "BEHAVIOR", |s| &mut s.behavior, b.clone())?;
             }
             OpItem::Expression(e) => {
-                assign_section(
-                    sets,
-                    ctx.name,
-                    "EXPRESSION",
-                    |s| &mut s.expression,
-                    e.clone(),
-                )?;
+                assign_section(sets, ctx.name, "EXPRESSION", |s| &mut s.expression, e.clone())?;
             }
             OpItem::Activation(a) => {
                 assign_section(
@@ -587,12 +578,8 @@ fn expand_items(
                 }
                 // Members not covered by a CASE take the DEFAULT arm (or
                 // just the base sections when there is no default).
-                let uncovered: Vec<OpId> = group
-                    .members
-                    .iter()
-                    .copied()
-                    .filter(|m| !covered.contains(m))
-                    .collect();
+                let uncovered: Vec<OpId> =
+                    group.members.iter().copied().filter(|m| !covered.contains(m)).collect();
                 for mid in uncovered {
                     let mut forked = sets.clone();
                     for set in &mut forked {
@@ -641,12 +628,10 @@ fn expand_items(
 }
 
 fn resolve_member(member: &Ident, group: &Group, ctx: &OpCtx<'_>) -> Result<OpId, ModelError> {
-    let mid = ctx.op_names.get(&member.name).copied().ok_or_else(|| {
-        ModelError::UnknownName {
-            name: member.name.clone(),
-            expected: "operation",
-            span: member.span,
-        }
+    let mid = ctx.op_names.get(&member.name).copied().ok_or_else(|| ModelError::UnknownName {
+        name: member.name.clone(),
+        expected: "operation",
+        span: member.span,
     })?;
     if !group.members.contains(&mid) {
         return Err(ModelError::CaseNotInGroup {
@@ -814,13 +799,13 @@ fn compute_width(
                     if let Some(gidx) = op.group_index(&name.name) {
                         group_width(idx, gidx, operations, raw, widths, state)?
                     } else {
-                        let target = find_op_by_name(operations, &name.name).ok_or_else(
-                            || ModelError::UnknownName {
+                        let target = find_op_by_name(operations, &name.name).ok_or_else(|| {
+                            ModelError::UnknownName {
                                 name: name.name.clone(),
                                 expected: "operation or group in coding",
                                 span: name.span,
-                            },
-                        )?;
+                            }
+                        })?;
                         compute_width(target.0, operations, raw, widths, state)?;
                         widths[target.0].ok_or_else(|| ModelError::MissingCoding {
                             operation: name.name.clone(),
@@ -922,8 +907,7 @@ fn compute_flat(
                         }
                         merged.expect("groups are non-empty")
                     } else {
-                        let target =
-                            find_op_by_name(operations, &name.name).expect("validated");
+                        let target = find_op_by_name(operations, &name.name).expect("validated");
                         compute_flat(target.0, operations, raw, widths, flats)?;
                         flats[target.0].clone().ok_or_else(|| ModelError::MissingCoding {
                             operation: name.name.clone(),
@@ -998,12 +982,10 @@ fn layout_fields(
                 entries.push((CodingTarget::Pattern(p.clone()), p.width(), p.clone()));
             }
             CodingElement::LabelField { label, pattern } => {
-                let lidx = op.label_index(&label.name).ok_or_else(|| {
-                    ModelError::UnknownLabel {
-                        label: label.name.clone(),
-                        operation: op.name.clone(),
-                        span: label.span,
-                    }
+                let lidx = op.label_index(&label.name).ok_or_else(|| ModelError::UnknownLabel {
+                    label: label.name.clone(),
+                    operation: op.name.clone(),
+                    span: label.span,
                 })?;
                 entries.push((
                     CodingTarget::Label { label: lidx, pattern: pattern.clone() },
@@ -1017,10 +999,8 @@ fn layout_fields(
                     let w = widths[group.members[0].0].expect("validated");
                     let mut merged = flats[group.members[0].0].clone().expect("validated");
                     for member in &group.members[1..] {
-                        merged = intersect_fixed(
-                            &merged,
-                            flats[member.0].as_ref().expect("validated"),
-                        );
+                        merged =
+                            intersect_fixed(&merged, flats[member.0].as_ref().expect("validated"));
                     }
                     entries.push((CodingTarget::Group(gidx), w, merged));
                 } else {

@@ -181,10 +181,7 @@ impl fmt::Display for ModelError {
                 write!(f, "{span}: `{member}` is not a member of group `{group}`")
             }
             ModelError::DuplicateSection { section, operation } => {
-                write!(
-                    f,
-                    "operation `{operation}` has more than one active {section} section"
-                )
+                write!(f, "operation `{operation}` has more than one active {section} section")
             }
             ModelError::CodingCycle { operation } => {
                 write!(f, "coding of operation `{operation}` is recursive")

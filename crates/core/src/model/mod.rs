@@ -25,9 +25,7 @@ pub use stats::ModelStats;
 
 use std::collections::HashMap;
 
-use crate::ast::{
-    ActNode, Block, DataType, Dim, Expr, NumFormat, ResourceClass,
-};
+use crate::ast::{ActNode, Block, DataType, Dim, Expr, NumFormat, ResourceClass};
 
 /// Index of a resource in [`Model::resources`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -161,9 +159,7 @@ impl Variant {
     /// operation's groups (`choices[i]` = member chosen for group `i`).
     #[must_use]
     pub fn matches(&self, choices: &[Option<OpId>]) -> bool {
-        self.guard
-            .iter()
-            .all(|(g, m)| choices.get(*g).copied().flatten() == Some(*m))
+        self.guard.iter().all(|(g, m)| choices.get(*g).copied().flatten() == Some(*m))
     }
 }
 

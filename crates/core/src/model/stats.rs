@@ -121,8 +121,8 @@ fn count_instructions(model: &Model) -> (usize, usize) {
             continue;
         }
         let op = model.operation(id);
-        let is_dispatch = id == *model.decode_roots().first().unwrap_or(&id)
-            && op.decode_root.is_some();
+        let is_dispatch =
+            id == *model.decode_roots().first().unwrap_or(&id) && op.decode_root.is_some();
         if !is_dispatch && has_mnemonic(model, id) {
             if op.alias {
                 aliases += 1;

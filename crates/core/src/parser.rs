@@ -150,10 +150,7 @@ impl<'s> Parser<'s> {
             TokenKind::PatternLit(_) => {
                 let (pat, span) = self.pattern_lit()?;
                 if !pat.is_fully_specified() {
-                    return Err(ParseError::InvalidNumber {
-                        text: pat.to_string(),
-                        span,
-                    });
+                    return Err(ParseError::InvalidNumber { text: pat.to_string(), span });
                 }
                 Ok((pat.fixed_value() as i64, span))
             }
@@ -166,9 +163,9 @@ impl<'s> Parser<'s> {
             TokenKind::PatternLit(_) => {
                 let tok = self.bump();
                 let TokenKind::PatternLit(text) = tok.kind else { unreachable!() };
-                let pat: BitPattern = text.parse().map_err(|source| {
-                    ParseError::InvalidPattern { source, span: tok.span }
-                })?;
+                let pat: BitPattern = text
+                    .parse()
+                    .map_err(|source| ParseError::InvalidPattern { source, span: tok.span })?;
                 Ok((pat, tok.span))
             }
             _ => Err(self.unexpected("a bit pattern literal")),
@@ -302,19 +299,35 @@ impl<'s> Parser<'s> {
         let ty = match self.peek() {
             TokenKind::Kw(Keyword::Int) => {
                 self.bump();
-                if unsigned { DataType::UnsignedInt } else { DataType::Int }
+                if unsigned {
+                    DataType::UnsignedInt
+                } else {
+                    DataType::Int
+                }
             }
             TokenKind::Kw(Keyword::Long) => {
                 self.bump();
-                if unsigned { DataType::UnsignedLong } else { DataType::Long }
+                if unsigned {
+                    DataType::UnsignedLong
+                } else {
+                    DataType::Long
+                }
             }
             TokenKind::Kw(Keyword::Short) => {
                 self.bump();
-                if unsigned { DataType::UnsignedShort } else { DataType::Short }
+                if unsigned {
+                    DataType::UnsignedShort
+                } else {
+                    DataType::Short
+                }
             }
             TokenKind::Kw(Keyword::Char) => {
                 self.bump();
-                if unsigned { DataType::UnsignedChar } else { DataType::Char }
+                if unsigned {
+                    DataType::UnsignedChar
+                } else {
+                    DataType::Char
+                }
             }
             TokenKind::Kw(Keyword::Bit) => {
                 self.bump();
@@ -465,11 +478,8 @@ impl<'s> Parser<'s> {
         let member = self.ident("a group member name")?;
         self.expect(TokenKind::RParen, "`)`")?;
         let then_items = self.op_items_block()?;
-        let else_items = if self.eat_kw(Keyword::Else) {
-            self.op_items_block()?
-        } else {
-            Vec::new()
-        };
+        let else_items =
+            if self.eat_kw(Keyword::Else) { self.op_items_block()? } else { Vec::new() };
         let span = start.merge(member.span);
         Ok(OpIf { group, member, then_items, else_items, span })
     }
@@ -562,9 +572,9 @@ impl<'s> Parser<'s> {
             }
             let mut repeated = pat.clone();
             for _ in 1..count {
-                repeated = repeated.concat(&pat).map_err(|source| {
-                    ParseError::InvalidPattern { source, span: count_span }
-                })?;
+                repeated = repeated
+                    .concat(&pat)
+                    .map_err(|source| ParseError::InvalidPattern { source, span: count_span })?;
             }
             Ok((repeated, span.merge(count_span)))
         } else {
@@ -1203,8 +1213,7 @@ mod tests {
         );
         assert_eq!(d.pipelines.len(), 2);
         assert_eq!(d.pipelines[0].name.name, "fetch_pipe");
-        let stages: Vec<&str> =
-            d.pipelines[0].stages.iter().map(|s| s.name.as_str()).collect();
+        let stages: Vec<&str> = d.pipelines[0].stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(stages, vec!["PG", "PS", "PW", "PR", "DP"]);
         assert_eq!(d.pipelines[1].stages.len(), 6);
     }
@@ -1261,9 +1270,7 @@ mod tests {
 
         let reg = &d.operations[1];
         let OpItem::Coding(coding) = &reg.items[1] else { panic!() };
-        let CodingElement::LabelField { label, pattern } = &coding.elements[1] else {
-            panic!()
-        };
+        let CodingElement::LabelField { label, pattern } = &coding.elements[1] else { panic!() };
         assert_eq!(label.name, "index");
         assert_eq!(pattern.width(), 4);
         assert_eq!(pattern.dont_care_count(), 4);

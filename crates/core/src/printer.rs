@@ -94,8 +94,7 @@ impl Printer {
                 self.open("DECLARE");
                 for g in &d.groups {
                     let names: Vec<&str> = g.names.iter().map(|n| n.name.as_str()).collect();
-                    let members: Vec<&str> =
-                        g.members.iter().map(|m| m.name.as_str()).collect();
+                    let members: Vec<&str> = g.members.iter().map(|m| m.name.as_str()).collect();
                     self.line(&format!(
                         "GROUP {} = {{ {} }};",
                         names.join(", "),
@@ -107,8 +106,7 @@ impl Printer {
                     self.line(&format!("LABEL {};", labels.join(", ")));
                 }
                 if !d.references.is_empty() {
-                    let refs: Vec<&str> =
-                        d.references.iter().map(|r| r.name.as_str()).collect();
+                    let refs: Vec<&str> = d.references.iter().map(|r| r.name.as_str()).collect();
                     self.line(&format!("REFERENCE {};", refs.join(", ")));
                 }
                 self.close();
@@ -164,8 +162,7 @@ impl Printer {
             OpItem::Switch(sw) => {
                 self.open(&format!("SWITCH ({})", sw.group));
                 for case in &sw.cases {
-                    let members: Vec<&str> =
-                        case.members.iter().map(|m| m.name.as_str()).collect();
+                    let members: Vec<&str> = case.members.iter().map(|m| m.name.as_str()).collect();
                     self.open(&format!("CASE {}:", members.join(", ")));
                     for item in &case.items {
                         self.op_item(item);
@@ -256,11 +253,7 @@ impl Printer {
     fn stmt(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Local { ty, name, init } => match init {
-                Some(e) => self.line(&format!(
-                    "{} {name} = {};",
-                    format_type(*ty),
-                    print_expr(e)
-                )),
+                Some(e) => self.line(&format!("{} {name} = {};", format_type(*ty), print_expr(e))),
                 None => self.line(&format!("{} {name};", format_type(*ty))),
             },
             Stmt::Assign { target, op, value } => {

@@ -41,19 +41,12 @@ impl Span {
     /// earlier line/column.
     #[must_use]
     pub fn merge(&self, other: Span) -> Span {
-        let (line, col) = if (self.line, self.col) <= (other.line, other.col)
-            && self.line != 0
-        {
+        let (line, col) = if (self.line, self.col) <= (other.line, other.col) && self.line != 0 {
             (self.line, self.col)
         } else {
             (other.line, other.col)
         };
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-            line,
-            col,
-        }
+        Span { start: self.start.min(other.start), end: self.end.max(other.end), line, col }
     }
 
     /// Extracts the spanned text from the original source.

@@ -71,9 +71,7 @@ fn recursive_codings_are_rejected() {
         ModelError::CodingCycle { .. }
     ));
     assert!(matches!(
-        build_err(
-            "OPERATION a { CODING { 0b1 b } } OPERATION b { CODING { 0b0 a } }"
-        ),
+        build_err("OPERATION a { CODING { 0b1 b } } OPERATION b { CODING { 0b0 a } }"),
         ModelError::CodingCycle { .. }
     ));
 }
@@ -178,11 +176,8 @@ fn if_else_structuring_builds_guarded_variants() {
     assert_eq!(pick.variants.len(), 2, "one variant per IF branch outcome");
     assert!(pick.variants.iter().all(|v| v.guard.len() == 1));
     let one = model.operation_by_name("one").unwrap().id;
-    let fast = pick
-        .variants
-        .iter()
-        .find(|v| v.guard[0].1 == one)
-        .expect("guarded variant for `one`");
+    let fast =
+        pick.variants.iter().find(|v| v.guard[0].1 == one).expect("guarded variant for `one`");
     let syntax = fast.syntax.as_ref().expect("syntax");
     assert!(matches!(
         &syntax[0],
@@ -225,10 +220,7 @@ fn overlapping_codings_warn_unless_aliased() {
     "#;
     let model = Model::from_source(overlapping).expect("builds with warning");
     assert!(
-        model
-            .warnings()
-            .iter()
-            .any(|w| matches!(w, ModelWarning::OverlappingCoding { .. })),
+        model.warnings().iter().any(|w| matches!(w, ModelWarning::OverlappingCoding { .. })),
         "{:?}",
         model.warnings()
     );
@@ -237,10 +229,7 @@ fn overlapping_codings_warn_unless_aliased() {
     let aliased = overlapping.replace("OPERATION b", "OPERATION b ALIAS");
     let model = Model::from_source(&aliased).expect("builds");
     assert!(
-        !model
-            .warnings()
-            .iter()
-            .any(|w| matches!(w, ModelWarning::OverlappingCoding { .. })),
+        !model.warnings().iter().any(|w| matches!(w, ModelWarning::OverlappingCoding { .. })),
         "{:?}",
         model.warnings()
     );

@@ -27,10 +27,7 @@ fn hex_format_and_bare_label_syntax() {
 
     let desc = parse(&printed).unwrap();
     let OpItem::Syntax(s) = &desc.operations[0].items[2] else { panic!() };
-    assert!(matches!(
-        &s.elements[1],
-        SyntaxElement::Num { format: NumFormat::Hex, .. }
-    ));
+    assert!(matches!(&s.elements[1], SyntaxElement::Num { format: NumFormat::Hex, .. }));
 }
 
 #[test]

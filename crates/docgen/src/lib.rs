@@ -118,10 +118,9 @@ fn instruction_ops(model: &Model) -> Vec<OpId> {
                         }
                     }
                 }
-                CodingTarget::Op(o)
-                    if !ops.contains(o) => {
-                        ops.push(*o);
-                    }
+                CodingTarget::Op(o) if !ops.contains(o) => {
+                    ops.push(*o);
+                }
                 _ => {}
             }
         }
@@ -156,12 +155,9 @@ fn instruction_entry(model: &Model, op: &Operation, out: &mut String) {
             let guard: Vec<String> = variant
                 .guard
                 .iter()
-                .map(|(g, m)| {
-                    format!("{} = {}", op.groups[*g].name, model.operation(*m).name)
-                })
+                .map(|(g, m)| format!("{} = {}", op.groups[*g].name, model.operation(*m).name))
                 .collect();
-            let label =
-                if guard.is_empty() { "default".to_owned() } else { guard.join(", ") };
+            let label = if guard.is_empty() { "default".to_owned() } else { guard.join(", ") };
             let _ = writeln!(out, "**Variant {} ({label})**\n", vidx + 1);
         }
         if let Some(syntax) = &variant.syntax {

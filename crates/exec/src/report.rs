@@ -1,0 +1,162 @@
+//! Batch results and aggregate reporting.
+
+use std::time::Duration;
+
+use lisa_sim::SimStats;
+
+use crate::scenario::JobError;
+
+/// The measurable outcome of one successful job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobResult {
+    /// Control steps the job ran (excluding any steps already recorded
+    /// in a base snapshot's stats — this is the run's own cycle count).
+    pub cycles: u64,
+    /// Final simulator statistics.
+    pub stats: SimStats,
+    /// FNV-1a fingerprint of the final architectural state, for cheap
+    /// cross-run and cross-backend comparisons.
+    pub state_digest: u64,
+}
+
+/// One job's slot in a batch: its input position, name, and result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Position in the submitted scenario list.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Success payload or failure reason.
+    pub result: Result<JobResult, JobError>,
+}
+
+/// Everything a finished batch produced.
+///
+/// `jobs` is deterministic (input-ordered, scheduling-independent);
+/// `elapsed` and anything derived from it measure this particular run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Worker threads the batch ran on.
+    pub workers: usize,
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobOutcome>,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Sum of simulated control steps over all successful jobs.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.jobs.iter().filter_map(|j| j.result.as_ref().ok()).map(|r| r.cycles).sum()
+    }
+
+    /// Aggregate simulation throughput of this run in cycles/second
+    /// (0.0 for an instantaneous or empty batch).
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total_cycles() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The jobs that failed, in submission order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&JobOutcome> {
+        self.jobs.iter().filter(|j| j.result.is_err()).collect()
+    }
+
+    /// Whether every job succeeded.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.jobs.iter().all(|j| j.result.is_ok())
+    }
+
+    /// A plain-text summary table: one row per job, then an aggregate
+    /// line with total cycles and throughput.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let name_w = self
+            .jobs
+            .iter()
+            .map(|j| j.name.len())
+            .chain(std::iter::once("job".len()))
+            .max()
+            .unwrap_or(3);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4}  {:<name_w$}  {:<6}  {:>10}  {:>10}  {:>16}\n",
+            "#", "job", "status", "cycles", "ops", "detail"
+        ));
+        for job in &self.jobs {
+            match &job.result {
+                Ok(r) => out.push_str(&format!(
+                    "{:>4}  {:<name_w$}  {:<6}  {:>10}  {:>10}  {:>16}\n",
+                    job.index,
+                    job.name,
+                    "ok",
+                    r.cycles,
+                    r.stats.executed_ops,
+                    format!("{:016x}", r.state_digest),
+                )),
+                Err(e) => out.push_str(&format!(
+                    "{:>4}  {:<name_w$}  {:<6}  {:>10}  {:>10}  {}\n",
+                    job.index, job.name, "FAIL", "-", "-", e
+                )),
+            }
+        }
+        let failed = self.jobs.len() - self.jobs.iter().filter(|j| j.result.is_ok()).count();
+        out.push_str(&format!(
+            "{} jobs ({failed} failed), {} cycles in {:.3} s on {} workers: {:.0} cycles/s\n",
+            self.jobs.len(),
+            self.total_cycles(),
+            self.elapsed.as_secs_f64(),
+            self.workers,
+            self.cycles_per_sec(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BatchReport {
+        let ok = JobResult { cycles: 100, stats: SimStats::default(), state_digest: 0xabcd };
+        BatchReport {
+            workers: 2,
+            jobs: vec![
+                JobOutcome { index: 0, name: "good".into(), result: Ok(ok) },
+                JobOutcome {
+                    index: 1,
+                    name: "bad".into(),
+                    result: Err(JobError::Panic("boom".into())),
+                },
+            ],
+            elapsed: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn aggregates_count_only_successes() {
+        let r = report();
+        assert_eq!(r.total_cycles(), 100);
+        assert!(!r.all_passed());
+        assert_eq!(r.failures().len(), 1);
+        assert_eq!(r.failures()[0].name, "bad");
+        assert!((r.cycles_per_sec() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_lists_every_job_and_the_aggregate_line() {
+        let text = report().table();
+        assert!(text.contains("good"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("boom"));
+        assert!(text.contains("2 jobs (1 failed)"));
+    }
+}

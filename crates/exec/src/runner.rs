@@ -1,0 +1,200 @@
+//! The worker-pool batch runner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::report::{BatchReport, JobOutcome};
+use crate::scenario::{run_scenario, JobError, Scenario};
+
+/// A fixed-size pool of worker threads draining a shared job queue.
+///
+/// Workers are plain scoped `std::thread`s: jobs may borrow non-`'static`
+/// data (scenarios borrow their models). Scheduling is a single atomic
+/// cursor over the job slice — workers race to claim the next index —
+/// but results land in slots keyed by job index, so the output order is
+/// always the input order and a [`BatchReport`] is reproducible for any
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRunner {
+    /// Number of worker threads; `0` and `1` both run on one worker.
+    pub workers: usize,
+}
+
+impl BatchRunner {
+    /// A runner with the given worker count.
+    #[must_use]
+    pub fn new(workers: usize) -> BatchRunner {
+        BatchRunner { workers }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    #[must_use]
+    pub fn with_available_parallelism() -> BatchRunner {
+        let workers = std::thread::available_parallelism().map_or(1, usize::from);
+        BatchRunner { workers }
+    }
+
+    /// Fans `f` out over `items` on the worker pool.
+    ///
+    /// The result vector is keyed by item index regardless of which
+    /// worker ran which item or in what order they finished. A panicking
+    /// call is caught on its worker and surfaces as
+    /// [`JobError::Panic`] for that item only; the other items still
+    /// run. This is the generic engine under [`BatchRunner::run`],
+    /// public for custom job types (parameter sweeps over non-`Scenario`
+    /// inputs).
+    pub fn execute<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, JobError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R, JobError> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.clamp(1, n);
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<R, JobError>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                        .unwrap_or_else(|payload| Err(JobError::Panic(panic_text(&*payload))));
+                    slots.lock().expect("slot lock")[i] = Some(outcome);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("slot lock")
+            .into_iter()
+            .map(|slot| slot.expect("every claimed job stores a result"))
+            .collect()
+    }
+
+    /// Runs every scenario and collects a [`BatchReport`].
+    ///
+    /// `report.jobs` depends only on the scenario list — never on the
+    /// worker count or thread scheduling; only `report.elapsed` (and the
+    /// derived throughput) varies between runs.
+    #[must_use]
+    pub fn run(&self, scenarios: &[Scenario<'_>]) -> BatchReport {
+        let start = Instant::now();
+        let results = self.execute(scenarios, |_, sc| run_scenario(sc));
+        let jobs = results
+            .into_iter()
+            .enumerate()
+            .map(|(index, result)| JobOutcome {
+                index,
+                name: scenarios[index].name.clone(),
+                result,
+            })
+            .collect();
+        BatchReport { workers: self.workers.max(1), jobs, elapsed: start.elapsed() }
+    }
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads;
+/// anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_core::Model;
+    use lisa_sim::SimMode;
+
+    fn counter() -> Model {
+        Model::from_source(
+            r#"RESOURCE { PROGRAM_COUNTER int pc; REGISTER int r0; CONTROL_REGISTER bit halt; }
+               OPERATION main { BEHAVIOR { r0 = r0 + 1; halt = r0 == 40; pc = pc + 1; } }"#,
+        )
+        .expect("model builds")
+    }
+
+    #[test]
+    fn results_are_keyed_by_index_not_completion_order() {
+        // Jobs with wildly different lengths: late-queued short jobs
+        // finish before early long ones on a multi-worker pool.
+        let squares: Vec<u64> = (0..32).map(|i| (i % 7) * 100 + 1).collect();
+        let out = BatchRunner::new(8).execute(&squares, |i, &len| {
+            let mut acc = 0u64;
+            for k in 0..len {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            Ok((i, acc))
+        });
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().expect("ok").0, i);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_job_outcomes() {
+        let model = counter();
+        let scenarios: Vec<Scenario> = (0..12)
+            .map(|i| {
+                Scenario::new(format!("job{i}"), &model, SimMode::Interpretive)
+                    .poke("r0", 0, i)
+                    .halt_on("halt")
+                    .steps(100)
+                    .expect("r0", None, 40)
+            })
+            .collect();
+        let solo = BatchRunner::new(1).run(&scenarios);
+        let pooled = BatchRunner::new(4).run(&scenarios);
+        assert_eq!(solo.jobs, pooled.jobs);
+        assert!(solo.all_passed());
+        assert_eq!(solo.workers, 1);
+        assert_eq!(pooled.workers, 4);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_poison_the_batch() {
+        let items: Vec<u32> = (0..6).collect();
+        let out = BatchRunner::new(3).execute(&items, |_, &v| {
+            assert!(v != 4, "job four exploded");
+            Ok(v * 2)
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                match r {
+                    Err(JobError::Panic(msg)) => assert!(msg.contains("exploded")),
+                    other => panic!("expected panic outcome, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().expect("ok"), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_zero_workers_are_fine() {
+        let model = counter();
+        let report = BatchRunner::new(0).run(&[]);
+        assert!(report.jobs.is_empty());
+        assert!(report.all_passed());
+
+        let sc = [Scenario::new("one", &model, SimMode::Interpretive).halt_on("halt").steps(100)];
+        let report = BatchRunner::new(0).run(&sc);
+        assert!(report.all_passed());
+    }
+}

@@ -135,8 +135,7 @@ impl<'m> Assembler<'m> {
             SynElem::Group { group, format: None } => {
                 // Honour the guard: if this variant pins the member, only
                 // that member's syntax may match.
-                let required =
-                    variant.guard.iter().find(|(g, _)| g == group).map(|(_, m)| *m);
+                let required = variant.guard.iter().find(|(g, _)| g == group).map(|(_, m)| *m);
                 let members: Vec<OpId> = operation.groups[*group]
                     .members
                     .iter()
@@ -275,10 +274,8 @@ impl<'m> Assembler<'m> {
             match &field.target {
                 CodingTarget::Pattern(_) | CodingTarget::Label { .. } => {}
                 CodingTarget::Group(g) => {
-                    let child = operation.groups[*g]
-                        .members
-                        .iter()
-                        .find_map(|m| self.synthesize(*m))?;
+                    let child =
+                        operation.groups[*g].members.iter().find_map(|m| self.synthesize(*m))?;
                     decoded.children[fidx] = Some(Arc::new(child));
                 }
                 CodingTarget::Op(o) => {
@@ -295,13 +292,10 @@ impl<'m> Assembler<'m> {
         let operation = self.model.operation(op_id);
         for (vidx, variant) in operation.variants.iter().enumerate() {
             let Some(coding) = &variant.coding else { continue };
-            let label_field = coding
-                .fields
-                .iter()
-                .find_map(|f| match &f.target {
-                    CodingTarget::Label { label, .. } => Some((*label, f.width)),
-                    _ => None,
-                });
+            let label_field = coding.fields.iter().find_map(|f| match &f.target {
+                CodingTarget::Label { label, .. } => Some((*label, f.width)),
+                _ => None,
+            });
             let Some((label, width)) = label_field else { continue };
             let Some(encoded) = encode_label(value, width, format) else { continue };
             let mut decoded = Decoded::new(self.model, op_id, vidx);
@@ -352,9 +346,7 @@ impl<'m> Assembler<'m> {
                     push_token(out, text, starts_glue(text));
                 }
                 SynElem::Label { label, format } => {
-                    let width = self
-                        .label_width(decoded.op, decoded.variant, *label)
-                        .unwrap_or(32);
+                    let width = self.label_width(decoded.op, decoded.variant, *label).unwrap_or(32);
                     let text = format_label(decoded.labels[*label], width, *format);
                     // Labels glue to a preceding register-letter literal
                     // ("A" ++ 4 → "A4").
@@ -375,17 +367,12 @@ impl<'m> Assembler<'m> {
                 SynElem::Op { op, format } => {
                     // Find the child for this op reference among coding
                     // fields.
-                    let child = operation.variants[decoded.variant]
-                        .coding
-                        .as_ref()
-                        .and_then(|c| {
-                            c.fields.iter().zip(&decoded.children).find_map(|(f, ch)| {
-                                match &f.target {
-                                    CodingTarget::Op(o) if o == op => ch.as_deref(),
-                                    _ => None,
-                                }
-                            })
-                        });
+                    let child = operation.variants[decoded.variant].coding.as_ref().and_then(|c| {
+                        c.fields.iter().zip(&decoded.children).find_map(|(f, ch)| match &f.target {
+                            CodingTarget::Op(o) if o == op => ch.as_deref(),
+                            _ => None,
+                        })
+                    });
                     if let Some(child) = child {
                         match format {
                             None => push_sub(out, &self.disassemble(child)),
@@ -419,10 +406,7 @@ impl<'m> Assembler<'m> {
 // -- helpers ----------------------------------------------------------------
 
 fn ends_alnum(s: &str) -> bool {
-    s.trim_end()
-        .chars()
-        .last()
-        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    s.trim_end().chars().last().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
 fn starts_glue(s: &str) -> bool {
@@ -556,20 +540,19 @@ impl<'a> Cursor<'a> {
         } else {
             false
         };
-        let (radix, digits_start) = if rest[idx..].starts_with("0x") || rest[idx..].starts_with("0X")
-        {
-            (16, idx + 2)
-        } else {
-            (10, idx)
-        };
+        let (radix, digits_start) =
+            if rest[idx..].starts_with("0x") || rest[idx..].starts_with("0X") {
+                (16, idx + 2)
+            } else {
+                (10, idx)
+            };
         let digits_end = rest[digits_start..]
             .find(|c: char| !c.is_digit(radix) && c != '_')
             .map_or(rest.len(), |o| digits_start + o);
         if digits_end == digits_start {
             return None;
         }
-        let digits: String =
-            rest[digits_start..digits_end].chars().filter(|c| *c != '_').collect();
+        let digits: String = rest[digits_start..digits_end].chars().filter(|c| *c != '_').collect();
         let magnitude = i128::from_str_radix(&digits, radix).ok()?;
         self.pos += digits_end;
         Some(if negative { -magnitude } else { magnitude })

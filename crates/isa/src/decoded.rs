@@ -41,10 +41,7 @@ impl Decoded {
     #[must_use]
     pub fn new(model: &Model, op: OpId, variant: usize) -> Decoded {
         let operation = model.operation(op);
-        let n_fields = operation.variants[variant]
-            .coding
-            .as_ref()
-            .map_or(0, |c| c.fields.len());
+        let n_fields = operation.variants[variant].coding.as_ref().map_or(0, |c| c.fields.len());
         Decoded {
             op,
             variant,
@@ -104,12 +101,11 @@ impl Decoded {
     /// field has no child (hand-built trees only).
     pub fn encode(&self, model: &Model) -> Result<Bits, IsaError> {
         let operation = model.operation(self.op);
-        let coding = operation.variants[self.variant].coding.as_ref().ok_or(
-            IsaError::MalformedDecoded {
+        let coding =
+            operation.variants[self.variant].coding.as_ref().ok_or(IsaError::MalformedDecoded {
                 operation: operation.name.clone(),
                 missing: "a coding section",
-            },
-        )?;
+            })?;
         let mut word = Bits::zero(coding.width());
         for (field, child) in coding.fields.iter().zip(&self.children) {
             let bits = match &field.target {
@@ -151,11 +147,6 @@ impl Decoded {
     /// Total number of nodes in this decoded tree (diagnostics).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .flatten()
-            .map(|c| c.node_count())
-            .sum::<usize>()
+        1 + self.children.iter().flatten().map(|c| c.node_count()).sum::<usize>()
     }
 }

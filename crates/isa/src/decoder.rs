@@ -80,10 +80,7 @@ impl<'m> Decoder<'m> {
     /// validation).
     #[must_use]
     pub fn word_width(&self) -> u32 {
-        self.model
-            .operation(self.root)
-            .coding_width()
-            .expect("decode root has a coding")
+        self.model.operation(self.root).coding_width().expect("decode root has a coding")
     }
 
     /// Decodes an instruction word starting at the decode root.
@@ -140,11 +137,7 @@ impl<'m> Decoder<'m> {
                 CodingTarget::Group(gidx) => {
                     // Honour the variant guard: if this variant requires a
                     // specific member for this group, only try that one.
-                    let required = variant
-                        .guard
-                        .iter()
-                        .find(|(g, _)| g == gidx)
-                        .map(|(_, m)| *m);
+                    let required = variant.guard.iter().find(|(g, _)| g == gidx).map(|(_, m)| *m);
                     let order = &self.group_order[&(op_id, *gidx)];
                     let child = order
                         .iter()
@@ -253,10 +246,7 @@ mod tests {
 
         let src1 = instr.group_child(&model, 1).expect("src1");
         assert_eq!(src1.labels[0], 1);
-        assert_eq!(
-            model.operation(src1.group_child(&model, 0).unwrap().op).name,
-            "side1"
-        );
+        assert_eq!(model.operation(src1.group_child(&model, 0).unwrap().op).name, "side1");
     }
 
     #[test]
@@ -285,10 +275,8 @@ mod tests {
 
     #[test]
     fn model_without_root_has_no_decoder() {
-        let model = Model::from_source(
-            "OPERATION lonely { CODING { 0b1 } SYNTAX { \"L\" } }",
-        )
-        .unwrap();
+        let model =
+            Model::from_source("OPERATION lonely { CODING { 0b1 } SYNTAX { \"L\" } }").unwrap();
         assert!(matches!(Decoder::new(&model), Err(IsaError::NoDecodeRoot)));
     }
 

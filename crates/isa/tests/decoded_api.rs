@@ -106,10 +106,7 @@ fn encode_rejects_missing_children() {
     let add = model.operation_by_name("add").unwrap();
     let decoded = Decoded::new(&model, add.id, 0); // no children filled
     let err = decoded.encode(&model).unwrap_err();
-    assert!(matches!(
-        err,
-        IsaError::MalformedDecoded { missing: "an operand child", .. }
-    ));
+    assert!(matches!(err, IsaError::MalformedDecoded { missing: "an operand child", .. }));
 }
 
 #[test]

@@ -434,9 +434,7 @@ mod tests {
         let mut program = vec!["SSAT 1", "CLR", "MOVI r0, 32767", "MOVI r1, 32767"];
         program.extend(std::iter::repeat_n("MAC r0, r1", 600));
         program.push("HLT");
-        let sim = wb
-            .run_program(&program, SimMode::Compiled, 10_000)
-            .expect("halts");
+        let sim = wb.run_program(&program, SimMode::Compiled, 10_000).expect("halts");
         let accu = wb.model().resource_by_name("accu").unwrap();
         let raw = sim.state().read(accu, &[]).unwrap();
         assert_eq!(raw.to_i128(), (1i128 << 39) - 1, "accumulator saturated at +max");
@@ -492,19 +490,19 @@ mod tests {
         // and count the accumulator down with the accu branch.
         let program = [
             "MOVI r0, -42",
-            "TFR r3, r0",        // r3 = -42
+            "TFR r3, r0", // r3 = -42
             "LAR a1, 100",
-            "STP r3, a1",        // data_mem1[100] = -42; a1 -> 101
-            "STP r3, a1",        // data_mem1[101] = -42
-            "MOVY r3, 1, 9",     // data_mem2[1][9] = -42
+            "STP r3, a1",    // data_mem1[100] = -42; a1 -> 101
+            "STP r3, a1",    // data_mem1[101] = -42
+            "MOVY r3, 1, 9", // data_mem2[1][9] = -42
             "CLR",
             "MOVI r1, 3",
-            "ADDA r1",           // accu = 3
+            "ADDA r1", // accu = 3
             // countdown: accu += -1 until zero
             "MOVI r2, -1",
             "ADDA r2",
-            "BNZA 266",          // 0x10A = address of the ADDA r2 line
-            "NEGA",              // accu = 0 -> stays 0
+            "BNZA 266", // 0x10A = address of the ADDA r2 line
+            "NEGA",     // accu = 0 -> stays 0
             "SAT16",
             "HLT",
         ];
@@ -528,7 +526,6 @@ mod tests {
         let words = wb.assemble(&["MOVB r2, 1, 17", "STX r2, 99", "HLT"]).unwrap();
         let mut sim = wb.simulator(SimMode::Compiled).expect("sim");
         sim.load_program("prog_mem", &words).unwrap();
-        sim.predecode_program_memory();
         let bank = wb.model().resource_by_name("data_mem2").unwrap().clone();
         sim.state_mut().write_int(&bank, &[1, 17], -123).unwrap();
         wb.run_to_halt(&mut sim, 100).expect("halts");

@@ -135,8 +135,7 @@ pub fn verify_kernel(wb: &Workbench, kernel: &Kernel, sim: &Simulator<'_>) {
         let expected_bits =
             lisa_bits::Bits::from_i128_wrapped(res.ty.width(), i128::from(expected));
         assert_eq!(
-            got,
-            expected_bits,
+            got, expected_bits,
             "kernel `{}`: {resource}[{addr}] = {got}, expected {expected}",
             kernel.name
         );
@@ -229,13 +228,7 @@ loop:   LDH *+A10[0], A3
             value: (golden >> (8 * k)) & 0xFF,
         });
     }
-    Kernel {
-        name: format!("vliw_dot_{n}"),
-        source,
-        data,
-        checks,
-        max_steps: 40 * n as u64 + 400,
-    }
+    Kernel { name: format!("vliw_dot_{n}"), source, data, checks, max_steps: 40 * n as u64 + 400 }
 }
 
 /// `n`-element 32-bit vector addition on `vliw62`: `c[i] = a[i] + b[i]`.
@@ -309,9 +302,7 @@ pub fn vliw_fir(taps: usize, outputs: usize) -> Kernel {
     assert!((1..=32).contains(&taps) && (1..=64).contains(&outputs));
     let h = samples(5, taps, 200);
     let x = samples(6, outputs + taps, 500);
-    let golden: Vec<i64> = (0..outputs)
-        .map(|i| (0..taps).map(|k| h[k] * x[i + k]).sum())
-        .collect();
+    let golden: Vec<i64> = (0..outputs).map(|i| (0..taps).map(|k| h[k] * x[i + k]).sum()).collect();
 
     let mut data = Vec::new();
     for (i, &v) in h.iter().enumerate() {
@@ -533,13 +524,7 @@ loop:   LDH *+A10[0], A3
 /// speed benchmark.
 #[must_use]
 pub fn vliw_suite() -> Vec<Kernel> {
-    vec![
-        vliw_dot_product(32),
-        vliw_vecadd(24),
-        vliw_fir(8, 16),
-        vliw_memcpy(64),
-        vliw_biquad(16),
-    ]
+    vec![vliw_dot_product(32), vliw_vecadd(24), vliw_fir(8, 16), vliw_memcpy(64), vliw_biquad(16)]
 }
 
 // ===========================================================================
@@ -656,36 +641,59 @@ pub fn accu_fir_unrolled(taps: usize, outputs: usize) -> Kernel {
         data.push(("data_mem1", 256 + k as i64, v));
     }
 
-    let mut source = String::from("        .org 0x100
+    let mut source = String::from(
+        "        .org 0x100
         SSAT 0
-");
+",
+    );
     for i in 0..outputs {
-        source.push_str("        CLR
-");
-        source.push_str(&format!("        LAR a0, {i}
-"));
-        source.push_str("        LAR a1, 256
-");
+        source.push_str(
+            "        CLR
+",
+        );
+        source.push_str(&format!(
+            "        LAR a0, {i}
+"
+        ));
+        source.push_str(
+            "        LAR a1, 256
+",
+        );
         for _ in 0..taps {
-            source.push_str("        MOVP r0, a0
-");
-            source.push_str("        MOVP r1, a1
-");
-            source.push_str("        MAC r0, r1
-");
+            source.push_str(
+                "        MOVP r0, a0
+",
+            );
+            source.push_str(
+                "        MOVP r1, a1
+",
+            );
+            source.push_str(
+                "        MAC r0, r1
+",
+            );
         }
-        source.push_str("        SAT16
-");
+        source.push_str(
+            "        SAT16
+",
+        );
         // STA stores the full (sign-extended) accumulator; the golden
         // values are 16-bit saturated, so store the result register via
         // STX after SAT16.
-        source.push_str("        STX r2, 1023
-"); // scratch touch (keeps r2 live)
-        source.push_str(&format!("        STA {}
-", 512 + i));
+        source.push_str(
+            "        STX r2, 1023
+",
+        ); // scratch touch (keeps r2 live)
+        source.push_str(&format!(
+            "        STA {}
+",
+            512 + i
+        ));
     }
-    source.push_str("        HLT
-");
+    source.push_str(
+        "        HLT
+",
+    );
 
     let mut checks = Vec::new();
     for (i, &yv) in golden.iter().enumerate() {
@@ -708,6 +716,272 @@ pub fn accu_suite() -> Vec<Kernel> {
     vec![accu_dot_product(32), accu_block_scale(24, 3), accu_fir_unrolled(4, 12)]
 }
 
+// ===========================================================================
+// tinyrisc kernels
+// ===========================================================================
+
+/// Iterative Fibonacci on `tinyrisc`: `fib(n)` left in R1 and stored to
+/// `dmem[200]`.
+///
+/// `n` is limited to the signed 6-bit LDI range; the store address 200
+/// exceeds it, so the kernel builds it with `SHL` (25 << 3).
+#[must_use]
+pub fn tiny_fib(n: usize) -> Kernel {
+    assert!((1..=31).contains(&n), "n out of LDI range");
+    let (mut a, mut b) = (0i64, 1i64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    let golden = a;
+    let source = format!(
+        r#"
+        LDI R1, 0
+        LDI R2, 1
+        LDI R3, {n}
+        LDI R4, -1
+loop:   ADD R5, R1, R2
+        MV R1, R2
+        MV R2, R5
+        ADD R3, R3, R4
+        BNZ loop
+        LDI R6, 25
+        SHL R6, R6, 3       ; 200 = 25 << 3 (LDI tops out at 31)
+        ST R1, R6
+        HLT
+"#
+    );
+    Kernel {
+        name: format!("tiny_fib_{n}"),
+        source,
+        data: Vec::new(),
+        checks: vec![
+            Check::Reg { resource: "R", index: 1, value: golden },
+            Check::Mem { resource: "dmem", addr: 200, value: golden },
+        ],
+        max_steps: 10 * n as u64 + 100,
+    }
+}
+
+/// Memory sum on `tinyrisc`: adds `dmem[0..n)` into R1 and stores the
+/// total to `dmem[200]`.
+#[must_use]
+pub fn tiny_memsum(n: usize) -> Kernel {
+    assert!((1..=31).contains(&n), "n out of LDI range");
+    let x = samples(14, n, 900);
+    let golden: i64 = x.iter().sum();
+    let data: Vec<_> = x.iter().enumerate().map(|(i, &v)| ("dmem", i as i64, v)).collect();
+    let source = format!(
+        r#"
+        LDI R1, 0           ; sum
+        LDI R2, 0           ; cursor
+        LDI R3, {n}
+        LDI R4, -1
+        LDI R5, 1
+loop:   LD R6, R2
+        ADD R1, R1, R6
+        ADD R2, R2, R5
+        ADD R3, R3, R4
+        BNZ loop
+        LDI R6, 25
+        SHL R6, R6, 3
+        ST R1, R6
+        HLT
+"#
+    );
+    Kernel {
+        name: format!("tiny_memsum_{n}"),
+        source,
+        data,
+        checks: vec![
+            Check::Reg { resource: "R", index: 1, value: golden },
+            Check::Mem { resource: "dmem", addr: 200, value: golden },
+        ],
+        max_steps: 10 * n as u64 + 100,
+    }
+}
+
+/// The standard tinyrisc kernel suite.
+#[must_use]
+pub fn tiny_suite() -> Vec<Kernel> {
+    vec![tiny_fib(20), tiny_memsum(24)]
+}
+
+// ===========================================================================
+// scalar2 kernels
+// ===========================================================================
+
+/// Dot product on `scalar2` via pointer walk: x in `dmem[0..n)`, y in
+/// `dmem[64..64+n)`, result in R5 and `dmem[128]`.
+#[must_use]
+pub fn scalar_dot_product(n: usize) -> Kernel {
+    assert!((1..=64).contains(&n));
+    let x = samples(15, n, 120);
+    let y = samples(16, n, 120);
+    let golden: i64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+    let mut data = Vec::new();
+    for (i, &v) in x.iter().enumerate() {
+        data.push(("dmem", i as i64, v));
+    }
+    for (i, &v) in y.iter().enumerate() {
+        data.push(("dmem", 64 + i as i64, v));
+    }
+    let source = format!(
+        r#"
+        LDI R1, 0           ; &x
+        LDI R2, 64          ; &y
+        LDI R3, {n}
+        LDI R4, 1
+        LDI R5, 0           ; acc
+loop:   LD R6, R1
+        LD R7, R2
+        MUL R8, R6, R7
+        ADD R5, R5, R8
+        ADD R1, R1, R4
+        ADD R2, R2, R4
+        SUB R3, R3, R4
+        BNZ R3, loop
+        LDI R9, 128
+        ST R5, R9
+        HLT
+"#
+    );
+    Kernel {
+        name: format!("scalar_dot_{n}"),
+        source,
+        data,
+        checks: vec![
+            Check::Reg { resource: "R", index: 5, value: golden },
+            Check::Mem { resource: "dmem", addr: 128, value: golden },
+        ],
+        max_steps: 12 * n as u64 + 100,
+    }
+}
+
+/// Memory sum on `scalar2` with dual-issue-friendly scheduling: sums
+/// `dmem[0..n)` into R2 and stores it to `dmem[100]`.
+#[must_use]
+pub fn scalar_memsum(n: usize) -> Kernel {
+    assert!((1..=64).contains(&n));
+    let x = samples(17, n, 2000);
+    let golden: i64 = x.iter().sum();
+    let data: Vec<_> = x.iter().enumerate().map(|(i, &v)| ("dmem", i as i64, v)).collect();
+    let source = format!(
+        r#"
+        LDI R1, 0           ; cursor
+        LDI R2, 0           ; sum
+        LDI R3, {n}
+        LDI R4, 1
+loop:   LD R5, R1
+        ADD R2, R2, R5
+        ADD R1, R1, R4
+        SUB R3, R3, R4
+        BNZ R3, loop
+        LDI R6, 100
+        ST R2, R6
+        HLT
+"#
+    );
+    Kernel {
+        name: format!("scalar_memsum_{n}"),
+        source,
+        data,
+        checks: vec![
+            Check::Reg { resource: "R", index: 2, value: golden },
+            Check::Mem { resource: "dmem", addr: 100, value: golden },
+        ],
+        max_steps: 10 * n as u64 + 100,
+    }
+}
+
+/// The standard scalar2 kernel suite.
+#[must_use]
+pub fn scalar_suite() -> Vec<Kernel> {
+    vec![scalar_dot_product(24), scalar_memsum(32)]
+}
+
+// ===========================================================================
+// batch integration
+// ===========================================================================
+
+impl Workbench {
+    /// Turns a kernel into a [`lisa_exec::Scenario`] borrowing this
+    /// workbench's model: the assembled program at its origin, the data
+    /// image, the halt flag, the step budget, and the golden checks.
+    ///
+    /// Where [`run_kernel`] runs one kernel inline, scenarios feed
+    /// [`lisa_exec::BatchRunner`] to run whole kernel×mode matrices on a
+    /// worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not assemble (a kernel bug, like
+    /// [`load_kernel`]).
+    #[must_use]
+    pub fn scenario(&self, kernel: &Kernel, mode: SimMode) -> lisa_exec::Scenario<'_> {
+        let is_vliw = self.model().resource_by_name("fp").is_some();
+        let program = if is_vliw {
+            lisa_asm::Assembler::with_packet(self.model(), crate::vliw62::FETCH_PACKET, 1)
+                .assemble(&kernel.source)
+        } else {
+            lisa_asm::Assembler::new(self.model()).assemble(&kernel.source)
+        }
+        .unwrap_or_else(|e| panic!("kernel `{}` does not assemble: {e}", kernel.name));
+
+        let mut sc =
+            lisa_exec::Scenario::new(format!("{}@{mode:?}", kernel.name), self.model(), mode)
+                .program(self.program_memory(), program.origin, program.words)
+                .halt_on(self.halt_flag())
+                .steps(kernel.max_steps);
+        for &(resource, addr, value) in &kernel.data {
+            sc = sc.poke(resource, addr, value);
+        }
+        for check in &kernel.checks {
+            let (resource, addr, expected) = match check {
+                Check::Mem { resource, addr, value } => (*resource, *addr, *value),
+                Check::Reg { resource, index, value } => (*resource, *index, *value),
+            };
+            sc = sc.expect(resource, Some(addr), expected);
+        }
+        sc
+    }
+}
+
+/// Every model paired with its kernel suite — the models×kernels matrix
+/// behind the CLI's `batch` command and the batch-throughput benchmark.
+///
+/// Callers own the workbenches and borrow scenarios from them:
+///
+/// ```
+/// use lisa_models::kernels::full_matrix;
+/// use lisa_sim::SimMode;
+///
+/// # fn main() -> Result<(), lisa_models::WorkbenchError> {
+/// let matrix = full_matrix()?;
+/// let scenarios: Vec<_> = matrix
+///     .iter()
+///     .flat_map(|(wb, kernels)| {
+///         kernels.iter().map(move |k| wb.scenario(k, SimMode::Compiled))
+///     })
+///     .collect();
+/// assert!(scenarios.len() >= 12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates model-build errors (a bug in an embedded model).
+pub fn full_matrix() -> Result<Vec<(Workbench, Vec<Kernel>)>, WorkbenchError> {
+    Ok(vec![
+        (crate::vliw62::workbench()?, vliw_suite()),
+        (crate::accu16::workbench()?, accu_suite()),
+        (crate::scalar2::workbench()?, scalar_suite()),
+        (crate::tinyrisc::workbench()?, tiny_suite()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,10 +991,8 @@ mod tests {
         let wb = crate::vliw62::workbench().expect("builds");
         for kernel in vliw_suite() {
             for mode in [SimMode::Interpretive, SimMode::Compiled] {
-                let (sim, cycles) =
-                    run_kernel(&wb, &kernel, mode).unwrap_or_else(|e| {
-                        panic!("kernel {} failed in {mode:?}: {e}", kernel.name)
-                    });
+                let (sim, cycles) = run_kernel(&wb, &kernel, mode)
+                    .unwrap_or_else(|e| panic!("kernel {} failed in {mode:?}: {e}", kernel.name));
                 assert!(cycles > 0);
                 drop(sim);
             }
@@ -732,10 +1004,52 @@ mod tests {
         let wb = crate::accu16::workbench().expect("builds");
         for kernel in accu_suite() {
             for mode in [SimMode::Interpretive, SimMode::Compiled] {
-                run_kernel(&wb, &kernel, mode).unwrap_or_else(|e| {
-                    panic!("kernel {} failed in {mode:?}: {e}", kernel.name)
-                });
+                run_kernel(&wb, &kernel, mode)
+                    .unwrap_or_else(|e| panic!("kernel {} failed in {mode:?}: {e}", kernel.name));
             }
+        }
+    }
+
+    #[test]
+    fn tiny_and_scalar_kernels_pass_their_golden_checks_in_both_modes() {
+        for (wb, suite) in [
+            (crate::tinyrisc::workbench().expect("builds"), tiny_suite()),
+            (crate::scalar2::workbench().expect("builds"), scalar_suite()),
+        ] {
+            for kernel in suite {
+                for mode in [SimMode::Interpretive, SimMode::Compiled] {
+                    run_kernel(&wb, &kernel, mode).unwrap_or_else(|e| {
+                        panic!("kernel {} failed in {mode:?}: {e}", kernel.name)
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_reproduce_run_kernel_results() {
+        let matrix = full_matrix().expect("models build");
+        let scenarios: Vec<_> = matrix
+            .iter()
+            .flat_map(|(wb, kernels)| {
+                kernels.iter().flat_map(move |k| {
+                    [SimMode::Interpretive, SimMode::Compiled]
+                        .into_iter()
+                        .map(move |mode| wb.scenario(k, mode))
+                })
+            })
+            .collect();
+        assert!(scenarios.len() >= 24, "4 models x kernels x 2 modes");
+        let report = lisa_exec::BatchRunner::new(4).run(&scenarios);
+        assert!(report.all_passed(), "failures:\n{}", report.table());
+
+        // Cross-backend check: each kernel's Interpretive/Compiled pair
+        // (adjacent jobs) must agree on cycles and final state digest.
+        for pair in report.jobs.chunks(2) {
+            let a = pair[0].result.as_ref().expect("ok");
+            let b = pair[1].result.as_ref().expect("ok");
+            assert_eq!(a.cycles, b.cycles, "{}", pair[0].name);
+            assert_eq!(a.state_digest, b.state_digest, "{}", pair[0].name);
         }
     }
 

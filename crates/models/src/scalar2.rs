@@ -250,18 +250,11 @@ mod tests {
         let image = lisa_asm::Assembler::new(wb.model()).assemble(program).expect("assembles");
         let mut sim = wb.simulator(mode).expect("sim");
         sim.load_program("pmem", &image.words).unwrap();
-        if mode == SimMode::Compiled {
-            sim.predecode_program_memory();
-        }
         let cycles = wb.run_to_halt(&mut sim, 10_000).expect("halts");
-        let issued = sim
-            .state()
-            .read_int(wb.model().resource_by_name("issued").unwrap(), &[])
-            .unwrap();
-        let dual = sim
-            .state()
-            .read_int(wb.model().resource_by_name("dual_cycles").unwrap(), &[])
-            .unwrap();
+        let issued =
+            sim.state().read_int(wb.model().resource_by_name("issued").unwrap(), &[]).unwrap();
+        let dual =
+            sim.state().read_int(wb.model().resource_by_name("dual_cycles").unwrap(), &[]).unwrap();
         let regs = snapshot(&sim);
         (cycles, issued, dual, regs)
     }
@@ -345,9 +338,6 @@ mod tests {
             for i in 0..8 {
                 sim.state_mut().write_int(&dmem, &[i], 10 * (i + 1)).unwrap();
             }
-            if mode == SimMode::Compiled {
-                sim.predecode_program_memory();
-            }
             let cycles = wb.run_to_halt(&mut sim, 10_000).expect("halts");
             let r = wb.model().resource_by_name("R").unwrap();
             results.push((cycles, sim.state().read_int(r, &[2]).unwrap()));
@@ -384,9 +374,6 @@ mod tests {
         "#;
         let (fast, ..) = run_full(independent, SimMode::Compiled);
         let (slow, ..) = run_full(chain, SimMode::Compiled);
-        assert!(
-            fast < slow,
-            "independent code must finish in fewer cycles ({fast} vs {slow})"
-        );
+        assert!(fast < slow, "independent code must finish in fewer cycles ({fast} vs {slow})");
     }
 }

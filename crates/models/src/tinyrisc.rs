@@ -217,9 +217,13 @@ mod tests {
         let stats = ModelStats::of(wb.model());
         assert_eq!(stats.instructions, 15, "15 real instructions");
         assert_eq!(stats.aliases, 1, "MV is an alias");
-        assert!(wb.model().warnings().iter().all(|w| {
-            !matches!(w, lisa_core::model::ModelWarning::UnreachableOperation { .. })
-        }), "no unreachable operations: {:?}", wb.model().warnings());
+        assert!(
+            wb.model().warnings().iter().all(|w| {
+                !matches!(w, lisa_core::model::ModelWarning::UnreachableOperation { .. })
+            }),
+            "no unreachable operations: {:?}",
+            wb.model().warnings()
+        );
     }
 
     #[test]

@@ -107,49 +107,30 @@ mod tests {
     use lisa_core::model::ModelStats;
     use lisa_sim::{SimMode, Simulator};
 
-    fn run<'m>(
-        wb: &'m Workbench,
-        packets: &[&[&str]],
-        mode: SimMode,
-        max: u64,
-    ) -> Simulator<'m> {
+    fn run<'m>(wb: &'m Workbench, packets: &[&[&str]], mode: SimMode, max: u64) -> Simulator<'m> {
         let (words, _) = assemble_packets(wb, packets).expect("assembles");
         let mut sim = wb.simulator(mode).expect("sim builds");
         sim.load_program("pmem", &words).expect("loads");
-        if mode == SimMode::Compiled {
-            sim.predecode_program_memory();
-        }
         wb.run_to_halt(&mut sim, max).expect("halts");
         sim
     }
 
     fn a_reg(sim: &Simulator<'_>, wb: &Workbench, i: i64) -> i64 {
-        sim.state()
-            .read_int(wb.model().resource_by_name("A").unwrap(), &[i])
-            .unwrap()
+        sim.state().read_int(wb.model().resource_by_name("A").unwrap(), &[i]).unwrap()
     }
 
     fn b_reg(sim: &Simulator<'_>, wb: &Workbench, i: i64) -> i64 {
-        sim.state()
-            .read_int(wb.model().resource_by_name("B").unwrap(), &[i])
-            .unwrap()
+        sim.state().read_int(wb.model().resource_by_name("B").unwrap(), &[i]).unwrap()
     }
 
     #[test]
     fn model_builds_with_c62x_shape() {
         let wb = workbench().expect("builds");
         let model = wb.model();
-        let fetch = model
-            .pipelines()
-            .iter()
-            .find(|p| p.name == "fetch_pipe")
-            .expect("fetch pipe");
+        let fetch = model.pipelines().iter().find(|p| p.name == "fetch_pipe").expect("fetch pipe");
         assert_eq!(fetch.stages, ["PG", "PS", "PW", "PR", "DP"]);
-        let exec = model
-            .pipelines()
-            .iter()
-            .find(|p| p.name == "execute_pipe")
-            .expect("execute pipe");
+        let exec =
+            model.pipelines().iter().find(|p| p.name == "execute_pipe").expect("execute pipe");
         assert_eq!(exec.stages[0], "DC");
         let stats = ModelStats::of(model);
         assert!(stats.instructions >= 50, "broad ISA: {stats}");
@@ -181,11 +162,7 @@ mod tests {
         let wb = workbench().expect("builds");
         let sim = run(
             &wb,
-            &[
-                &["MVK A1, 5", "MVK B1, 11"],
-                &["ADD .L A2, A1, A1", "ADD .L B2, B1, B1"],
-                &["HALT"],
-            ],
+            &[&["MVK A1, 5", "MVK B1, 11"], &["ADD .L A2, A1, A1", "ADD .L B2, B1, B1"], &["HALT"]],
             SimMode::Compiled,
             200,
         );
@@ -252,7 +229,7 @@ mod tests {
             &[
                 &["MVK B0, 1"],
                 &["MVK B1, 0"],
-                &["NOP 2"], // let the MVKs land before predicates read them
+                &["NOP 2"],             // let the MVKs land before predicates read them
                 &["[B0] MVK A1, 111"],  // B0 != 0: executes
                 &["[B1] MVK A2, 222"],  // B1 == 0: annulled
                 &["[!B1] MVK A3, 333"], // !B1: executes
@@ -275,7 +252,7 @@ mod tests {
             vec!["MVK B2, 0"],
             vec!["MVK B3, 1"],
             vec!["ADD .L B2, B2, B1", "SUB .L B1, B1, B3"], // loop head
-            vec!["[B1] B 3"], // back to the loop head while B1 != 0
+            vec!["[B1] B 3"],                               // back to the loop head while B1 != 0
             vec!["NOP 1"],
             vec!["NOP 1"],
             vec!["NOP 1"],
@@ -296,18 +273,8 @@ mod tests {
     #[test]
     fn multicycle_nop_stalls_dispatch() {
         let wb = workbench().expect("builds");
-        let short = run(
-            &wb,
-            &[&["MVK A1, 1"], &["NOP 1"], &["HALT"]],
-            SimMode::Interpretive,
-            300,
-        );
-        let long = run(
-            &wb,
-            &[&["MVK A1, 1"], &["NOP 7"], &["HALT"]],
-            SimMode::Interpretive,
-            300,
-        );
+        let short = run(&wb, &[&["MVK A1, 1"], &["NOP 1"], &["HALT"]], SimMode::Interpretive, 300);
+        let long = run(&wb, &[&["MVK A1, 1"], &["NOP 7"], &["HALT"]], SimMode::Interpretive, 300);
         let d = long.stats().cycles as i64 - short.stats().cycles as i64;
         assert_eq!(d, 6, "NOP 7 costs six extra cycles over NOP 1");
         assert!(long.stats().stalls > short.stats().stalls);
@@ -334,7 +301,6 @@ mod tests {
         let mut compiled = wb.simulator(SimMode::Compiled).unwrap();
         interp.load_program("pmem", &words).unwrap();
         compiled.load_program("pmem", &words).unwrap();
-        compiled.predecode_program_memory();
         for cycle in 0..60 {
             interp.step().unwrap();
             compiled.step().unwrap();

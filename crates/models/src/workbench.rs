@@ -75,7 +75,6 @@ impl From<SimError> for WorkbenchError {
 /// let words = wb.assemble(&["LDI R1, 2", "LDI R2, 3", "ADD R3, R1, R2", "HLT"])?;
 /// let mut sim = wb.simulator(SimMode::Compiled)?;
 /// sim.load_program(wb.program_memory(), &words)?;
-/// sim.predecode_program_memory();
 /// wb.run_to_halt(&mut sim, 1000)?;
 /// let r = wb.model().resource_by_name("R").expect("register file");
 /// assert_eq!(sim.state().read_int(r, &[3])?, 5);
@@ -212,10 +211,8 @@ impl Workbench {
     ) -> Result<Simulator<'_>, WorkbenchError> {
         let words = self.assemble(statements)?;
         let mut sim = self.simulator(mode)?;
+        // load_program pre-decodes automatically in compiled mode.
         sim.load_program(self.program_memory, &words)?;
-        if mode == SimMode::Compiled {
-            sim.predecode_program_memory();
-        }
         self.run_to_halt(&mut sim, max_steps)?;
         Ok(sim)
     }

@@ -10,9 +10,7 @@
 //! operands dispatch through precomputed variant tables — no string
 //! lookups remain on the cycle path.
 
-use lisa_core::ast::{
-    AssignOp, BinOp, Block, Call, DataType, Expr, Stmt, UnOp,
-};
+use lisa_core::ast::{AssignOp, BinOp, Block, Call, DataType, Expr, Stmt, UnOp};
 use lisa_core::model::{CodingTarget, Model, OpId, PipelineId, ResourceId};
 use lisa_isa::Decoded;
 
@@ -96,12 +94,7 @@ pub(crate) enum LStmt {
     If { cond: LExpr, then_block: LBlock, else_block: LBlock },
     While { cond: LExpr, body: LBlock },
     DoWhile { body: LBlock, cond: LExpr },
-    For {
-        init: Option<Box<LStmt>>,
-        cond: Option<LExpr>,
-        step: Option<Box<LStmt>>,
-        body: LBlock,
-    },
+    For { init: Option<Box<LStmt>>, cond: Option<LExpr>, step: Option<Box<LStmt>>, body: LBlock },
     Switch { scrutinee: LExpr, cases: Vec<(i64, LBlock)>, default: Option<LBlock> },
     Break,
     Continue,
@@ -208,11 +201,7 @@ impl<'m> LowerCtx<'m> {
 
     fn lower_block(&mut self, block: &Block) -> Result<LBlock, SimError> {
         self.push_scope();
-        let stmts = block
-            .stmts
-            .iter()
-            .map(|s| self.lower_stmt(s))
-            .collect::<Result<Vec<_>, _>>();
+        let stmts = block.stmts.iter().map(|s| self.lower_stmt(s)).collect::<Result<Vec<_>, _>>();
         self.pop_scope();
         Ok(LBlock { stmts: stmts? })
     }
@@ -239,14 +228,12 @@ impl<'m> LowerCtx<'m> {
                 then_block: self.lower_block(then_block)?,
                 else_block: self.lower_block(else_block)?,
             },
-            Stmt::While { cond, body } => LStmt::While {
-                cond: self.lower_expr(cond)?,
-                body: self.lower_block(body)?,
-            },
-            Stmt::DoWhile { body, cond } => LStmt::DoWhile {
-                body: self.lower_block(body)?,
-                cond: self.lower_expr(cond)?,
-            },
+            Stmt::While { cond, body } => {
+                LStmt::While { cond: self.lower_expr(cond)?, body: self.lower_block(body)? }
+            }
+            Stmt::DoWhile { body, cond } => {
+                LStmt::DoWhile { body: self.lower_block(body)?, cond: self.lower_expr(cond)? }
+            }
             Stmt::For { init, cond, step, body } => {
                 self.push_scope();
                 let init = init.as_ref().map(|s| self.lower_stmt(s)).transpose()?.map(Box::new);
@@ -258,10 +245,11 @@ impl<'m> LowerCtx<'m> {
             }
             Stmt::Switch { scrutinee, cases, default } => LStmt::Switch {
                 scrutinee: self.lower_expr(scrutinee)?,
-                cases: cases
-                    .iter()
-                    .map(|(v, b)| Ok((*v, self.lower_block(b)?)))
-                    .collect::<Result<Vec<_>, SimError>>()?,
+                cases: cases.iter().map(|(v, b)| Ok((*v, self.lower_block(b)?))).collect::<Result<
+                    Vec<_>,
+                    SimError,
+                >>(
+                )?,
                 default: default.as_ref().map(|b| self.lower_block(b)).transpose()?,
             },
             Stmt::Break => LStmt::Break,
@@ -307,14 +295,10 @@ impl<'m> LowerCtx<'m> {
 
     fn lower_intrinsic(&mut self, call: &Call) -> Result<Option<PipeOp>, SimError> {
         let Some(first) = call.path.first() else { return Ok(None) };
-        let Some(pipeline) =
-            self.model.pipelines().iter().find(|p| p.name == first.name)
-        else {
+        let Some(pipeline) = self.model.pipelines().iter().find(|p| p.name == first.name) else {
             return Ok(None);
         };
-        let path_str = || {
-            call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".")
-        };
+        let path_str = || call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".");
         let op = match call.path.len() {
             2 => match call.path[1].name.as_str() {
                 "shift" => PipeOp::Shift(pipeline.id),
@@ -563,11 +547,8 @@ impl Simulator<'_> {
                 };
                 if *width < 64 {
                     let wrapped = lisa_bits::Bits::from_i128_wrapped(*width, i128::from(value));
-                    value = if *signed {
-                        wrapped.to_i128() as i64
-                    } else {
-                        wrapped.to_u128() as i64
-                    };
+                    value =
+                        if *signed { wrapped.to_i128() as i64 } else { wrapped.to_u128() as i64 };
                 }
                 frame.locals.set(*slot, value);
                 Ok(Flow::Normal)
@@ -609,18 +590,11 @@ impl Simulator<'_> {
             }
             LStmt::InvokeOp(target) => {
                 let bound = frame.decoded.and_then(|d| {
-                    let coding = self
-                        .model
-                        .operation(frame.op)
-                        .variants
-                        .get(d.variant)?
-                        .coding
-                        .as_ref()?;
-                    coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
-                        match (&f.target, c) {
-                            (CodingTarget::Op(o), Some(c)) if o == target => Some(&**c),
-                            _ => None,
-                        }
+                    let coding =
+                        self.model.operation(frame.op).variants.get(d.variant)?.coding.as_ref()?;
+                    coding.fields.iter().zip(&d.children).find_map(|(f, c)| match (&f.target, c) {
+                        (CodingTarget::Op(o), Some(c)) if o == target => Some(&**c),
+                        _ => None,
                     })
                 });
                 match bound {
@@ -684,11 +658,8 @@ impl Simulator<'_> {
             }
             LStmt::Switch { scrutinee, cases, default } => {
                 let value = self.eval_lexpr(scrutinee, frame)?;
-                let body = cases
-                    .iter()
-                    .find(|(v, _)| *v == value)
-                    .map(|(_, b)| b)
-                    .or(default.as_ref());
+                let body =
+                    cases.iter().find(|(v, _)| *v == value).map(|(_, b)| b).or(default.as_ref());
                 match body {
                     Some(block) => match self.run_lblock(block, frame)? {
                         Flow::Break => Ok(Flow::Normal),
@@ -711,10 +682,7 @@ impl Simulator<'_> {
                 let stall_upto = self.pipes[pid.0].stall_upto;
                 for p in &mut self.pending {
                     if let Some((ppid, stage)) = p.pipe {
-                        if ppid == pid
-                            && p.remaining > 0
-                            && stall_upto.is_none_or(|s| stage > s)
-                        {
+                        if ppid == pid && p.remaining > 0 && stall_upto.is_none_or(|s| stage > s) {
                             p.remaining -= 1;
                         }
                     }
@@ -742,21 +710,17 @@ impl Simulator<'_> {
         Ok(match expr {
             LExpr::Const(v) => *v,
             LExpr::Local(slot) => frame.locals.get(*slot),
-            LExpr::Label(l) => frame
-                .decoded
-                .map(|d| d.labels.get(*l as usize).copied().unwrap_or(0))
-                .unwrap_or(0) as i64,
-            LExpr::ResScalar(res) => {
-                self.state.read_flat(*res, 0).unwrap_or(0)
+            LExpr::Label(l) => {
+                frame.decoded.map(|d| d.labels.get(*l as usize).copied().unwrap_or(0)).unwrap_or(0)
+                    as i64
             }
+            LExpr::ResScalar(res) => self.state.read_flat(*res, 0).unwrap_or(0),
             LExpr::ResElem { res, indices } => {
                 let flat = self.flat_of(*res, indices, frame)?;
-                self.state.read_flat(*res, flat).ok_or_else(|| {
-                    SimError::IndexOutOfBounds {
-                        resource: self.model.resource(*res).name.clone(),
-                        index: flat as i64,
-                        dim: 0,
-                    }
+                self.state.read_flat(*res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
+                    resource: self.model.resource(*res).name.clone(),
+                    index: flat as i64,
+                    dim: 0,
                 })?
             }
             LExpr::GroupValue(g) => {
@@ -843,13 +807,11 @@ impl Simulator<'_> {
                 match f {
                     Builtin::Sext => {
                         let w = vals[1].clamp(1, 64) as u32;
-                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_i128()
-                            as i64
+                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_i128() as i64
                     }
                     Builtin::Zext => {
                         let w = vals[1].clamp(1, 64) as u32;
-                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_u128()
-                            as i64
+                        lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).to_u128() as i64
                     }
                     Builtin::Saturate => saturate(vals[0], vals[1].clamp(1, 64) as u32),
                     Builtin::Abs => vals[0].wrapping_abs(),
@@ -857,9 +819,7 @@ impl Simulator<'_> {
                     Builtin::Max => vals[0].max(vals[1]),
                     Builtin::Norm => {
                         let w = vals[1].clamp(1, 64) as u32;
-                        i64::from(
-                            lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).norm(),
-                        )
+                        i64::from(lisa_bits::Bits::from_i128_wrapped(w, i128::from(vals[0])).norm())
                     }
                     Builtin::Print => {
                         let v = vals[0];
@@ -916,9 +876,7 @@ impl Simulator<'_> {
             for (i, e) in indices.iter().enumerate() {
                 buf[i] = self.eval_lexpr(e, frame)?;
             }
-            return self
-                .state
-                .flatten_indices(self.model.resource(res), &buf[..indices.len()]);
+            return self.state.flatten_indices(self.model.resource(res), &buf[..indices.len()]);
         }
         let mut vals = Vec::with_capacity(indices.len());
         for e in indices {

@@ -234,17 +234,19 @@ impl<'m> Simulator<'m> {
                     self.stats.decode_cache_hits += 1;
                     return Ok(Arc::clone(hit));
                 }
-                let decoder = self.decoder.as_ref().ok_or(SimError::Decode(
-                    lisa_isa::IsaError::NoDecodeRoot,
-                ))?;
+                let decoder = self
+                    .decoder
+                    .as_ref()
+                    .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
                 let decoded = Arc::new(decoder.decode(word)?);
                 self.decode_cache.insert(word, Arc::clone(&decoded));
                 Ok(decoded)
             }
             SimMode::Interpretive => {
-                let decoder = self.decoder.as_ref().ok_or(SimError::Decode(
-                    lisa_isa::IsaError::NoDecodeRoot,
-                ))?;
+                let decoder = self
+                    .decoder
+                    .as_ref()
+                    .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
                 Ok(Arc::new(decoder.decode(word)?))
             }
         }
@@ -347,11 +349,7 @@ impl<'m> Simulator<'m> {
     }
 
     /// Executes one scheduled item: behavior, then activation.
-    fn execute_item(
-        &mut self,
-        item: &ExecItem,
-        ready: &mut Vec<ExecItem>,
-    ) -> Result<(), SimError> {
+    fn execute_item(&mut self, item: &ExecItem, ready: &mut Vec<ExecItem>) -> Result<(), SimError> {
         self.stats.executed_ops += 1;
         let operation = self.model.operation(item.op);
 
@@ -372,11 +370,7 @@ impl<'m> Simulator<'m> {
             _ => {
                 // No binding: select the default (guard-free) variant.
                 let choices = vec![None; operation.groups.len()];
-                operation
-                    .variants
-                    .iter()
-                    .position(|v| v.matches(&choices))
-                    .unwrap_or(0)
+                operation.variants.iter().position(|v| v.matches(&choices)).unwrap_or(0)
             }
         };
 
@@ -443,11 +437,8 @@ impl<'m> Simulator<'m> {
                 }
                 ActNode::Switch { scrutinee, cases, default, .. } => {
                     let value = self.eval_condition(scrutinee, op, variant, decoded)?;
-                    let body = cases
-                        .iter()
-                        .find(|(v, _)| *v == value)
-                        .map(|(_, b)| b)
-                        .unwrap_or(default);
+                    let body =
+                        cases.iter().find(|(v, _)| *v == value).map(|(_, b)| b).unwrap_or(default);
                     self.run_act_nodes(body, op, variant, decoded, ready)?;
                 }
             }
@@ -467,11 +458,12 @@ impl<'m> Simulator<'m> {
     ) -> Result<(), SimError> {
         let operation = self.model.operation(from_op);
         let item = if let Some(gidx) = operation.group_index(name) {
-            let child = decoded
-                .and_then(|d| d.group_child_rc(self.model, gidx))
-                .ok_or_else(|| SimError::UnboundGroup {
-                    group: name.to_owned(),
-                    operation: operation.name.clone(),
+            let child =
+                decoded.and_then(|d| d.group_child_rc(self.model, gidx)).ok_or_else(|| {
+                    SimError::UnboundGroup {
+                        group: name.to_owned(),
+                        operation: operation.name.clone(),
+                    }
                 })?;
             ExecItem { op: child.op, decoded: Some(child) }
         } else if let Some(target) = self.model.operation_by_name(name) {
@@ -480,15 +472,11 @@ impl<'m> Simulator<'m> {
             let child = decoded.and_then(|d| {
                 let coding =
                     self.model.operation(from_op).variants.get(d.variant)?.coding.as_ref()?;
-                coding.fields.iter().zip(&d.children).find_map(|(f, c)| {
-                    match (&f.target, c) {
-                        (lisa_core::model::CodingTarget::Op(o), Some(c))
-                            if *o == target.id =>
-                        {
-                            Some(Arc::clone(c))
-                        }
-                        _ => None,
+                coding.fields.iter().zip(&d.children).find_map(|(f, c)| match (&f.target, c) {
+                    (lisa_core::model::CodingTarget::Op(o), Some(c)) if *o == target.id => {
+                        Some(Arc::clone(c))
                     }
+                    _ => None,
                 })
             });
             ExecItem { op: target.id, decoded: child }
@@ -531,15 +519,11 @@ impl<'m> Simulator<'m> {
         call: &lisa_core::ast::Call,
     ) -> Result<bool, SimError> {
         let Some(first) = call.path.first() else { return Ok(false) };
-        let Some(pipeline) =
-            self.model.pipelines().iter().find(|p| p.name == first.name)
-        else {
+        let Some(pipeline) = self.model.pipelines().iter().find(|p| p.name == first.name) else {
             return Ok(false);
         };
         let pid = pipeline.id;
-        let path_str = || {
-            call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".")
-        };
+        let path_str = || call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".");
         match call.path.len() {
             2 => {
                 let action = call.path[1].name.as_str();
@@ -573,10 +557,7 @@ impl<'m> Simulator<'m> {
         let stall_upto = self.pipes[pid.0].stall_upto;
         for p in &mut self.pending {
             if let Some((ppid, stage)) = p.pipe {
-                if ppid == pid
-                    && p.remaining > 0
-                    && stall_upto.is_none_or(|s| stage > s)
-                {
+                if ppid == pid && p.remaining > 0 && stall_upto.is_none_or(|s| stage > s) {
                     p.remaining -= 1;
                 }
             }
@@ -618,10 +599,7 @@ impl<'m> Simulator<'m> {
     /// Directly injects a decoded instruction for execution this step —
     /// used by tests and by front-ends that bypass fetch modelling.
     pub fn execute_decoded(&mut self, decoded: &Decoded) -> Result<(), SimError> {
-        let mut ready = vec![ExecItem {
-            op: decoded.op,
-            decoded: Some(Arc::new(decoded.clone())),
-        }];
+        let mut ready = vec![ExecItem { op: decoded.op, decoded: Some(Arc::new(decoded.clone())) }];
         let mut i = 0;
         while i < ready.len() {
             let item = ready[i].clone();
@@ -640,22 +618,27 @@ impl<'m> Simulator<'m> {
     /// Writes a program image (words) into a `PROGRAM_MEMORY` resource
     /// starting at its base address.
     ///
+    /// In [`SimMode::Compiled`] the loaded region is immediately
+    /// pre-decoded into the decode cache (the translate-time step of
+    /// compiled simulation), so callers no longer need to invoke
+    /// [`Simulator::predecode_program_memory`] by hand after loading.
+    ///
     /// # Errors
     ///
     /// Returns addressing errors if the image exceeds the memory.
-    pub fn load_program(
-        &mut self,
-        memory: &str,
-        words: &[u128],
-    ) -> Result<(), SimError> {
-        let res = self.model.resource_by_name(memory).ok_or_else(|| {
-            SimError::UnknownName { name: memory.to_owned(), operation: "<loader>".into() }
+    pub fn load_program(&mut self, memory: &str, words: &[u128]) -> Result<(), SimError> {
+        let res = self.model.resource_by_name(memory).ok_or_else(|| SimError::UnknownName {
+            name: memory.to_owned(),
+            operation: "<loader>".into(),
         })?;
         let base = res.dims.first().map_or(0, |d| d.base()) as i64;
         let res = res.clone();
         for (i, &word) in words.iter().enumerate() {
             let value = Bits::from_u128_wrapped(res.ty.width(), word);
             self.state.write(&res, &[base + i as i64], value)?;
+        }
+        if self.mode == SimMode::Compiled {
+            self.predecode_program_memory();
         }
         Ok(())
     }

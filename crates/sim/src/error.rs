@@ -86,6 +86,9 @@ pub enum SimError {
         /// The budget that was exhausted.
         limit: u64,
     },
+    /// A snapshot was restored into a simulator whose resource layout
+    /// does not match the one the snapshot was captured from.
+    SnapshotMismatch,
     /// A group operand was used in behavior code, but the instruction
     /// word did not bind that group (no coding field).
     UnboundGroup {
@@ -130,6 +133,9 @@ impl fmt::Display for SimError {
             }
             SimError::StepLimit { limit } => {
                 write!(f, "step limit of {limit} control steps exceeded")
+            }
+            SimError::SnapshotMismatch => {
+                write!(f, "snapshot does not match this simulator's resource layout")
             }
             SimError::UnboundGroup { group, operation } => {
                 write!(f, "group `{group}` of `{operation}` is not bound by the instruction")

@@ -103,8 +103,11 @@ impl<'m> Simulator<'m> {
                 // Locals are C ints; widths below 64 wrap like the type.
                 let width = ty.width().min(64);
                 let wrapped = lisa_bits::Bits::from_i128_wrapped(width, i128::from(value));
-                let value =
-                    if ty.is_signed() { wrapped.to_i128() as i64 } else { wrapped.to_u128() as i64 };
+                let value = if ty.is_signed() {
+                    wrapped.to_i128() as i64
+                } else {
+                    wrapped.to_u128() as i64
+                };
                 frame.declare(&name.name, value);
                 Ok(Flow::Normal)
             }
@@ -142,13 +145,17 @@ impl<'m> Simulator<'m> {
             }
             Stmt::While { cond, body } => {
                 while self.eval_expr_interp(cond, frame)? != 0 {
-                    if self.eval_block(body, frame)? == Flow::Break { break }
+                    if self.eval_block(body, frame)? == Flow::Break {
+                        break;
+                    }
                 }
                 Ok(Flow::Normal)
             }
             Stmt::DoWhile { body, cond } => {
                 loop {
-                    if self.eval_block(body, frame)? == Flow::Break { break }
+                    if self.eval_block(body, frame)? == Flow::Break {
+                        break;
+                    }
                     if self.eval_expr_interp(cond, frame)? == 0 {
                         break;
                     }
@@ -166,7 +173,9 @@ impl<'m> Simulator<'m> {
                             break;
                         }
                     }
-                    if self.eval_block(body, frame)? == Flow::Break { break }
+                    if self.eval_block(body, frame)? == Flow::Break {
+                        break;
+                    }
                     if let Some(step) = step {
                         self.eval_stmt(step, frame)?;
                     }
@@ -176,11 +185,8 @@ impl<'m> Simulator<'m> {
             }
             Stmt::Switch { scrutinee, cases, default } => {
                 let value = self.eval_expr_interp(scrutinee, frame)?;
-                let body = cases
-                    .iter()
-                    .find(|(v, _)| *v == value)
-                    .map(|(_, b)| b)
-                    .or(default.as_ref());
+                let body =
+                    cases.iter().find(|(v, _)| *v == value).map(|(_, b)| b).or(default.as_ref());
                 match body {
                     Some(block) => {
                         // A Break inside a case ends the switch, not an
@@ -240,10 +246,8 @@ impl<'m> Simulator<'m> {
     /// Invokes the behavior (and activation) of a group's selected member
     /// in the same control step.
     fn invoke_group(&mut self, gidx: usize, frame: &mut Frame<'_>) -> Result<(), SimError> {
-        let child = frame
-            .decoded
-            .and_then(|d| d.group_child(self.model, gidx))
-            .ok_or_else(|| {
+        let child =
+            frame.decoded.and_then(|d| d.group_child(self.model, gidx)).ok_or_else(|| {
                 let operation = self.model.operation(frame.op);
                 SimError::UnboundGroup {
                     group: operation.groups[gidx].name.clone(),
@@ -289,11 +293,7 @@ impl<'m> Simulator<'m> {
         }
         self.stats.executed_ops += 1;
         let choices = vec![None; operation.groups.len()];
-        let variant = operation
-            .variants
-            .iter()
-            .position(|v| v.matches(&choices))
-            .unwrap_or(0);
+        let variant = operation.variants.iter().position(|v| v.matches(&choices)).unwrap_or(0);
         match self.mode {
             crate::SimMode::Interpretive => self.exec_behavior_interp(op, variant, None)?,
             crate::SimMode::Compiled => self.exec_behavior_compiled(op, variant, None)?,
@@ -393,10 +393,8 @@ impl<'m> Simulator<'m> {
         }
         let operation = self.model.operation(frame.op);
         if let Some(lidx) = operation.label_index(name) {
-            let value = frame
-                .decoded
-                .map(|d| d.labels.get(lidx).copied().unwrap_or(0))
-                .unwrap_or(0);
+            let value =
+                frame.decoded.map(|d| d.labels.get(lidx).copied().unwrap_or(0)).unwrap_or(0);
             return Ok(value as i64);
         }
         if let Some(gidx) = operation.group_index(name) {
@@ -414,10 +412,7 @@ impl<'m> Simulator<'m> {
                 }
             }
         }
-        Err(SimError::UnknownName {
-            name: name.to_owned(),
-            operation: operation.name.clone(),
-        })
+        Err(SimError::UnknownName { name: name.to_owned(), operation: operation.name.clone() })
     }
 
     fn op_ref_child<'d>(&self, target: OpId, frame: &Frame<'d>) -> Option<&'d Decoded> {
@@ -432,10 +427,8 @@ impl<'m> Simulator<'m> {
     /// Reads a group operand: the selected member's EXPRESSION value, or
     /// its sole label when it has no expression (immediate operands).
     fn read_group(&mut self, gidx: usize, frame: &mut Frame<'_>) -> Result<i64, SimError> {
-        let child = frame
-            .decoded
-            .and_then(|d| d.group_child(self.model, gidx))
-            .ok_or_else(|| {
+        let child =
+            frame.decoded.and_then(|d| d.group_child(self.model, gidx)).ok_or_else(|| {
                 let operation = self.model.operation(frame.op);
                 SimError::UnboundGroup {
                     group: operation.groups[gidx].name.clone(),
@@ -506,11 +499,7 @@ impl<'m> Simulator<'m> {
     ) -> Result<Option<i64>, SimError> {
         let arity = |expected: usize| -> Result<(), SimError> {
             if args.len() != expected {
-                Err(SimError::BadArity {
-                    builtin: name.to_owned(),
-                    got: args.len(),
-                    expected,
-                })
+                Err(SimError::BadArity { builtin: name.to_owned(), got: args.len(), expected })
             } else {
                 Ok(())
             }
@@ -655,9 +644,10 @@ impl<'m> Simulator<'m> {
     /// through group operands: `Dest = …`).
     fn place_of_expression(&mut self, child: &Decoded) -> Result<Place, SimError> {
         let operation = self.model.operation(child.op);
-        let expr = operation.variants[child.variant].expression.as_ref().ok_or_else(|| {
-            SimError::NotAnLvalue { operation: operation.name.clone() }
-        })?;
+        let expr = operation.variants[child.variant]
+            .expression
+            .as_ref()
+            .ok_or_else(|| SimError::NotAnLvalue { operation: operation.name.clone() })?;
         let mut child_frame = Frame::new(child.op, child.variant, Some(child));
         self.eval_place(expr, &mut child_frame)
     }

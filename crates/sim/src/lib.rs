@@ -23,10 +23,12 @@ mod compiled;
 mod engine;
 mod error;
 mod eval;
+mod snapshot;
 mod state;
 mod stats;
 
 pub use engine::{SimMode, Simulator};
 pub use error::SimError;
+pub use snapshot::Snapshot;
 pub use state::State;
 pub use stats::SimStats;

@@ -115,7 +115,12 @@ impl State {
     /// # Errors
     ///
     /// Same as [`State::read`].
-    pub fn write_int(&mut self, res: &Resource, indices: &[i64], value: i64) -> Result<(), SimError> {
+    pub fn write_int(
+        &mut self,
+        res: &Resource,
+        indices: &[i64],
+        value: i64,
+    ) -> Result<(), SimError> {
         let flat = self.flat_index(res, indices)?;
         let storage = &mut self.storages[res.id.0];
         storage.data[flat] = Bits::from_i128_wrapped(storage.width, i128::from(value));
@@ -191,6 +196,45 @@ impl State {
     pub fn element_count(&self, id: ResourceId) -> usize {
         self.storages[id.0].data.len()
     }
+
+    /// Whether another state has the same resource layout (count, widths,
+    /// signedness, dimensions) — the compatibility check behind
+    /// [`crate::Simulator::restore`].
+    pub(crate) fn same_shape(&self, other: &State) -> bool {
+        self.storages.len() == other.storages.len()
+            && self.storages.iter().zip(&other.storages).all(|(a, b)| {
+                a.width == b.width
+                    && a.signed == b.signed
+                    && a.dims == b.dims
+                    && a.data.len() == b.data.len()
+            })
+    }
+
+    /// A 64-bit FNV-1a fingerprint over every storage cell (widths and
+    /// values). Two states of the same model with equal contents hash
+    /// equally, so digests make cheap cross-run state comparisons — the
+    /// batch engine records one per finished job.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for s in &self.storages {
+            mix(u64::from(s.width));
+            for cell in &s.data {
+                let raw = cell.to_u128();
+                mix(raw as u64);
+                mix((raw >> 64) as u64);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -245,14 +289,8 @@ mod tests {
         st.write_int(prog, &[0x10f], 7).unwrap();
         assert_eq!(st.read_int(prog, &[0x100]).unwrap(), 42);
         assert_eq!(st.read_int(prog, &[0x10f]).unwrap(), 7);
-        assert!(matches!(
-            st.read(prog, &[0xff]),
-            Err(SimError::IndexOutOfBounds { .. })
-        ));
-        assert!(matches!(
-            st.read(prog, &[0x110]),
-            Err(SimError::IndexOutOfBounds { .. })
-        ));
+        assert!(matches!(st.read(prog, &[0xff]), Err(SimError::IndexOutOfBounds { .. })));
+        assert!(matches!(st.read(prog, &[0x110]), Err(SimError::IndexOutOfBounds { .. })));
     }
 
     #[test]
@@ -264,10 +302,7 @@ mod tests {
         assert_eq!(st.read_int(banked, &[1, 2]).unwrap(), 99);
         assert_eq!(st.read_int(banked, &[0, 2]).unwrap(), 0);
         assert!(matches!(st.read(banked, &[1]), Err(SimError::WrongArity { .. })));
-        assert!(matches!(
-            st.read(banked, &[2, 0]),
-            Err(SimError::IndexOutOfBounds { .. })
-        ));
+        assert!(matches!(st.read(banked, &[2, 0]), Err(SimError::IndexOutOfBounds { .. })));
     }
 
     #[test]

@@ -17,9 +17,7 @@ fn run_both(model: &Model, steps: u64) -> Simulator<'_> {
 }
 
 fn read(sim: &Simulator<'_>, name: &str) -> i64 {
-    sim.state()
-        .read_int(sim.model().resource_by_name(name).expect(name), &[])
-        .expect(name)
+    sim.state().read_int(sim.model().resource_by_name(name).expect(name), &[]).expect(name)
 }
 
 #[test]

@@ -129,12 +129,11 @@ fn run_program<'m>(model: &'m Model, mode: SimMode, program: &[&str], max: u64) 
     let mut sim = Simulator::new(model, mode).expect("simulator builds");
     sim.load_program("pmem", &words).expect("program fits");
     if mode == SimMode::Compiled {
-        let predecoded = sim.predecode_program_memory();
-        assert!(predecoded > 0, "compiled mode pre-decodes the program");
+        // Loading pre-decodes automatically in compiled mode.
+        assert!(sim.snapshot().predecoded_words() > 0, "load pre-decodes the program");
     }
     let halt = model.resource_by_name("halt").unwrap().clone();
-    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max)
-        .expect("program halts");
+    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max).expect("program halts");
     sim
 }
 
@@ -146,8 +145,7 @@ fn reg(sim: &Simulator<'_>, model: &Model, i: i64) -> i64 {
 #[test]
 fn straight_line_arithmetic_both_modes() {
     let model = Model::from_source(TOY).expect("model builds");
-    let program =
-        ["LDI R1, 6", "LDI R2, 7", "MUL R3, R1, R2", "ADD R4, R3, R1", "HLT"];
+    let program = ["LDI R1, 6", "LDI R2, 7", "MUL R3, R1, R2", "ADD R4, R3, R1", "HLT"];
     for mode in [SimMode::Interpretive, SimMode::Compiled] {
         let sim = run_program(&model, mode, &program, 100);
         assert_eq!(reg(&sim, &model, 3), 42, "{mode:?}");
@@ -215,15 +213,10 @@ fn both_modes_agree_cycle_by_cycle() {
     let mut compiled = Simulator::new(&model, SimMode::Compiled).unwrap();
     interp.load_program("pmem", &words).unwrap();
     compiled.load_program("pmem", &words).unwrap();
-    compiled.predecode_program_memory();
     for cycle in 0..20 {
         interp.step().unwrap();
         compiled.step().unwrap();
-        assert_eq!(
-            interp.state(),
-            compiled.state(),
-            "state diverged at cycle {cycle}"
-        );
+        assert_eq!(interp.state(), compiled.state(), "state diverged at cycle {cycle}");
     }
 }
 
@@ -256,9 +249,7 @@ fn step_limit_is_reported() {
     let mut sim = Simulator::new(&model, SimMode::Interpretive).unwrap();
     sim.load_program("pmem", &words).unwrap();
     let halt = model.resource_by_name("halt").unwrap().clone();
-    let err = sim
-        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 50)
-        .unwrap_err();
+    let err = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 50).unwrap_err();
     assert!(matches!(err, SimError::StepLimit { limit: 50 }));
 }
 
@@ -321,11 +312,8 @@ OPERATION main {
 "#;
 
 fn read_marks(sim: &Simulator<'_>, model: &Model) -> (i64, i64, i64) {
-    let get = |name: &str| {
-        sim.state()
-            .read_int(model.resource_by_name(name).unwrap(), &[])
-            .unwrap()
-    };
+    let get =
+        |name: &str| sim.state().read_int(model.resource_by_name(name).unwrap(), &[]).unwrap();
     (get("mark_f"), get("mark_d"), get("mark_e"))
 }
 
@@ -362,8 +350,10 @@ fn stall_holds_upstream_stages() {
     sim.state_mut().write_int(&stall_req, &[], 0).unwrap();
     // FE keeps executing (main re-activates each cycle at distance 0), but
     // the DE-bound work stalls: mark_d advances more slowly than mark_f.
-    assert!(after_two.0 - after_two.1 > after_one.0 - after_one.1 || after_two.1 == after_one.1,
-        "stall should open a gap between FE and DE: {after_one:?} -> {after_two:?}");
+    assert!(
+        after_two.0 - after_two.1 > after_one.0 - after_one.1 || after_two.1 == after_one.1,
+        "stall should open a gap between FE and DE: {after_one:?} -> {after_two:?}"
+    );
     // Resume: pipeline drains again.
     sim.run(4).unwrap();
     let resumed = read_marks(&sim, &model);
@@ -414,8 +404,7 @@ fn delayed_activation_via_semicolons() {
     let mut sim = Simulator::new(&model, SimMode::Interpretive).unwrap();
     sim.run(6).unwrap();
     let t0 = sim.state().read_int(model.resource_by_name("t0").unwrap(), &[]).unwrap();
-    let later =
-        sim.state().read_int(model.resource_by_name("later").unwrap(), &[]).unwrap();
+    let later = sim.state().read_int(model.resource_by_name("later").unwrap(), &[]).unwrap();
     // mark_now ran one control step after the kick (delay 1 from `;`),
     // mark_later three steps after (delay 3 from `;;;`).
     assert_eq!(later - t0, 2, "t0={t0} later={later}");
@@ -431,10 +420,7 @@ fn unknown_name_in_behavior_errors() {
     let err = sim.step().unwrap_err();
     assert!(matches!(err, SimError::UnknownName { ref name, .. } if name == "bogus"));
     // Compiled mode rejects the model at lowering time.
-    assert!(matches!(
-        Simulator::new(&model, SimMode::Compiled),
-        Err(SimError::UnknownName { .. })
-    ));
+    assert!(matches!(Simulator::new(&model, SimMode::Compiled), Err(SimError::UnknownName { .. })));
 }
 
 #[test]
@@ -495,8 +481,7 @@ fn behavior_c_constructs_work_in_both_modes() {
     for mode in [SimMode::Interpretive, SimMode::Compiled] {
         let mut sim = Simulator::new(&model, mode).unwrap();
         sim.step().unwrap();
-        let out =
-            sim.state().read_int(model.resource_by_name("out").unwrap(), &[]).unwrap();
+        let out = sim.state().read_int(model.resource_by_name("out").unwrap(), &[]).unwrap();
         assert_eq!(out, 291, "{mode:?}");
     }
 }

@@ -69,9 +69,10 @@ fn predecode_counts_distinct_instruction_words() {
     let junk = 0b10_000000u128;
     sim.load_program("pmem", &[addi1, addi2, addi1, done, junk]).unwrap();
     // The rest of pmem is zeros: 0b00_... does not decode either.
-    let predecoded = sim.predecode_program_memory();
-    assert_eq!(predecoded, 3, "distinct decodable words only");
-    // Second call adds nothing.
+    // Loading pre-decoded automatically (compiled mode): distinct
+    // decodable words only.
+    assert_eq!(sim.snapshot().predecoded_words(), 3);
+    // A further explicit call adds nothing.
     assert_eq!(sim.predecode_program_memory(), 0);
 }
 
@@ -99,9 +100,7 @@ fn run_until_counts_steps_taken() {
     sim.load_program("pmem", &[0b01_000001, 0b01_000001, 0b11_000000]).unwrap();
     sim.predecode_program_memory();
     let halt = model.resource_by_name("halt").unwrap().clone();
-    let steps = sim
-        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100)
-        .expect("halts");
+    let steps = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100).expect("halts");
     assert_eq!(steps, 3);
     assert_eq!(sim.stats().cycles, 3);
     assert_eq!(sim.mode(), SimMode::Compiled);

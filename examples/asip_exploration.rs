@@ -46,17 +46,17 @@ fn dot_program(n: usize, fused: bool) -> String {
     )
 }
 
-fn run_dot(wb: &Workbench, n: usize, fused: bool) -> Result<(u64, i64), Box<dyn std::error::Error>> {
+fn run_dot(
+    wb: &Workbench,
+    n: usize,
+    fused: bool,
+) -> Result<(u64, i64), Box<dyn std::error::Error>> {
     let program = lisa::asm::Assembler::new(wb.model()).assemble(&dot_program(n, fused))?;
     let mut sim = wb.simulator(SimMode::Compiled)?;
     let pmem = wb.model().resource_by_name("prog_mem").expect("pmem").clone();
     for (i, &word) in program.words.iter().enumerate() {
         let addr = program.origin as i64 + i as i64;
-        sim.state_mut().write(
-            &pmem,
-            &[addr],
-            lisa::bits::Bits::from_u128_wrapped(32, word),
-        )?;
+        sim.state_mut().write(&pmem, &[addr], lisa::bits::Bits::from_u128_wrapped(32, word))?;
     }
     let dmem = wb.model().resource_by_name("data_mem1").expect("dmem").clone();
     for i in 0..n as i64 {
@@ -79,14 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline accu16:   dot({n}) = {base_result} in {base_cycles} cycles");
 
     // Late design change: patch the *description*, regenerate everything.
-    let extended_source = accu16::SOURCE
-        .replacen("OPERATION decode {", MACP_OP, 1)
-        .replacen("nop || clr ||", "nop || clr || macp ||", 1);
-    let extended = Workbench::from_source(
-        Box::leak(extended_source.into_boxed_str()),
-        "prog_mem",
-        "halt",
-    )?;
+    let extended_source = accu16::SOURCE.replacen("OPERATION decode {", MACP_OP, 1).replacen(
+        "nop || clr ||",
+        "nop || clr || macp ||",
+        1,
+    );
+    let extended =
+        Workbench::from_source(Box::leak(extended_source.into_boxed_str()), "prog_mem", "halt")?;
     let (ext_cycles, ext_result) = run_dot(&extended, n, true)?;
     println!("accu16 + MACP:     dot({n}) = {ext_result} in {ext_cycles} cycles");
 

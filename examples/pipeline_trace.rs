@@ -11,16 +11,15 @@ use lisa::sim::SimMode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wb = vliw62::workbench()?;
-    let program = lisa::asm::Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1)
-        .assemble(
-            r#"
+    let program = lisa::asm::Assembler::with_packet(wb.model(), vliw62::FETCH_PACKET, 1).assemble(
+        r#"
             MVK A2, 1
             MVK B2, 2       ; serial packets: one dispatch per cycle
             NOP 3           ; multicycle NOP: dispatch stalls 2 cycles
             ADD .L A3, A2, B2
             HALT
             "#,
-        )?;
+    )?;
     let mut sim = wb.simulator(SimMode::Interpretive)?;
     sim.load_program("pmem", &program.words)?;
     sim.set_trace(true);

@@ -88,10 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:04x}  {}", word, asm.disassemble(&decoder.decode(word)?));
     }
 
-    // 4. Generated cycle-accurate simulator (compiled technique).
+    // 4. Generated cycle-accurate simulator (compiled technique);
+    //    loading a program in compiled mode pre-decodes it automatically.
     let mut sim = Simulator::new(&model, SimMode::Compiled)?;
     sim.load_program("pmem", &words)?;
-    sim.predecode_program_memory();
     let halt = model.resource_by_name("halt").expect("halt flag").clone();
     let cycles = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100)?;
 

@@ -11,6 +11,9 @@
 //!     --max-steps N             step budget (default 1000000)
 //!     --trace                   print the execution trace
 //!     --dump RES[:N]            print a resource (first N elements) after the run
+//! lisa-tool batch  [options]                   run the builtin models x kernels matrix
+//!     --workers N               worker threads (default: available parallelism)
+//!     --mode interp|compiled|both   backends to include (default both)
 //! ```
 //!
 //! `<model>` is a `.lisa` file path or one of the builtins `@vliw62`,
@@ -55,6 +58,7 @@ fn run(args: &[String]) -> Result<(), String> {
             packet_size(args),
         ),
         "run" => simulate(args),
+        "batch" => batch(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -64,18 +68,16 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|batch> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
-     asm/disasm options: -o FILE  --packet N"
+     asm/disasm options: -o FILE  --packet N\n\
+     batch options: --workers N  --mode interp|compiled|both"
         .to_owned()
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -96,8 +98,8 @@ fn load_source(spec: &str) -> Result<(String, &'static str, &'static str, Option
         "@scalar2" => Ok((lisa::models::scalar2::SOURCE.to_owned(), "pmem", "halt", None)),
         "@tinyrisc" => Ok((lisa::models::tinyrisc::SOURCE.to_owned(), "pmem", "halt", None)),
         path => {
-            let text = fs::read_to_string(path)
-                .map_err(|e| format!("cannot read model `{path}`: {e}"))?;
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read model `{path}`: {e}"))?;
             Ok((text, "pmem", "halt", None))
         }
     }
@@ -172,8 +174,7 @@ fn asm(
     let program = assembler.assemble(&source).map_err(|e| e.to_string())?;
     print!("{}", program.listing);
     if let Some(path) = out {
-        let hex: String =
-            program.words.iter().map(|w| format!("{w:08x}\n")).collect();
+        let hex: String = program.words.iter().map(|w| format!("{w:08x}\n")).collect();
         fs::write(path, hex).map_err(|e| format!("cannot write `{path}`: {e}"))?;
         println!("wrote {} words to {path} (origin {:#x})", program.words.len(), program.origin);
     }
@@ -182,8 +183,8 @@ fn asm(
 
 fn disasm(spec: &str, image_path: &str, cli_packet: Option<usize>) -> Result<(), String> {
     let (model, _, _, builtin_packet) = build_model(spec)?;
-    let text = fs::read_to_string(image_path)
-        .map_err(|e| format!("cannot read `{image_path}`: {e}"))?;
+    let text =
+        fs::read_to_string(image_path).map_err(|e| format!("cannot read `{image_path}`: {e}"))?;
     let words: Vec<u128> = text
         .split_whitespace()
         .map(|t| u128::from_str_radix(t.trim_start_matches("0x"), 16))
@@ -192,6 +193,39 @@ fn disasm(spec: &str, image_path: &str, cli_packet: Option<usize>) -> Result<(),
     let assembler = make_assembler(&model, builtin_packet, cli_packet);
     print!("{}", assembler.disassemble_listing(&words, 0));
     Ok(())
+}
+
+/// Runs every builtin kernel on every builtin model (the models×kernels
+/// matrix) across the selected backends on a worker pool.
+fn batch(args: &[String]) -> Result<(), String> {
+    let workers: usize = match flag_value(args, "--workers") {
+        Some(v) => v.parse().map_err(|e| format!("bad --workers: {e}"))?,
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let modes: &[SimMode] = match flag_value(args, "--mode") {
+        Some("interp" | "interpretive") => &[SimMode::Interpretive],
+        Some("compiled") => &[SimMode::Compiled],
+        Some("both") | None => &[SimMode::Interpretive, SimMode::Compiled],
+        Some(other) => return Err(format!("unknown mode `{other}`")),
+    };
+
+    let matrix = lisa::models::kernels::full_matrix().map_err(|e| e.to_string())?;
+    let scenarios: Vec<lisa::exec::Scenario<'_>> = matrix
+        .iter()
+        .flat_map(|(wb, kernels)| {
+            kernels
+                .iter()
+                .flat_map(move |kernel| modes.iter().map(move |&mode| wb.scenario(kernel, mode)))
+        })
+        .collect();
+
+    let report = lisa::exec::BatchRunner::new(workers).run(&scenarios);
+    print!("{}", report.table());
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err(format!("{} of {} jobs failed", report.failures().len(), report.jobs.len()))
+    }
 }
 
 fn simulate(args: &[String]) -> Result<(), String> {
@@ -213,8 +247,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1_000_000);
 
-    let mut sim =
-        lisa::sim::Simulator::new(&model, mode).map_err(|e| e.to_string())?;
+    let mut sim = lisa::sim::Simulator::new(&model, mode).map_err(|e| e.to_string())?;
     // Load honouring the program origin.
     let pmem = model
         .resource_by_name(pmem_name)
@@ -251,30 +284,21 @@ fn simulate(args: &[String]) -> Result<(), String> {
 
     if let Some(dump) = flag_value(args, "--dump") {
         let (name, count) = match dump.split_once(':') {
-            Some((n, c)) => {
-                (n, c.parse::<usize>().map_err(|e| format!("bad --dump count: {e}"))?)
-            }
+            Some((n, c)) => (n, c.parse::<usize>().map_err(|e| format!("bad --dump count: {e}"))?),
             None => (dump, 8),
         };
-        let res = model
-            .resource_by_name(name)
-            .ok_or_else(|| format!("unknown resource `{name}`"))?;
+        let res =
+            model.resource_by_name(name).ok_or_else(|| format!("unknown resource `{name}`"))?;
         if res.is_array() {
             let base = res.dims.first().map_or(0, |d| d.base()) as i64;
             print!("{name} =");
             for i in 0..count.min(res.element_count() as usize) {
-                let v = sim
-                    .state()
-                    .read_int(res, &[base + i as i64])
-                    .map_err(|e| e.to_string())?;
+                let v = sim.state().read_int(res, &[base + i as i64]).map_err(|e| e.to_string())?;
                 print!(" {v}");
             }
             println!();
         } else {
-            println!(
-                "{name} = {}",
-                sim.state().read_int(res, &[]).map_err(|e| e.to_string())?
-            );
+            println!("{name} = {}", sim.state().read_int(res, &[]).map_err(|e| e.to_string())?);
         }
     }
     Ok(())

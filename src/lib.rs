@@ -13,6 +13,7 @@
 //! | [`asm`]  | `lisa-asm`  | program-level assembler (labels, `\|\|` bars, directives) |
 //! | [`docgen`] | `lisa-docgen` | automatic ISA manuals |
 //! | [`models`] | `lisa-models` | vliw62 / accu16 / tinyrisc models + DSP kernels |
+//! | [`exec`] | `lisa-exec` | parallel batch runner with checkpoint/restore forking |
 //!
 //! # Quickstart
 //!
@@ -26,8 +27,8 @@
 //!     "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n",
 //! )?;
 //! let mut sim = wb.simulator(SimMode::Compiled)?;
+//! // In compiled mode, loading pre-decodes program memory automatically.
 //! sim.load_program("pmem", &program.words)?;
-//! sim.predecode_program_memory();
 //! wb.run_to_halt(&mut sim, 100)?;
 //! let r = wb.model().resource_by_name("R").expect("register file");
 //! assert_eq!(sim.state().read_int(r, &[3])?, 42);
@@ -42,6 +43,7 @@ pub use lisa_asm as asm;
 pub use lisa_bits as bits;
 pub use lisa_core as core;
 pub use lisa_docgen as docgen;
+pub use lisa_exec as exec;
 pub use lisa_isa as isa;
 pub use lisa_models as models;
 pub use lisa_sim as sim;

@@ -52,11 +52,7 @@ fn asm_run_and_disasm_round_trip() {
     fs::create_dir_all(&dir).unwrap();
     let src = dir.join("prog.s");
     let hex = dir.join("prog.hex");
-    fs::write(
-        &src,
-        "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n",
-    )
-    .unwrap();
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n").unwrap();
 
     // Assemble to a hex image.
     let out = run_ok(&["asm", "@tinyrisc", src.to_str().unwrap(), "-o", hex.to_str().unwrap()]);
@@ -69,15 +65,8 @@ fn asm_run_and_disasm_round_trip() {
     assert!(out.contains("HLT"), "{out}");
 
     // Run it and dump the register file.
-    let out = run_ok(&[
-        "run",
-        "@tinyrisc",
-        src.to_str().unwrap(),
-        "--mode",
-        "interp",
-        "--dump",
-        "R:8",
-    ]);
+    let out =
+        run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--mode", "interp", "--dump", "R:8"]);
     assert!(out.contains("halted after"), "{out}");
     assert!(out.contains("R = 0 6 7 42"), "{out}");
     fs::remove_dir_all(&dir).ok();
@@ -88,14 +77,20 @@ fn run_vliw_program_with_packets() {
     let dir = std::env::temp_dir().join("lisa_cli_vliw_test");
     fs::create_dir_all(&dir).unwrap();
     let src = dir.join("prog.s");
-    fs::write(
-        &src,
-        "MVK A2, 5\n || MVK B2, 6\nADD .L A3, A2, B2\nHALT\n",
-    )
-    .unwrap();
+    fs::write(&src, "MVK A2, 5\n || MVK B2, 6\nADD .L A3, A2, B2\nHALT\n").unwrap();
     let out = run_ok(&["run", "@vliw62", src.to_str().unwrap(), "--dump", "A:4"]);
     assert!(out.contains("A = 0 0 5 11"), "{out}");
     fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_runs_the_kernel_matrix() {
+    let out = run_ok(&["batch", "--workers", "2", "--mode", "interp"]);
+    assert!(out.contains("0 failed"), "{out}");
+    assert!(out.contains("on 2 workers"), "{out}");
+
+    let output = lisa_tool().args(["batch", "--mode", "sideways"]).output().unwrap();
+    assert!(!output.status.success());
 }
 
 #[test]

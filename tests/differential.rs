@@ -133,18 +133,10 @@ fn random_programs_agree_between_backends() {
         for mode in [SimMode::Interpretive, SimMode::Compiled] {
             let mut sim = wb.simulator(mode).expect("sim");
             sim.load_program("pmem", &words).unwrap();
-            if mode == SimMode::Compiled {
-                sim.predecode_program_memory();
-            }
             let halt = wb.model().resource_by_name("halt").unwrap().clone();
-            sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 10_000)
-                .expect("halts");
+            sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 10_000).expect("halts");
             sims.push(sim);
         }
-        assert_eq!(
-            sims[0].state(),
-            sims[1].state(),
-            "random program round {round} diverged"
-        );
+        assert_eq!(sims[0].state(), sims[1].state(), "random program round {round} diverged");
     }
 }

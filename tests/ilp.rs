@@ -89,11 +89,9 @@ fn run(wb: &Workbench, source: &str) -> (u64, i64) {
             sim.state_mut().write_int(&dmem, &[base + 1], (v >> 8) & 0xFF).unwrap();
         }
     }
-    sim.predecode_program_memory();
     let halt = wb.model().resource_by_name("halt").unwrap().clone();
-    let cycles = sim
-        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 50_000)
-        .expect("halts");
+    let cycles =
+        sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 50_000).expect("halts");
     let a = wb.model().resource_by_name("A").unwrap();
     (cycles, sim.state().read_int(a, &[9]).unwrap())
 }
@@ -106,9 +104,7 @@ fn packing_reduces_cycles_without_changing_results() {
 
     assert_eq!(serial_result, packed_result, "same arithmetic");
     // Golden dot product.
-    let golden: i64 = (0..N as i64)
-        .map(|i| ((i * 3) % 13 - 6) * ((i * 7) % 11 - 5))
-        .sum();
+    let golden: i64 = (0..N as i64).map(|i| ((i * 3) % 13 - 6) * ((i * 7) % 11 - 5)).sum();
     assert_eq!(serial_result, golden);
 
     // Naive packet accounting says 2 packets saved per iteration
@@ -118,11 +114,7 @@ fn packing_reduces_cycles_without_changing_results() {
     // boundary, inserting a pad NOP every iteration. Exactly the kind of
     // schedule interaction the paper says latency-summing models miss.
     let saved = serial_cycles - packed_cycles;
-    assert_eq!(
-        saved,
-        N as u64 + 3,
-        "serial {serial_cycles} vs packed {packed_cycles}"
-    );
+    assert_eq!(saved, N as u64 + 3, "serial {serial_cycles} vs packed {packed_cycles}");
     let speedup = serial_cycles as f64 / packed_cycles as f64;
     assert!(speedup > 1.05, "ILP packing is visible: {speedup:.2}x");
 }

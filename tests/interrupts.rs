@@ -44,22 +44,15 @@ fn load<'m>(wb: &'m Workbench, mode: SimMode) -> Simulator<'m> {
         .expect("assembles");
     let mut sim = wb.simulator(mode).expect("sim");
     sim.load_program("pmem", &program.words).unwrap();
-    if mode == SimMode::Compiled {
-        sim.predecode_program_memory();
-    }
     sim
 }
 
 fn reg(sim: &Simulator<'_>, file: &str, i: i64) -> i64 {
-    sim.state()
-        .read_int(sim.model().resource_by_name(file).unwrap(), &[i])
-        .unwrap()
+    sim.state().read_int(sim.model().resource_by_name(file).unwrap(), &[i]).unwrap()
 }
 
 fn scalar(sim: &Simulator<'_>, name: &str) -> i64 {
-    sim.state()
-        .read_int(sim.model().resource_by_name(name).unwrap(), &[])
-        .unwrap()
+    sim.state().read_int(sim.model().resource_by_name(name).unwrap(), &[]).unwrap()
 }
 
 fn raise(sim: &mut Simulator<'_>, mask: i64) {
@@ -70,8 +63,7 @@ fn raise(sim: &mut Simulator<'_>, mask: i64) {
 
 fn run_to_halt(wb: &Workbench, sim: &mut Simulator<'_>) {
     let halt = wb.model().resource_by_name("halt").unwrap().clone();
-    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 10_000)
-        .expect("halts");
+    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 10_000).expect("halts");
 }
 
 #[test]
@@ -124,7 +116,7 @@ fn priority_services_lowest_line_first() {
     let mut sim = load(&wb, SimMode::Interpretive);
     sim.run(40).unwrap();
     raise(&mut sim, 0b0011); // lines 0 and 1 together
-    // After the first acceptance, line 0 must be cleared, line 1 pending.
+                             // After the first acceptance, line 0 must be cleared, line 1 pending.
     let ifr = wb.model().resource_by_name("ifr").unwrap().clone();
     let in_isr = wb.model().resource_by_name("in_isr").unwrap().clone();
     sim.run_until(|st| st.read_int(&in_isr, &[]).unwrap_or(0) != 0, 100)
@@ -163,7 +155,6 @@ isr:    ADDK B5, 1
         .expect("assembles");
     let mut sim = wb.simulator(SimMode::Compiled).expect("sim");
     sim.load_program("pmem", &image.words).unwrap();
-    sim.predecode_program_memory();
     sim.run(30).unwrap();
     raise(&mut sim, 1);
     run_to_halt(&wb, &mut sim);

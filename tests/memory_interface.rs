@@ -16,11 +16,9 @@ fn cycles_for(wb: &Workbench, packets: &[&[&str]]) -> (u64, i64) {
     for base in [128i64, 3072] {
         sim.state_mut().write_int(&dmem, &[base], 0x77).unwrap();
     }
-    sim.predecode_program_memory();
     let halt = wb.model().resource_by_name("halt").unwrap().clone();
-    let cycles = sim
-        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 5_000)
-        .expect("halts");
+    let cycles =
+        sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 5_000).expect("halts");
     let a = wb.model().resource_by_name("A").unwrap();
     (cycles, sim.state().read_int(a, &[3]).unwrap())
 }
@@ -51,11 +49,7 @@ fn external_accesses_cost_exact_wait_states() {
         let (slow, v2) = cycles_for(&wb, &external);
         assert_eq!(v1, 0x77, "internal load result");
         assert_eq!(v2, 0x77, "external load result");
-        assert_eq!(
-            slow - fast,
-            ws as u64,
-            "external access must cost exactly {ws} extra cycles"
-        );
+        assert_eq!(slow - fast, ws as u64, "external access must cost exactly {ws} extra cycles");
     }
 }
 
@@ -95,22 +89,13 @@ fn store_wait_states_and_zero_config() {
 #[test]
 fn unconfigured_memory_interface_is_transparent() {
     let wb = vliw62::workbench().expect("builds");
-    let plain: Vec<&[&str]> = vec![
-        &["MVK A10, 3072"],
-        &["LDW *+A10[0], A3"],
-        &["NOP 5"],
-        &["HALT"],
-    ];
+    let plain: Vec<&[&str]> =
+        vec![&["MVK A10, 3072"], &["LDW *+A10[0], A3"], &["NOP 5"], &["HALT"]];
     let (c1, v) = cycles_for(&wb, &plain);
     assert_eq!(v, 0x77);
     // Same program with an explicit zero-wait-state external region.
-    let zero_ws: Vec<&[&str]> = vec![
-        &["LDEXT 8, 0"],
-        &["MVK A10, 3072"],
-        &["LDW *+A10[0], A3"],
-        &["NOP 5"],
-        &["HALT"],
-    ];
+    let zero_ws: Vec<&[&str]> =
+        vec![&["LDEXT 8, 0"], &["MVK A10, 3072"], &["LDW *+A10[0], A3"], &["NOP 5"], &["HALT"]];
     let (c2, _) = cycles_for(&wb, &zero_ws);
     assert_eq!(c2, c1 + 1, "only the extra LDEXT packet differs");
 }
@@ -133,7 +118,6 @@ fn backends_agree_with_wait_states() {
     for sim in [&mut interp, &mut compiled] {
         sim.load_program("pmem", &words).unwrap();
     }
-    compiled.predecode_program_memory();
     for cycle in 0..40 {
         interp.step().unwrap();
         compiled.step().unwrap();

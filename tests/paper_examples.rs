@@ -3,9 +3,9 @@
 //! parse — and where an example describes semantics, those semantics are
 //! checked. Deviations from the printed text are noted inline.
 
+use lisa::core::ast::{CodingElement, OpItem};
 use lisa::core::model::ModelStats;
 use lisa::core::{parser::parse, Model};
-use lisa::core::ast::{CodingElement, OpItem};
 
 /// Example 1: declaration of resources. Verbatim except for the trailing
 /// semicolons the paper's typesetting dropped.
@@ -49,8 +49,7 @@ fn example_2_pipeline_definitions() {
     )
     .expect("Example 2 parses");
     assert_eq!(desc.pipelines.len(), 2);
-    let stages: Vec<&str> =
-        desc.pipelines[0].stages.iter().map(|s| s.name.as_str()).collect();
+    let stages: Vec<&str> = desc.pipelines[0].stages.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(stages, ["PG", "PS", "PW", "PR", "DP"]);
     assert_eq!(desc.pipelines[1].stages.len(), 6);
 }
@@ -189,11 +188,7 @@ fn example_4_behavior_execution() {
         sim.state_mut().write_int(&a, &[3], 30).unwrap();
         sim.state_mut().write_int(&a, &[4], 12).unwrap();
         sim.execute_decoded(&decoded).expect("executes");
-        assert_eq!(
-            sim.state().read_int(&a, &[0]).unwrap(),
-            42,
-            "{mode:?}: A[0] = A[3] + A[4]"
-        );
+        assert_eq!(sim.state().read_int(&a, &[0]).unwrap(), 42, "{mode:?}: A[0] = A[3] + A[4]");
     }
 }
 
@@ -285,11 +280,8 @@ fn example_6_switch_case_structuring() {
         assert!(variant.syntax.is_some());
     }
     // Both variants share the same coding (declared outside the SWITCH).
-    let widths: Vec<u32> = register
-        .variants
-        .iter()
-        .map(|v| v.coding.as_ref().expect("coding").width())
-        .collect();
+    let widths: Vec<u32> =
+        register.variants.iter().map(|v| v.coding.as_ref().expect("coding").width()).collect();
     assert_eq!(widths, vec![5, 5]);
 }
 

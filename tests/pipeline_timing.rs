@@ -72,8 +72,13 @@ fn parallel_packet_costs_one_cycle() {
         &wb,
         &[
             &[
-                "MVK A2, 1", "MVK A3, 2", "MVK A4, 3", "MVK A5, 4", "MVK B4, 5",
-                "MVK B5, 6", "MVK B6, 7",
+                "MVK A2, 1",
+                "MVK A3, 2",
+                "MVK A4, 3",
+                "MVK A5, 4",
+                "MVK B4, 5",
+                "MVK B5, 6",
+                "MVK B6, 7",
             ],
             &["HALT"],
         ],
@@ -142,16 +147,16 @@ fn load_delay_is_exactly_four_cycles() {
 fn branch_executes_exactly_five_delay_slots() {
     let wb = vliw62::workbench().expect("builds");
     let packets: Vec<&[&str]> = vec![
-        &["MVK B2, 1"],       // predicate source
-        &["[B2] B 9"],        // taken branch; target = packet `land` below
-        &["MVK A2, 1"],       // ds 1
-        &["MVK A3, 1"],       // ds 2
-        &["MVK A4, 1"],       // ds 3
-        &["MVK A5, 1"],       // ds 4
-        &["MVK A6, 1"],       // ds 5 — last executed fall-through
-        &["MVK A7, 1"],       // annulled
-        &["MVK A8, 1"],       // annulled
-        &["MVK A9, 1"],       // land: target (word address 9)
+        &["MVK B2, 1"], // predicate source
+        &["[B2] B 9"],  // taken branch; target = packet `land` below
+        &["MVK A2, 1"], // ds 1
+        &["MVK A3, 1"], // ds 2
+        &["MVK A4, 1"], // ds 3
+        &["MVK A5, 1"], // ds 4
+        &["MVK A6, 1"], // ds 5 — last executed fall-through
+        &["MVK A7, 1"], // annulled
+        &["MVK A8, 1"], // annulled
+        &["MVK A9, 1"], // land: target (word address 9)
         &["HALT"],
     ];
     let (words, labels) = assemble_packets(&wb, &packets).expect("assembles");
@@ -231,7 +236,6 @@ fn overlapping_loads_all_retire() {
     for i in 0..4 {
         sim.state_mut().write_int(&dmem, &[64 + 4 * i], 10 + i).unwrap();
     }
-    sim.predecode_program_memory();
     wb.run_to_halt(&mut sim, 5_000).expect("halts");
     assert_eq!(
         [a_reg(&sim, &wb, 2), a_reg(&sim, &wb, 3), a_reg(&sim, &wb, 4), a_reg(&sim, &wb, 5)],

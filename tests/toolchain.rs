@@ -20,8 +20,7 @@ fn printer_round_trips_all_bundled_models() {
     for (name, source) in sources() {
         let first = parse(source).unwrap_or_else(|e| panic!("{name} parses: {e}"));
         let printed = print(&first);
-        let second =
-            parse(&printed).unwrap_or_else(|e| panic!("{name} re-parses: {e}\n{printed}"));
+        let second = parse(&printed).unwrap_or_else(|e| panic!("{name} re-parses: {e}\n{printed}"));
         assert_eq!(print(&second), printed, "{name}: printer is a fixpoint");
     }
 }
@@ -57,12 +56,9 @@ fn printed_vliw_model_simulates_identically() {
     let program = ["MVK A2, 6", "MVK A3, 7", "MPY A4, A2, A3", "NOP 2", "SADD A5, A4, A4", "HALT"];
     let mut results = Vec::new();
     for wb in [&original, &printed] {
-        let sim = wb
-            .run_program(&program, lisa::sim::SimMode::Compiled, 1000)
-            .expect("runs");
+        let sim = wb.run_program(&program, lisa::sim::SimMode::Compiled, 1000).expect("runs");
         let a = wb.model().resource_by_name("A").unwrap();
-        let values: Vec<i64> =
-            (0..16).map(|i| sim.state().read_int(a, &[i]).unwrap()).collect();
+        let values: Vec<i64> = (0..16).map(|i| sim.state().read_int(a, &[i]).unwrap()).collect();
         results.push((sim.stats().cycles, values));
     }
     assert_eq!(results[0], results[1], "printed model behaves identically");
@@ -96,8 +92,7 @@ fn cli_binary_smoke_test() {
         .assemble("LDI R1, 2\nADD R2, R1, R1\nHLT\n")
         .expect("assembles");
     assert_eq!(program.words.len(), 3);
-    let listing = lisa::asm::Assembler::new(wb.model())
-        .disassemble_listing(&program.words, 0);
+    let listing = lisa::asm::Assembler::new(wb.model()).disassemble_listing(&program.words, 0);
     assert!(listing.contains("LDI R1, 2"));
     assert!(listing.contains("ADD R2, R1, R1"));
 }

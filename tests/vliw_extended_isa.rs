@@ -12,9 +12,6 @@ fn run_both<'m>(wb: &'m Workbench, packets: &[&[&str]]) -> Vec<Simulator<'m>> {
     for mode in [SimMode::Interpretive, SimMode::Compiled] {
         let mut sim = wb.simulator(mode).expect("sim");
         sim.load_program("pmem", &words).unwrap();
-        if mode == SimMode::Compiled {
-            sim.predecode_program_memory();
-        }
         wb.run_to_halt(&mut sim, 5_000).expect("halts");
         sims.push(sim);
     }
@@ -52,8 +49,8 @@ fn lmbd_finds_the_leftmost_bit() {
     let sims = run_both(
         &wb,
         &[
-            &["MVK A2, 1"],       // search for a 1 bit
-            &["MVK A3, 0"],       // search for a 0 bit
+            &["MVK A2, 1"], // search for a 1 bit
+            &["MVK A3, 0"], // search for a 0 bit
             &["MVK A4, 0x0F00"],
             &["ZERO A5"],
             &["LMBD A6, A2, A4"], // leftmost 1 of 0x0F00 is bit 11 → 20
@@ -77,7 +74,7 @@ fn sshl_saturates_on_overflow() {
             &["MVKH A2, 0x4000"], // A2 = 0x40004000
             &["SSHL A3, A2, 1"],  // overflows → 0x7FFFFFFF
             &["MVK A4, 3"],
-            &["SSHL A5, A4, 2"],  // in range → 12
+            &["SSHL A5, A4, 2"], // in range → 12
             &["HALT"],
         ],
     );
@@ -92,9 +89,9 @@ fn simd_compares_and_minmax() {
         &wb,
         &[
             &["MVK A2, 5"],
-            &["MVKH A2, 0x1"],    // A2 = {hi: 1, lo: 5}
+            &["MVKH A2, 0x1"], // A2 = {hi: 1, lo: 5}
             &["MVK A3, 5"],
-            &["MVKH A3, 0x2"],    // A3 = {hi: 2, lo: 5}
+            &["MVKH A3, 0x2"],      // A3 = {hi: 2, lo: 5}
             &["CMPEQ2 A4, A2, A3"], // lo equal (bit0), hi differ → 0b01
             &["CMPGT2 A5, A3, A2"], // lo not >, hi 2>1 → 0b10
             &["MAX2 A6, A2, A3"],   // {2, 5}
@@ -114,7 +111,7 @@ fn mixed_sign_multiplies() {
     let sims = run_both(
         &wb,
         &[
-            &["MVK A2, -2"],      // low half 0xFFFE
+            &["MVK A2, -2"], // low half 0xFFFE
             &["MVK A3, 3"],
             &["MPYSU A4, A2, A3"], // -2 * 3 = -6
             &["MPYUS A5, A2, A3"], // 0xFFFE * 3 = 196602

@@ -1,0 +1,644 @@
+//! A self-contained, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendor crate provides the subset of proptest's API that the workspace
+//! uses: the [`Strategy`] trait (`prop_map`, `prop_flat_map`, `boxed`),
+//! [`any`] over the common integer/bool/tuple types, integer-range and
+//! string-pattern strategies, `prop::collection::vec`, the
+//! [`proptest!`]/[`prop_oneof!`]/`prop_assert*`/[`prop_assume!`] macros
+//! and [`ProptestConfig`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   in scope, but is not minimised;
+//! * **no failure persistence** — `.proptest-regressions` files are
+//!   ignored;
+//! * **deterministic seeding** — each test derives its seed from its own
+//!   fully-qualified name (override with `PROPTEST_SEED`), so runs are
+//!   reproducible by construction;
+//! * **string "regexes"** are interpreted structurally: a character-class
+//!   prefix (`\PC` or `[...]`) plus an optional `{min,max}` repetition.
+//!   That covers the fuzz patterns used in this workspace.
+
+#![forbid(unsafe_code)]
+
+/// Test-case outcome used by the `proptest!` runner loop.
+pub mod test_runner {
+    /// Why a generated case did not count as a pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — generate another.
+        Reject,
+    }
+
+    /// Result alias mirroring proptest's.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// A small, fast, deterministic PRNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from an explicit seed.
+        #[must_use]
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Derives a per-test RNG from the test's qualified name, so every
+        /// test gets an independent, reproducible stream. `PROPTEST_SEED`
+        /// perturbs all streams at once.
+        #[must_use]
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+                for b in extra.bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Next 128 random bits.
+        pub fn next_u128(&mut self) -> u128 {
+            (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+        }
+
+        /// Uniform-ish value in `[lo, hi]` (inclusive), computed in `i128`
+        /// so signed ranges work. Modulo bias is irrelevant at test scale.
+        pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            if span == 0 {
+                // Full u128 span: any value works.
+                return self.next_u128() as i128;
+            }
+            lo + (self.next_u128() % span) as i128
+        }
+
+        /// Uniform-ish `usize` in `[0, n)`.
+        pub fn index(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() as usize) % n
+        }
+    }
+}
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Runner configuration: the number of passing cases required.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ProptestConfig {
+    /// Passing cases to accumulate before the test succeeds.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+        ProptestConfig { cases }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a
+    /// strategy simply produces a value from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// returns for it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range_i128(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range_i128(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_u128() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            let (lo, hi) = (*self.start(), *self.end());
+            if lo == 0 && hi == u128::MAX {
+                rng.next_u128()
+            } else {
+                lo + rng.next_u128() % (hi - lo + 1)
+            }
+        }
+    }
+
+    use std::ops::{Range, RangeInclusive};
+
+    /// Structural interpretation of the string patterns this workspace
+    /// uses: a character class (`\PC` = printable, `[...]` = explicit
+    /// set with ranges and `\n`/`\t`/`\\` escapes) plus an optional
+    /// trailing `{min,max}` repetition count.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_pattern(self);
+            let len = min + rng.index(max - min + 1);
+            (0..len).map(|_| class[rng.index(class.len())]).collect()
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let (class_spec, min, max) = match pattern.rfind('{') {
+            Some(brace) if pattern.ends_with('}') => {
+                let counts = &pattern[brace + 1..pattern.len() - 1];
+                let (lo, hi) = counts.split_once(',').unwrap_or((counts, counts));
+                match (lo.trim().parse(), hi.trim().parse()) {
+                    (Ok(lo), Ok(hi)) => (&pattern[..brace], lo, hi),
+                    _ => (pattern, 0, 16),
+                }
+            }
+            _ => (pattern, 0, 16),
+        };
+        (char_class(class_spec), min, max)
+    }
+
+    fn char_class(spec: &str) -> Vec<char> {
+        if let Some(body) = spec.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let mut chars: Vec<char> = Vec::new();
+            let mut it = body.chars().peekable();
+            while let Some(c) = it.next() {
+                let c = if c == '\\' {
+                    match it.next() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(other) => other,
+                        None => break,
+                    }
+                } else {
+                    c
+                };
+                if it.peek() == Some(&'-') {
+                    let mut ahead = it.clone();
+                    ahead.next();
+                    if let Some(&end) = ahead.peek() {
+                        if end != ']' {
+                            it.next();
+                            it.next();
+                            for v in c as u32..=end as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    chars.push(ch);
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                }
+                chars.push(c);
+            }
+            if chars.is_empty() {
+                chars.push(' ');
+            }
+            return chars;
+        }
+        // `\PC` (and any unrecognised spec): printable characters — ASCII
+        // plus a few multibyte ones so UTF-8 handling is exercised.
+        let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        chars.extend(['é', 'Ω', '→', '語', '🦀']);
+        chars
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII, occasionally an arbitrary scalar value.
+            if rng.index(4) == 0 {
+                char::from_u32(rng.next_u64() as u32 % 0x11_0000).unwrap_or('\u{fffd}')
+            } else {
+                char::from(0x20u8 + (rng.next_u64() % 95) as u8)
+            }
+        }
+    }
+
+    macro_rules! arbitrary_tuple {
+        ($($t:ident),+) => {
+            impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($t::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+
+    arbitrary_tuple!(A);
+    arbitrary_tuple!(A, B);
+    arbitrary_tuple!(A, B, C);
+    arbitrary_tuple!(A, B, C, D);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub use arbitrary::{any, Arbitrary};
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::RangeInclusive;
+
+    /// Strategy for variable-length vectors.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: RangeInclusive<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let (lo, hi) = (*self.size.start(), *self.size.end());
+            let len = lo + rng.index(hi - lo + 1);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `elem` and whose length lies in
+    /// `size`.
+    #[must_use]
+    pub fn vec<S: Strategy>(elem: S, size: RangeInclusive<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// The prelude mirrored from real proptest: everything the tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced strategy modules, as in real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Mirrors real proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in my_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(16).max(64);
+            while accepted < config.cases && attempts < max_attempts {
+                attempts += 1;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; there is no
+/// shrinking in this stand-in, so this is plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Rejects the current case (it does not count towards the target number
+/// of passing cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(-5i32..=5), &mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_patterns_cover_class_and_length() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~\\n]{0,30}", &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = prop_oneof![Just(1u8), Just(2u8)].prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 10 || v == 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_assumes(x in 0u32..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_ne!(x, 13, "assumed away");
+            let _ = flip;
+        }
+    }
+}
