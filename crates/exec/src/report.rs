@@ -3,11 +3,12 @@
 use std::time::Duration;
 
 use lisa_sim::SimStats;
+use lisa_trace::Profile;
 
 use crate::scenario::JobError;
 
 /// The measurable outcome of one successful job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobResult {
     /// Control steps the job ran (excluding any steps already recorded
     /// in a base snapshot's stats — this is the run's own cycle count).
@@ -17,6 +18,9 @@ pub struct JobResult {
     /// FNV-1a fingerprint of the final architectural state, for cheap
     /// cross-run and cross-backend comparisons.
     pub state_digest: u64,
+    /// Per-job execution profile, when the scenario asked for one
+    /// ([`crate::Scenario::profiled`]).
+    pub profile: Option<Profile>,
 }
 
 /// One job's slot in a batch: its input position, name, and result.
@@ -75,6 +79,21 @@ impl BatchReport {
         self.jobs.iter().all(|j| j.result.is_ok())
     }
 
+    /// Folds every successful job's profile into one fleet-level
+    /// [`Profile`] (merge is associative and keyed by names, so jobs
+    /// over different models combine meaningfully). `None` when no job
+    /// carried a profile.
+    #[must_use]
+    pub fn merged_profile(&self) -> Option<Profile> {
+        let mut merged: Option<Profile> = None;
+        for job in &self.jobs {
+            if let Some(profile) = job.result.as_ref().ok().and_then(|r| r.profile.as_ref()) {
+                merged.get_or_insert_with(Profile::new).merge(profile);
+            }
+        }
+        merged
+    }
+
     /// A plain-text summary table: one row per job, then an aggregate
     /// line with total cycles and throughput.
     #[must_use]
@@ -126,7 +145,12 @@ mod tests {
     use super::*;
 
     fn report() -> BatchReport {
-        let ok = JobResult { cycles: 100, stats: SimStats::default(), state_digest: 0xabcd };
+        let ok = JobResult {
+            cycles: 100,
+            stats: SimStats::default(),
+            state_digest: 0xabcd,
+            profile: None,
+        };
         BatchReport {
             workers: 2,
             jobs: vec![
@@ -158,5 +182,37 @@ mod tests {
         assert!(text.contains("FAIL"));
         assert!(text.contains("boom"));
         assert!(text.contains("2 jobs (1 failed)"));
+    }
+
+    #[test]
+    fn merged_profile_folds_successful_jobs_only() {
+        let mut r = report();
+        assert!(r.merged_profile().is_none(), "no profiles collected");
+
+        let mut pa = Profile::new();
+        pa.cycles = 10;
+        pa.op_execs.insert("main".into(), 10);
+        let mut pb = Profile::new();
+        pb.cycles = 5;
+        pb.op_execs.insert("main".into(), 5);
+        pb.op_execs.insert("add".into(), 2);
+        if let Ok(job) = r.jobs[0].result.as_mut() {
+            job.profile = Some(pa);
+        }
+        r.jobs.push(JobOutcome {
+            index: 2,
+            name: "also-good".into(),
+            result: Ok(JobResult {
+                cycles: 5,
+                stats: SimStats::default(),
+                state_digest: 1,
+                profile: Some(pb),
+            }),
+        });
+
+        let merged = r.merged_profile().expect("profiles merged");
+        assert_eq!(merged.cycles, 15);
+        assert_eq!(merged.op_execs["main"], 15);
+        assert_eq!(merged.op_execs["add"], 2);
     }
 }

@@ -95,6 +95,9 @@ pub struct Scenario<'m> {
     pub max_steps: u64,
     /// Checkpoint to fork from instead of zeroed reset state.
     pub base: Option<Arc<Snapshot>>,
+    /// Collect a per-instruction [`lisa_trace::Profile`] for this job
+    /// (adds per-event aggregation overhead to the run).
+    pub profile: bool,
 }
 
 impl std::fmt::Debug for Scenario<'_> {
@@ -125,6 +128,7 @@ impl<'m> Scenario<'m> {
             halt_flag: None,
             max_steps: 10_000,
             base: None,
+            profile: false,
         }
     }
 
@@ -176,6 +180,13 @@ impl<'m> Scenario<'m> {
         self.base = Some(base);
         self
     }
+
+    /// Collects a per-instruction execution profile for this job.
+    #[must_use]
+    pub fn profiled(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
 }
 
 /// Runs one scenario to completion: build a simulator, restore the base
@@ -223,6 +234,9 @@ pub fn run_scenario(sc: &Scenario<'_>) -> Result<JobResult, JobError> {
     if sc.mode == SimMode::Compiled {
         sim.predecode_program_memory();
     }
+    if sc.profile {
+        sim.enable_profile();
+    }
 
     let cycles = match &sc.halt_flag {
         Some(flag) => {
@@ -261,7 +275,12 @@ pub fn run_scenario(sc: &Scenario<'_>) -> Result<JobResult, JobError> {
         }
     }
 
-    Ok(JobResult { cycles, stats: *sim.stats(), state_digest: sim.state().digest() })
+    Ok(JobResult {
+        cycles,
+        stats: *sim.stats(),
+        state_digest: sim.state().digest(),
+        profile: sim.take_profile(),
+    })
 }
 
 #[cfg(test)]
@@ -333,6 +352,21 @@ mod tests {
             .from_snapshot(snap)
             .halt_on("halt");
         assert_eq!(run_scenario(&sc).expect("ok").cycles, 1);
+    }
+
+    #[test]
+    fn profiled_scenario_returns_a_profile() {
+        let model = halting_counter();
+        let sc = Scenario::new("plain", &model, SimMode::Interpretive).halt_on("halt");
+        assert!(run_scenario(&sc).expect("ok").profile.is_none(), "profiling is opt-in");
+
+        let sc =
+            Scenario::new("profiled", &model, SimMode::Interpretive).halt_on("halt").profiled(true);
+        let result = run_scenario(&sc).expect("ok");
+        let profile = result.profile.expect("profile collected");
+        assert_eq!(profile.cycles, result.cycles);
+        assert_eq!(profile.op_execs["main"], 5);
+        assert!(profile.register_writes > 0, "r0/halt/pc writes recorded");
     }
 
     #[test]

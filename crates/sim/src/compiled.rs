@@ -675,34 +675,13 @@ impl Simulator<'_> {
     }
 
     fn apply_pipe_op(&mut self, op: PipeOp) {
-        // Mirror of the engine's interpretive intrinsic handling, with
-        // everything pre-resolved.
+        // Same control logic (and same trace events / stall accounting)
+        // as the interpretive intrinsic path — lowering only resolves
+        // the names earlier.
         match op {
-            PipeOp::Shift(pid) => {
-                let stall_upto = self.pipes[pid.0].stall_upto;
-                for p in &mut self.pending {
-                    if let Some((ppid, stage)) = p.pipe {
-                        if ppid == pid && p.remaining > 0 && stall_upto.is_none_or(|s| stage > s) {
-                            p.remaining -= 1;
-                        }
-                    }
-                }
-            }
-            PipeOp::Stall(pid, upto) => {
-                self.stats.stalls += 1;
-                let entry = &mut self.pipes[pid.0].stall_upto;
-                *entry = Some(entry.map_or(upto, |prev| prev.max(upto)));
-            }
-            PipeOp::Flush(pid, upto) => {
-                self.stats.flushes += 1;
-                self.pending.retain(|p| match p.pipe {
-                    Some((ppid, stage)) if ppid == pid => match upto {
-                        None => false,
-                        Some(s) => stage > s,
-                    },
-                    _ => true,
-                });
-            }
+            PipeOp::Shift(pid) => self.pipe_shift(pid),
+            PipeOp::Stall(pid, upto) => self.pipe_stall(pid, upto),
+            PipeOp::Flush(pid, upto) => self.pipe_flush(pid, upto),
         }
     }
 
@@ -823,8 +802,14 @@ impl Simulator<'_> {
                     }
                     Builtin::Print => {
                         let v = vals[0];
-                        let op_name = self.model.operation(frame.op).name.clone();
-                        self.trace_event(|| format!("print {v} (from {op_name})"));
+                        if self.observing() {
+                            let event = lisa_trace::TraceEvent::Print {
+                                cycle: self.stats.cycles,
+                                op: frame.op,
+                                value: v,
+                            };
+                            self.emit(event);
+                        }
                         v
                     }
                     Builtin::Nop => 0,
@@ -982,9 +967,8 @@ impl Simulator<'_> {
                 Ok(())
             }
             RPlace::Flat { res, flat } => {
-                if self.trace_enabled {
-                    let name = self.model.resource(res).name.clone();
-                    self.trace_event(|| format!("write {name}[{flat}] = {value}"));
+                if self.observing() {
+                    self.emit_write(res, flat, value);
                 }
                 if self.state.write_flat(res, flat, value) {
                     Ok(())

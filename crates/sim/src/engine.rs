@@ -20,8 +20,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use lisa_bits::Bits;
-use lisa_core::model::{Model, OpId, PipelineId};
+use lisa_core::model::{Model, OpId, PipelineId, ResourceId};
 use lisa_isa::{Decoded, Decoder};
+use lisa_trace::{CollectingSink, NameTable, Profile, TraceEvent, TraceSink};
 
 use crate::compiled::CompiledTables;
 use crate::{SimError, SimStats, State};
@@ -51,6 +52,19 @@ pub(crate) struct Pending {
 pub(crate) struct PipeState {
     /// Stages `0..=stall_upto` are held this control step.
     pub stall_upto: Option<usize>,
+}
+
+/// Observability state, boxed behind one `Option` so the cycle path pays
+/// a single branch when neither tracing nor profiling is on.
+pub(crate) struct Observer {
+    /// Owned snapshot of the model's names, for rendering and profiling.
+    pub names: NameTable,
+    /// Event consumer, when tracing is enabled.
+    pub sink: Option<Box<dyn TraceSink>>,
+    /// In-progress profile, when profiling is enabled.
+    pub profile: Option<Profile>,
+    /// Cycle counter value when profiling was (re)started.
+    pub profile_start: u64,
 }
 
 /// Execution backend: the paper's two simulation techniques.
@@ -100,8 +114,8 @@ pub struct Simulator<'m> {
     pub(crate) decode_cache: HashMap<u128, Arc<Decoded>>,
     pub(crate) compiled: Option<std::sync::Arc<CompiledTables>>,
     pub(crate) seq: u64,
-    pub(crate) trace_enabled: bool,
-    pub(crate) trace: Vec<String>,
+    pub(crate) observer: Option<Box<Observer>>,
+    pub(crate) pc_res: Option<ResourceId>,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -134,6 +148,11 @@ impl<'m> Simulator<'m> {
             SimMode::Interpretive => None,
             SimMode::Compiled => Some(std::sync::Arc::new(CompiledTables::lower(model)?)),
         };
+        let pc_res = model
+            .resources()
+            .iter()
+            .find(|r| r.class == lisa_core::ast::ResourceClass::ProgramCounter)
+            .map(|r| r.id);
         Ok(Simulator {
             model,
             decoder,
@@ -145,8 +164,8 @@ impl<'m> Simulator<'m> {
             decode_cache: HashMap::new(),
             compiled,
             seq: 0,
-            trace_enabled: false,
-            trace: Vec::new(),
+            observer: None,
+            pc_res,
         })
     }
 
@@ -180,21 +199,158 @@ impl<'m> Simulator<'m> {
         &self.stats
     }
 
-    /// Enables or disables the execution trace.
-    pub fn set_trace(&mut self, enabled: bool) {
-        self.trace_enabled = enabled;
+    /// An owned snapshot of the model's operation / resource / pipeline
+    /// names, for rendering trace events and profiles.
+    #[must_use]
+    pub fn name_table(&self) -> NameTable {
+        NameTable::of(self.model)
     }
 
-    /// Takes the accumulated trace lines.
-    pub fn take_trace(&mut self) -> Vec<String> {
-        std::mem::take(&mut self.trace)
+    fn observer_mut(&mut self) -> &mut Observer {
+        self.observer.get_or_insert_with(|| {
+            Box::new(Observer {
+                names: NameTable::of(self.model),
+                sink: None,
+                profile: None,
+                profile_start: 0,
+            })
+        })
     }
 
-    pub(crate) fn trace_event(&mut self, text: impl FnOnce() -> String) {
-        if self.trace_enabled {
-            let line = format!("[{}] {}", self.stats.cycles, text());
-            self.trace.push(line);
+    /// Drops the observer box again when both tracing and profiling are
+    /// off, restoring the single-`None` fast path.
+    fn shrink_observer(&mut self) {
+        if self.observer.as_ref().is_some_and(|o| o.sink.is_none() && o.profile.is_none()) {
+            self.observer = None;
         }
+    }
+
+    /// Enables or disables the execution trace.
+    ///
+    /// Enabling installs a [`CollectingSink`] unless a sink is already
+    /// present; disabling removes the sink (events buffered in it are
+    /// dropped) but leaves an active profile running.
+    pub fn set_trace(&mut self, enabled: bool) {
+        if enabled {
+            let obs = self.observer_mut();
+            if obs.sink.is_none() {
+                obs.sink = Some(Box::new(CollectingSink::new()));
+            }
+        } else {
+            if let Some(obs) = self.observer.as_mut() {
+                obs.sink = None;
+            }
+            self.shrink_observer();
+        }
+    }
+
+    /// Whether a trace sink is installed.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.observer.as_ref().is_some_and(|o| o.sink.is_some())
+    }
+
+    /// Routes events into `sink` instead of the default collecting sink
+    /// (e.g. a [`lisa_trace::RingBufferSink`] or a streaming
+    /// [`lisa_trace::JsonLinesSink`]).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.observer_mut().sink = Some(sink);
+    }
+
+    /// Removes and returns the installed sink, disabling tracing.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let sink = self.observer.as_mut().and_then(|o| o.sink.take());
+        self.shrink_observer();
+        sink
+    }
+
+    /// Drains the buffered trace events from the installed sink (empty
+    /// for streaming sinks, which keep no buffer). Tracing stays on.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.observer.as_mut().and_then(|o| o.sink.as_mut()).map_or_else(Vec::new, |s| s.drain())
+    }
+
+    /// Takes the accumulated trace as legacy formatted lines
+    /// (`"[cycle] exec main"` …) — a thin formatter over
+    /// [`Simulator::take_events`].
+    pub fn take_trace(&mut self) -> Vec<String> {
+        let Some(obs) = self.observer.as_mut() else { return Vec::new() };
+        let Some(sink) = obs.sink.as_mut() else { return Vec::new() };
+        sink.drain().iter().map(|e| obs.names.line(e)).collect()
+    }
+
+    /// Starts (or restarts) per-instruction profiling from this cycle.
+    pub fn enable_profile(&mut self) {
+        let cycles = self.stats.cycles;
+        let obs = self.observer_mut();
+        obs.profile = Some(Profile::new());
+        obs.profile_start = cycles;
+    }
+
+    /// Stops profiling and returns the profile, with
+    /// [`Profile::cycles`] set to the control steps covered since
+    /// [`Simulator::enable_profile`]. `None` when profiling was off.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        let cycles = self.stats.cycles;
+        let profile = self.observer.as_mut().and_then(|o| {
+            let mut p = o.profile.take()?;
+            p.cycles = cycles.saturating_sub(o.profile_start);
+            Some(p)
+        });
+        self.shrink_observer();
+        profile
+    }
+
+    /// One branch on the cycle path: anything observing this simulator?
+    #[inline]
+    pub(crate) fn observing(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Routes an event to the profile and/or sink. Callers guard with
+    /// [`Simulator::observing`] so event construction itself is skipped
+    /// when observability is off.
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            if let Some(profile) = obs.profile.as_mut() {
+                profile.record(&obs.names, &event);
+            }
+            if let Some(sink) = obs.sink.as_mut() {
+                sink.record(&event);
+            }
+        }
+    }
+
+    /// The current program-counter value (`-1` when the model declares
+    /// no `PROGRAM_COUNTER` resource).
+    pub(crate) fn current_pc(&self) -> i64 {
+        self.pc_res.and_then(|r| self.state.read_flat(r, 0)).unwrap_or(-1)
+    }
+
+    /// Emits the right write event for a resource's class.
+    pub(crate) fn emit_write(&mut self, res: ResourceId, flat: usize, value: i64) {
+        use lisa_core::ast::ResourceClass;
+        let class = self.model.resource(res).class;
+        let cycle = self.stats.cycles;
+        let event = match class {
+            ResourceClass::DataMemory | ResourceClass::ProgramMemory => {
+                TraceEvent::MemoryAccess { cycle, resource: res, addr: flat as u64, value }
+            }
+            _ => TraceEvent::RegisterWrite { cycle, resource: res, addr: flat as u64, value },
+        };
+        self.emit(event);
+    }
+
+    /// Emits an [`TraceEvent::Exec`] for an operation invoked outside
+    /// the scheduler (behavior-level invocation).
+    pub(crate) fn emit_exec(&mut self, op: OpId) {
+        let event = TraceEvent::Exec {
+            cycle: self.stats.cycles,
+            op,
+            stage: self.model.operation(op).stage.map(|(p, s)| (p, s as u16)),
+            pc: self.current_pc(),
+        };
+        self.emit(event);
     }
 
     /// Pre-decodes every word of all `PROGRAM_MEMORY` resources into the
@@ -228,28 +384,42 @@ impl<'m> Simulator<'m> {
     /// Decodes an instruction word, through the cache in compiled mode.
     pub(crate) fn decode_word(&mut self, word: u128) -> Result<Arc<Decoded>, SimError> {
         self.stats.decodes += 1;
-        match self.mode {
+        let mut cache_hit = false;
+        let decoded = match self.mode {
             SimMode::Compiled => {
                 if let Some(hit) = self.decode_cache.get(&word) {
                     self.stats.decode_cache_hits += 1;
-                    return Ok(Arc::clone(hit));
+                    cache_hit = true;
+                    Arc::clone(hit)
+                } else {
+                    let decoder = self
+                        .decoder
+                        .as_ref()
+                        .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
+                    let decoded = Arc::new(decoder.decode(word)?);
+                    self.decode_cache.insert(word, Arc::clone(&decoded));
+                    decoded
                 }
-                let decoder = self
-                    .decoder
-                    .as_ref()
-                    .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
-                let decoded = Arc::new(decoder.decode(word)?);
-                self.decode_cache.insert(word, Arc::clone(&decoded));
-                Ok(decoded)
             }
             SimMode::Interpretive => {
                 let decoder = self
                     .decoder
                     .as_ref()
                     .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
-                Ok(Arc::new(decoder.decode(word)?))
+                Arc::new(decoder.decode(word)?)
             }
+        };
+        if self.observing() {
+            let event = TraceEvent::Decode {
+                cycle: self.stats.cycles,
+                pc: self.current_pc(),
+                word,
+                op: decoded.op,
+                cache_hit,
+            };
+            self.emit(event);
         }
+        Ok(decoded)
     }
 
     /// Executes one control step.
@@ -360,6 +530,11 @@ impl<'m> Simulator<'m> {
             (Some(d), _) => Some(Arc::clone(d)),
             (None, Some(root_res)) => {
                 let word = self.state.scalar(root_res).to_u128();
+                if self.observing() {
+                    let event =
+                        TraceEvent::Fetch { cycle: self.stats.cycles, pc: self.current_pc(), word };
+                    self.emit(event);
+                }
                 Some(self.decode_word(word)?)
             }
             (None, None) => None,
@@ -374,7 +549,15 @@ impl<'m> Simulator<'m> {
             }
         };
 
-        self.trace_event(|| format!("exec {}", operation.name));
+        if self.observing() {
+            let event = TraceEvent::Exec {
+                cycle: self.stats.cycles,
+                op: item.op,
+                stage: operation.stage.map(|(p, s)| (p, s as u16)),
+                pc: self.current_pc(),
+            };
+            self.emit(event);
+        }
 
         match self.mode {
             SimMode::Interpretive => {
@@ -386,6 +569,9 @@ impl<'m> Simulator<'m> {
         }
 
         self.run_activation(item.op, variant, decoded.as_deref(), ready)?;
+        if operation.decode_root.is_some() {
+            self.stats.instructions_retired += 1;
+        }
         Ok(())
     }
 
@@ -497,6 +683,15 @@ impl<'m> Simulator<'m> {
             (Some(_), Some((_, s1))) => s1 as u32,
         };
         let total = spatial + extra_delay;
+        if self.observing() {
+            let event = TraceEvent::Activation {
+                cycle: self.stats.cycles,
+                from: from_op,
+                to: item.op,
+                delay: total,
+            };
+            self.emit(event);
+        }
         if total == 0 {
             ready.push(item);
         } else {
@@ -553,7 +748,7 @@ impl<'m> Simulator<'m> {
 
     /// Advances a pipeline by one stage: delayed activations bound for
     /// non-stalled stages move one step closer to execution.
-    fn pipe_shift(&mut self, pid: PipelineId) {
+    pub(crate) fn pipe_shift(&mut self, pid: PipelineId) {
         let stall_upto = self.pipes[pid.0].stall_upto;
         for p in &mut self.pending {
             if let Some((ppid, stage)) = p.pipe {
@@ -565,16 +760,27 @@ impl<'m> Simulator<'m> {
     }
 
     /// Requests a stall of stages `0..=upto` for the current control step.
-    fn pipe_stall(&mut self, pid: PipelineId, upto: usize) {
+    pub(crate) fn pipe_stall(&mut self, pid: PipelineId, upto: usize) {
         self.stats.stalls += 1;
+        let bucket = upto.min(crate::stats::STALL_STAGE_BUCKETS - 1);
+        self.stats.stall_by_stage[bucket] += 1;
         let entry = &mut self.pipes[pid.0].stall_upto;
         *entry = Some(entry.map_or(upto, |prev| prev.max(upto)));
+        if self.observing() {
+            let event = TraceEvent::Stall {
+                cycle: self.stats.cycles,
+                pipe: pid,
+                upto: upto.min(usize::from(u16::MAX)) as u16,
+            };
+            self.emit(event);
+        }
     }
 
     /// Discards in-flight activations bound for stages `0..=upto` (whole
     /// pipeline when `upto` is `None`).
-    fn pipe_flush(&mut self, pid: PipelineId, upto: Option<usize>) {
+    pub(crate) fn pipe_flush(&mut self, pid: PipelineId, upto: Option<usize>) {
         self.stats.flushes += 1;
+        let before = self.pending.len();
         self.pending.retain(|p| match p.pipe {
             Some((ppid, stage)) if ppid == pid => match upto {
                 None => false,
@@ -582,6 +788,15 @@ impl<'m> Simulator<'m> {
             },
             _ => true,
         });
+        if self.observing() {
+            let event = TraceEvent::Flush {
+                cycle: self.stats.cycles,
+                pipe: pid,
+                upto: upto.map(|s| s.min(usize::from(u16::MAX)) as u16),
+                discarded: (before - self.pending.len()) as u32,
+            };
+            self.emit(event);
+        }
     }
 
     /// Evaluates a small condition expression (shared by both backends).

@@ -271,6 +271,9 @@ impl<'m> Simulator<'m> {
     /// activation; zero-delay activations also run in this control step).
     pub(crate) fn invoke_decoded(&mut self, decoded: &Decoded) -> Result<(), SimError> {
         self.stats.executed_ops += 1;
+        if self.observing() {
+            self.emit_exec(decoded.op);
+        }
         match self.mode {
             crate::SimMode::Interpretive => {
                 self.exec_behavior_interp(decoded.op, decoded.variant, Some(decoded))?;
@@ -288,10 +291,23 @@ impl<'m> Simulator<'m> {
         let operation = self.model.operation(op);
         if let Some(root_res) = operation.decode_root {
             let word = self.state.scalar(root_res).to_u128();
+            if self.observing() {
+                let event = lisa_trace::TraceEvent::Fetch {
+                    cycle: self.stats.cycles,
+                    pc: self.current_pc(),
+                    word,
+                };
+                self.emit(event);
+            }
             let decoded = self.decode_word(word)?;
-            return self.invoke_decoded(&decoded);
+            self.invoke_decoded(&decoded)?;
+            self.stats.instructions_retired += 1;
+            return Ok(());
         }
         self.stats.executed_ops += 1;
+        if self.observing() {
+            self.emit_exec(op);
+        }
         let choices = vec![None; operation.groups.len()];
         let variant = operation.variants.iter().position(|v| v.matches(&choices)).unwrap_or(0);
         match self.mode {
@@ -548,8 +564,14 @@ impl<'m> Simulator<'m> {
             "print" => {
                 arity(1)?;
                 let v = self.eval_expr_interp(&args[0], frame)?;
-                let op_name = self.model.operation(frame.op).name.clone();
-                self.trace_event(|| format!("print {v} (from {op_name})"));
+                if self.observing() {
+                    let event = lisa_trace::TraceEvent::Print {
+                        cycle: self.stats.cycles,
+                        op: frame.op,
+                        value: v,
+                    };
+                    self.emit(event);
+                }
                 v
             }
             "nop" => {
@@ -677,9 +699,8 @@ impl<'m> Simulator<'m> {
                 Ok(())
             }
             Place::Resource { res, flat } => {
-                if self.trace_enabled {
-                    let name = self.model.resource(res).name.clone();
-                    self.trace_event(|| format!("write {name}[{flat}] = {value}"));
+                if self.observing() {
+                    self.emit_write(res, flat, value);
                 }
                 if self.state.write_flat(res, flat, value) {
                     Ok(())

@@ -29,6 +29,12 @@ mod stats;
 
 pub use engine::{SimMode, Simulator};
 pub use error::SimError;
+// Re-exported so simulator users can drive tracing/profiling without a
+// separate `lisa-trace` dependency.
+pub use lisa_trace::{
+    events_to_jsonl, write_vcd, CollectingSink, JsonLinesSink, NameTable, Profile, RingBufferSink,
+    TraceEvent, TraceKind, TraceSink,
+};
 pub use snapshot::Snapshot;
 pub use state::State;
-pub use stats::SimStats;
+pub use stats::{SimStats, STALL_STAGE_BUCKETS};

@@ -130,8 +130,11 @@ impl<'m> Simulator<'m> {
     }
 
     /// Restores a previously captured snapshot, replacing the current
-    /// dynamic state. The execution trace buffer is cleared (traces are
-    /// a debugging aid, not architectural state).
+    /// dynamic state. Observability settings survive: an installed trace
+    /// sink stays installed (its buffered events are cleared — traces
+    /// are a debugging aid, not architectural state) and an active
+    /// profile restarts from the restored cycle count, so events and
+    /// profiles never mix pre- and post-restore timelines.
     ///
     /// The snapshot may come from a simulator in either [`SimMode`]; the
     /// restored simulator keeps its own mode. Restoring an interpretive
@@ -153,7 +156,15 @@ impl<'m> Simulator<'m> {
         self.stats = snapshot.stats;
         self.seq = snapshot.seq;
         self.decode_cache = snapshot.decode_cache.clone();
-        self.trace.clear();
+        if let Some(obs) = self.observer.as_mut() {
+            if let Some(sink) = obs.sink.as_mut() {
+                sink.clear();
+            }
+            if obs.profile.is_some() {
+                obs.profile = Some(lisa_trace::Profile::new());
+                obs.profile_start = self.stats.cycles;
+            }
+        }
         Ok(())
     }
 }
@@ -222,6 +233,32 @@ mod tests {
         let snap = sim_a.snapshot();
         let mut sim_b = Simulator::new(&model_b, SimMode::Interpretive).unwrap();
         assert_eq!(sim_b.restore(&snap), Err(SimError::SnapshotMismatch));
+    }
+
+    #[test]
+    fn trace_and_profile_state_survive_restore_consistently() {
+        let model = counter_model();
+        let mut sim = Simulator::new(&model, SimMode::Interpretive).unwrap();
+        sim.set_trace(true);
+        sim.enable_profile();
+        sim.run(3).unwrap();
+        let snap = sim.snapshot();
+        sim.run(2).unwrap();
+
+        sim.restore(&snap).unwrap();
+        assert!(sim.tracing(), "the installed sink survives restore");
+        assert!(sim.take_events().is_empty(), "restore clears buffered events");
+
+        sim.run(2).unwrap();
+        let events = sim.take_events();
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().all(|e| (3..5).contains(&e.cycle())),
+            "post-restore events carry only the restored timeline: {events:?}"
+        );
+        let profile = sim.take_profile().expect("profiling survives restore");
+        assert_eq!(profile.cycles, 2, "profile restarts at the restored cycle count");
+        assert_eq!(profile.op_execs["main"], 2);
     }
 
     #[test]

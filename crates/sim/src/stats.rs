@@ -2,6 +2,11 @@
 
 use std::fmt;
 
+/// Number of per-stage stall buckets in [`SimStats::stall_by_stage`].
+/// Deeper stages fold into the last bucket (the deepest bundled model
+/// has 7 stages, so in practice nothing folds).
+pub const STALL_STAGE_BUCKETS: usize = 8;
+
 /// Counters accumulated by the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimStats {
@@ -9,9 +14,12 @@ pub struct SimStats {
     pub cycles: u64,
     /// Operation executions (behavior runs), including invocations.
     pub executed_ops: u64,
-    /// Instruction decodes requested (cache hits included).
+    /// Instruction-decode *requests*. Cache hits are included: every
+    /// decode-root execution counts here whether the word was decoded
+    /// fresh or served from the compiled-mode cache.
     pub decodes: u64,
-    /// Decodes served from the compiled-mode cache.
+    /// Decodes served from the compiled-mode cache (a subset of
+    /// [`SimStats::decodes`]).
     pub decode_cache_hits: u64,
     /// Activations scheduled (delayed or same-step).
     pub activations: u64,
@@ -19,10 +27,23 @@ pub struct SimStats {
     pub stalls: u64,
     /// Pipeline flushes.
     pub flushes: u64,
+    /// Decoded instructions fully executed (behavior and activation of a
+    /// decode-root operation completed). Distinct from
+    /// [`SimStats::decodes`], which counts decode requests whether or
+    /// not the instruction then runs to completion.
+    pub instructions_retired: u64,
+    /// Stall requests bucketed by the requested hold stage: a
+    /// `pipe.stage.stall()` at stage *s* counts in bucket
+    /// `min(s, STALL_STAGE_BUCKETS - 1)`; a whole-pipeline
+    /// `pipe.stall()` counts at its deepest stage.
+    pub stall_by_stage: [u64; STALL_STAGE_BUCKETS],
 }
 
 impl SimStats {
-    /// Fraction of decodes served from the cache (0 when none happened).
+    /// Fraction of decode *requests* served from the cache, in `0.0..=1.0`
+    /// (`0.0` when no decode was requested). Because
+    /// [`SimStats::decodes`] includes the hits themselves, this is
+    /// `decode_cache_hits / decodes`, not hits over misses.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
         if self.decodes == 0 {
@@ -31,21 +52,42 @@ impl SimStats {
             self.decode_cache_hits as f64 / self.decodes as f64
         }
     }
+
+    /// Decode requests that missed the cache and paid for a full decode
+    /// (`decodes - decode_cache_hits`). In interpretive mode every
+    /// decode is a miss.
+    #[must_use]
+    pub fn decode_misses(&self) -> u64 {
+        self.decodes.saturating_sub(self.decode_cache_hits)
+    }
 }
 
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cycles={} ops={} decodes={} (hits={}) activations={} stalls={} flushes={}",
+            "cycles={} ops={} decodes={} (hits={}) activations={} stalls={} flushes={} retired={}",
             self.cycles,
             self.executed_ops,
             self.decodes,
             self.decode_cache_hits,
             self.activations,
             self.stalls,
-            self.flushes
-        )
+            self.flushes,
+            self.instructions_retired,
+        )?;
+        if self.stalls > 0 {
+            let last = self.stall_by_stage.iter().rposition(|&v| v != 0).unwrap_or(0);
+            write!(f, " stall_stages=[")?;
+            for (i, v) in self.stall_by_stage[..=last].iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
     }
 }
 
@@ -59,5 +101,36 @@ mod tests {
         let s = SimStats { decodes: 10, decode_cache_hits: 9, ..SimStats::default() };
         assert!((s.cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!(s.to_string().contains("decodes=10"));
+    }
+
+    #[test]
+    fn decode_misses_covers_both_cache_paths() {
+        // Compiled-mode shape: most requests hit the cache.
+        let compiled = SimStats { decodes: 10, decode_cache_hits: 9, ..SimStats::default() };
+        assert_eq!(compiled.decode_misses(), 1);
+        assert!(
+            (compiled.cache_hit_rate() + compiled.decode_misses() as f64 / 10.0 - 1.0).abs()
+                < 1e-12
+        );
+        // Interpretive-mode shape: no cache, every request misses.
+        let interp = SimStats { decodes: 7, decode_cache_hits: 0, ..SimStats::default() };
+        assert_eq!(interp.decode_misses(), 7);
+        assert_eq!(interp.cache_hit_rate(), 0.0);
+        assert_eq!(SimStats::default().decode_misses(), 0);
+    }
+
+    #[test]
+    fn display_appends_new_fields_after_legacy_ones() {
+        let mut s = SimStats { cycles: 3, instructions_retired: 2, ..SimStats::default() };
+        let text = s.to_string();
+        assert!(text.starts_with("cycles=3 ops=0 decodes=0 (hits=0)"), "{text}");
+        assert!(text.ends_with("retired=2"), "{text}");
+        assert!(!text.contains("stall_stages"), "no stall breakdown without stalls: {text}");
+
+        s.stalls = 4;
+        s.stall_by_stage[0] = 1;
+        s.stall_by_stage[2] = 3;
+        let text = s.to_string();
+        assert!(text.contains("retired=2 stall_stages=[1,0,3]"), "{text}");
     }
 }

@@ -1,0 +1,228 @@
+//! Trace sinks: where recorded events go.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::{NameTable, TraceEvent};
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// The simulator holds a sink behind `Option<Box<dyn TraceSink>>`; with
+/// no sink installed the cycle path pays a single branch, so tracing is
+/// free when disabled. Sinks must be `Send` so traced simulators keep
+/// working inside batch-runner worker threads.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Takes every buffered event, oldest first. Streaming sinks that
+    /// keep no buffer return an empty vector (the default).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Discards any buffered events (default: drop the drained buffer).
+    fn clear(&mut self) {
+        let _ = self.drain();
+    }
+}
+
+/// Collects every event in order — the default sink behind the
+/// simulator's `set_trace(true)`. Unbounded; prefer [`RingBufferSink`]
+/// for production-length runs.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingSink {
+    events: Vec<TraceEvent>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    #[must_use]
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+
+    /// The events collected so far.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Keeps only the most recent `capacity` events — bounded memory for
+/// always-on tracing of long runs (flight-recorder style).
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A ring buffer holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingBufferSink {
+        let capacity = capacity.max(1);
+        RingBufferSink { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Events evicted so far to stay within capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Streams each event as one JSON line to a writer — nothing is
+/// buffered, so arbitrarily long runs export in constant memory.
+///
+/// Carries an owned [`NameTable`] so the emitted JSON uses operation /
+/// resource / stage *names*, independent of the model borrow.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: W,
+    names: NameTable,
+    lines: u64,
+    error: Option<std::io::ErrorKind>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// A sink writing JSON lines rendered through `names` to `writer`.
+    pub fn new(writer: W, names: NameTable) -> JsonLinesSink<W> {
+        JsonLinesSink { writer, names, lines: 0, error: None }
+    }
+
+    /// Number of lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error encountered, if any (recording continues to
+    /// be attempted; the error is sticky for the caller to inspect).
+    #[must_use]
+    pub fn io_error(&self) -> Option<std::io::ErrorKind> {
+        self.error
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = self.names.json(event);
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e.kind());
+                }
+            }
+        }
+    }
+}
+
+/// Renders a slice of events as a JSON-lines document (one object per
+/// line, trailing newline included when non-empty).
+#[must_use]
+pub fn events_to_jsonl(names: &NameTable, events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&names.json(event));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lisa_core::model::OpId;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::Exec { cycle, op: OpId(0), stage: None, pc: 0 }
+    }
+
+    #[test]
+    fn collecting_sink_keeps_order_and_drains() {
+        let mut sink = CollectingSink::new();
+        for c in 0..5 {
+            sink.record(&ev(c));
+        }
+        assert_eq!(sink.events().len(), 5);
+        let drained = sink.drain();
+        assert_eq!(drained.iter().map(TraceEvent::cycle).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
+        assert!(sink.drain().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_last_n() {
+        let mut sink = RingBufferSink::new(3);
+        for c in 0..10 {
+            sink.record(&ev(c));
+        }
+        assert_eq!(sink.dropped(), 7);
+        let kept = sink.drain();
+        assert_eq!(kept.iter().map(TraceEvent::cycle).collect::<Vec<_>>(), [7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_buffer_minimum_capacity_is_one() {
+        let mut sink = RingBufferSink::new(0);
+        assert_eq!(sink.capacity(), 1);
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        assert_eq!(sink.drain().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_streams_valid_lines() {
+        let names = NameTable { ops: vec!["main".into()], resources: vec![], pipelines: vec![] };
+        let mut sink = JsonLinesSink::new(Vec::new(), names.clone());
+        sink.record(&ev(0));
+        sink.record(&ev(1));
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.io_error(), None);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"op\":\"main\""));
+        }
+        assert_eq!(text, events_to_jsonl(&names, &[ev(0), ev(1)]));
+    }
+}

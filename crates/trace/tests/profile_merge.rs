@@ -1,0 +1,143 @@
+//! Property tests for [`Profile`]'s algebra: merging per-stream profiles
+//! must equal profiling the concatenated stream, merge must be
+//! associative, and [`Profile::default`] must be a two-sided identity.
+//! These are exactly the guarantees a batch runner relies on when it
+//! folds per-job profiles into fleet statistics in whatever order jobs
+//! happen to finish.
+
+use lisa_core::model::{OpId, PipelineId, ResourceId};
+use lisa_trace::{NameTable, Profile, TraceEvent};
+use proptest::prelude::*;
+
+fn names() -> NameTable {
+    NameTable {
+        ops: vec!["main".into(), "add".into(), "mul".into(), "store".into()],
+        resources: vec!["pc".into(), "R".into(), "mem".into()],
+        pipelines: vec![
+            ("pipe".into(), vec!["FE".into(), "DE".into(), "EX".into()]),
+            ("mac".into(), vec!["RD".into(), "WB".into()]),
+        ],
+    }
+}
+
+/// Any event over the fixed name space above — including out-of-range
+/// ids, which the name table renders as `"?"` and the profile must
+/// still count deterministically.
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof!(
+        (0u64..64, -4i64..16, 0u128..256).prop_map(|(cycle, pc, word)| TraceEvent::Fetch {
+            cycle,
+            pc,
+            word,
+        }),
+        (0u64..64, -4i64..16, 0u128..256, 0usize..6, any::<bool>()).prop_map(
+            |(cycle, pc, word, op, cache_hit)| TraceEvent::Decode {
+                cycle,
+                pc,
+                word,
+                op: OpId(op),
+                cache_hit,
+            }
+        ),
+        (0u64..64, 0usize..6, 0usize..3, 0u16..4, -4i64..16, any::<bool>()).prop_map(
+            |(cycle, op, pipe, stage, pc, staged)| TraceEvent::Exec {
+                cycle,
+                op: OpId(op),
+                stage: staged.then_some((PipelineId(pipe), stage)),
+                pc,
+            }
+        ),
+        (0u64..64, 0usize..6, 0usize..6, 0u32..5).prop_map(|(cycle, from, to, delay)| {
+            TraceEvent::Activation { cycle, from: OpId(from), to: OpId(to), delay }
+        }),
+        (0u64..64, 0usize..3, 0u16..4).prop_map(|(cycle, pipe, upto)| TraceEvent::Stall {
+            cycle,
+            pipe: PipelineId(pipe),
+            upto,
+        }),
+        (0u64..64, 0usize..3, 0u16..4, 0u32..5, any::<bool>()).prop_map(
+            |(cycle, pipe, upto, discarded, whole)| TraceEvent::Flush {
+                cycle,
+                pipe: PipelineId(pipe),
+                upto: (!whole).then_some(upto),
+                discarded,
+            }
+        ),
+        (0u64..64, 0usize..4, 0u64..32, -99i64..99).prop_map(|(cycle, res, addr, value)| {
+            TraceEvent::MemoryAccess { cycle, resource: ResourceId(res), addr, value }
+        }),
+        (0u64..64, 0usize..4, 0u64..32, -99i64..99).prop_map(|(cycle, res, addr, value)| {
+            TraceEvent::RegisterWrite { cycle, resource: ResourceId(res), addr, value }
+        }),
+        (0u64..64, 0usize..6, -99i64..99).prop_map(|(cycle, op, value)| TraceEvent::Print {
+            cycle,
+            op: OpId(op),
+            value,
+        }),
+    )
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec(arb_event(), 0..=48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging N per-job profiles equals profiling the concatenated run.
+    #[test]
+    fn merge_equals_profile_of_concatenation(
+        jobs in prop::collection::vec(arb_events(), 0..=5),
+    ) {
+        let n = names();
+        let mut merged = Profile::new();
+        for job in &jobs {
+            merged.merge(&Profile::from_events(&n, job));
+        }
+        let concatenated: Vec<TraceEvent> = jobs.iter().flatten().copied().collect();
+        prop_assert_eq!(merged, Profile::from_events(&n, &concatenated));
+    }
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` — fold order can't change fleet stats.
+    #[test]
+    fn merge_is_associative(
+        a in arb_events(),
+        b in arb_events(),
+        c in arb_events(),
+    ) {
+        let n = names();
+        let (pa, pb, pc) = (
+            Profile::from_events(&n, &a),
+            Profile::from_events(&n, &b),
+            Profile::from_events(&n, &c),
+        );
+
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+
+        let mut bc = pb;
+        bc.merge(&pc);
+        let mut right = pa;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// The empty profile is a two-sided merge identity, even for the
+    /// explicitly-set `cycles` counter.
+    #[test]
+    fn default_is_a_two_sided_identity(events in arb_events(), cycles in 0u64..1000) {
+        let n = names();
+        let mut p = Profile::from_events(&n, &events);
+        p.cycles = cycles;
+
+        let mut left = Profile::default();
+        left.merge(&p);
+        prop_assert_eq!(&left, &p);
+
+        let mut right = p.clone();
+        right.merge(&Profile::default());
+        prop_assert_eq!(&right, &p);
+    }
+}

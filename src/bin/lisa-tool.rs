@@ -11,9 +11,14 @@
 //!     --max-steps N             step budget (default 1000000)
 //!     --trace                   print the execution trace
 //!     --dump RES[:N]            print a resource (first N elements) after the run
+//! lisa-tool trace  <model> <prog.s> [options]  run + export the structured trace
+//!     --out FILE                write to FILE instead of stdout
+//!     --vcd                     emit a pipeline-timeline VCD instead of JSON lines
+//! lisa-tool profile <model> <prog.s> [options] run + print the execution profile
 //! lisa-tool batch  [options]                   run the builtin models x kernels matrix
 //!     --workers N               worker threads (default: available parallelism)
 //!     --mode interp|compiled|both   backends to include (default both)
+//!     --profile                 collect + print the merged execution profile
 //! ```
 //!
 //! `<model>` is a `.lisa` file path or one of the builtins `@vliw62`,
@@ -58,6 +63,8 @@ fn run(args: &[String]) -> Result<(), String> {
             packet_size(args),
         ),
         "run" => simulate(args),
+        "trace" => trace_cmd(args),
+        "profile" => profile_cmd(args),
         "batch" => batch(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -68,11 +75,13 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run|batch> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
+     trace options: --out FILE  --vcd  (plus run options)\n\
+     profile options: same as run\n\
      asm/disasm options: -o FILE  --packet N\n\
-     batch options: --workers N  --mode interp|compiled|both"
+     batch options: --workers N  --mode interp|compiled|both  --profile"
         .to_owned()
 }
 
@@ -195,6 +204,48 @@ fn disasm(spec: &str, image_path: &str, cli_packet: Option<usize>) -> Result<(),
     Ok(())
 }
 
+/// Runs a program with structured tracing on and exports the events as
+/// JSON lines (default) or a pipeline-timeline VCD (`--vcd`).
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let run = load_run(args)?;
+    let mut sim = boot_sim(&run, sim_mode(args)?)?;
+    sim.set_trace(true);
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+
+    let events = sim.take_events();
+    let names = sim.name_table();
+    let text = if has_flag(args, "--vcd") {
+        let mut buf = Vec::new();
+        lisa::trace::write_vcd(&names, &events, &mut buf)
+            .map_err(|e| format!("cannot render VCD: {e}"))?;
+        String::from_utf8(buf).map_err(|e| format!("VCD is not UTF-8: {e}"))?
+    } else {
+        lisa::trace::events_to_jsonl(&names, &events)
+    };
+    match flag_value(args, "--out") {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {} events over {cycles} control steps to {path}", events.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Runs a program with profiling on and prints the execution profile
+/// (per-operation histogram, hot PCs, per-stage pipeline table).
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let run = load_run(args)?;
+    let mode = sim_mode(args)?;
+    let mut sim = boot_sim(&run, mode)?;
+    sim.enable_profile();
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let profile = sim.take_profile().ok_or("profiling produced no data")?;
+    println!("halted after {cycles} control steps ({mode:?})");
+    print!("{}", profile.report());
+    Ok(())
+}
+
 /// Runs every builtin kernel on every builtin model (the models×kernels
 /// matrix) across the selected backends on a worker pool.
 fn batch(args: &[String]) -> Result<(), String> {
@@ -209,18 +260,23 @@ fn batch(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown mode `{other}`")),
     };
 
+    let profile = has_flag(args, "--profile");
     let matrix = lisa::models::kernels::full_matrix().map_err(|e| e.to_string())?;
     let scenarios: Vec<lisa::exec::Scenario<'_>> = matrix
         .iter()
         .flat_map(|(wb, kernels)| {
-            kernels
-                .iter()
-                .flat_map(move |kernel| modes.iter().map(move |&mode| wb.scenario(kernel, mode)))
+            kernels.iter().flat_map(move |kernel| {
+                modes.iter().map(move |&mode| wb.scenario(kernel, mode).profiled(profile))
+            })
         })
         .collect();
 
     let report = lisa::exec::BatchRunner::new(workers).run(&scenarios);
     print!("{}", report.table());
+    if let Some(merged) = report.merged_profile() {
+        println!("\nmerged fleet profile:");
+        print!("{}", merged.report());
+    }
     if report.all_passed() {
         Ok(())
     } else {
@@ -228,7 +284,17 @@ fn batch(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn simulate(args: &[String]) -> Result<(), String> {
+/// A model + assembled program, ready to be booted into a simulator.
+struct LoadedRun {
+    model: Model,
+    words: Vec<u128>,
+    origin: u64,
+    pmem_name: &'static str,
+    halt_name: &'static str,
+}
+
+/// Parses `<model> <prog.s>` from positions 1/2 and assembles the program.
+fn load_run(args: &[String]) -> Result<LoadedRun, String> {
     let spec = args.get(1).ok_or_else(usage)?;
     let program_path = args.get(2).ok_or_else(usage)?;
     let (model, pmem_name, halt_name, builtin_packet) = build_model(spec)?;
@@ -236,25 +302,35 @@ fn simulate(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot read `{program_path}`: {e}"))?;
     let assembler = make_assembler(&model, builtin_packet, packet_size(args));
     let program = assembler.assemble(&source).map_err(|e| e.to_string())?;
+    Ok(LoadedRun { model, words: program.words, origin: program.origin, pmem_name, halt_name })
+}
 
-    let mode = match flag_value(args, "--mode") {
-        Some("interp" | "interpretive") => SimMode::Interpretive,
-        Some("compiled") | None => SimMode::Compiled,
-        Some(other) => return Err(format!("unknown mode `{other}`")),
-    };
-    let max_steps: u64 = flag_value(args, "--max-steps")
+fn sim_mode(args: &[String]) -> Result<SimMode, String> {
+    match flag_value(args, "--mode") {
+        Some("interp" | "interpretive") => Ok(SimMode::Interpretive),
+        Some("compiled") | None => Ok(SimMode::Compiled),
+        Some(other) => Err(format!("unknown mode `{other}`")),
+    }
+}
+
+fn max_steps(args: &[String]) -> Result<u64, String> {
+    flag_value(args, "--max-steps")
         .map(|v| v.parse().map_err(|e| format!("bad --max-steps: {e}")))
-        .transpose()?
-        .unwrap_or(1_000_000);
+        .transpose()
+        .map(|v| v.unwrap_or(1_000_000))
+}
 
-    let mut sim = lisa::sim::Simulator::new(&model, mode).map_err(|e| e.to_string())?;
-    // Load honouring the program origin.
-    let pmem = model
-        .resource_by_name(pmem_name)
-        .ok_or_else(|| format!("model has no `{pmem_name}` memory"))?
+/// Builds a simulator from a loaded run: program memory filled
+/// (honouring the program origin), pre-decoded in compiled mode.
+fn boot_sim<'m>(run: &'m LoadedRun, mode: SimMode) -> Result<lisa::sim::Simulator<'m>, String> {
+    let mut sim = lisa::sim::Simulator::new(&run.model, mode).map_err(|e| e.to_string())?;
+    let pmem = run
+        .model
+        .resource_by_name(run.pmem_name)
+        .ok_or_else(|| format!("model has no `{}` memory", run.pmem_name))?
         .clone();
-    for (i, &word) in program.words.iter().enumerate() {
-        let addr = program.origin as i64 + i as i64;
+    for (i, &word) in run.words.iter().enumerate() {
+        let addr = run.origin as i64 + i as i64;
         sim.state_mut()
             .write(&pmem, &[addr], lisa::bits::Bits::from_u128_wrapped(pmem.ty.width(), word))
             .map_err(|e| e.to_string())?;
@@ -262,16 +338,33 @@ fn simulate(args: &[String]) -> Result<(), String> {
     if mode == SimMode::Compiled {
         sim.predecode_program_memory();
     }
+    Ok(sim)
+}
+
+/// Runs until the model's halt flag goes nonzero (or the step budget
+/// runs out) and returns the control steps executed.
+fn run_to_halt(
+    sim: &mut lisa::sim::Simulator<'_>,
+    run: &LoadedRun,
+    max_steps: u64,
+) -> Result<u64, String> {
+    let halt = run
+        .model
+        .resource_by_name(run.halt_name)
+        .ok_or_else(|| format!("model has no `{}` flag", run.halt_name))?
+        .clone();
+    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max_steps)
+        .map_err(|e| e.to_string())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let run = load_run(args)?;
+    let mode = sim_mode(args)?;
+    let mut sim = boot_sim(&run, mode)?;
     sim.set_trace(has_flag(args, "--trace"));
 
-    let halt = model
-        .resource_by_name(halt_name)
-        .ok_or_else(|| format!("model has no `{halt_name}` flag"))?
-        .clone();
     let t = std::time::Instant::now();
-    let cycles = sim
-        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max_steps)
-        .map_err(|e| e.to_string())?;
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
     let elapsed = t.elapsed();
 
     if has_flag(args, "--trace") {
@@ -288,7 +381,7 @@ fn simulate(args: &[String]) -> Result<(), String> {
             None => (dump, 8),
         };
         let res =
-            model.resource_by_name(name).ok_or_else(|| format!("unknown resource `{name}`"))?;
+            run.model.resource_by_name(name).ok_or_else(|| format!("unknown resource `{name}`"))?;
         if res.is_array() {
             let base = res.dims.first().map_or(0, |d| d.base()) as i64;
             print!("{name} =");

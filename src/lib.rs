@@ -14,6 +14,7 @@
 //! | [`docgen`] | `lisa-docgen` | automatic ISA manuals |
 //! | [`models`] | `lisa-models` | vliw62 / accu16 / tinyrisc models + DSP kernels |
 //! | [`exec`] | `lisa-exec` | parallel batch runner with checkpoint/restore forking |
+//! | [`trace`] | `lisa-trace` | structured trace events, profiles, JSONL/VCD exporters |
 //!
 //! # Quickstart
 //!
@@ -47,3 +48,4 @@ pub use lisa_exec as exec;
 pub use lisa_isa as isa;
 pub use lisa_models as models;
 pub use lisa_sim as sim;
+pub use lisa_trace as trace;

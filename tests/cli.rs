@@ -84,10 +84,65 @@ fn run_vliw_program_with_packets() {
 }
 
 #[test]
+fn trace_emits_json_lines_and_vcd() {
+    let dir = std::env::temp_dir().join("lisa_cli_trace_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n").unwrap();
+
+    // JSON lines to stdout: every line is one well-formed JSON object
+    // with the mandatory cycle/kind fields.
+    let out = run_ok(&["trace", "@tinyrisc", src.to_str().unwrap()]);
+    assert!(!out.is_empty());
+    for line in out.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        assert!(line.contains("\"cycle\":"), "{line}");
+        assert!(line.contains("\"kind\":\""), "{line}");
+    }
+    assert!(out.lines().any(|l| l.contains("\"kind\":\"exec\"")), "{out}");
+    assert!(out.lines().any(|l| l.contains("\"kind\":\"register_write\"")), "{out}");
+
+    // JSON lines to a file via --out.
+    let jsonl = dir.join("trace.jsonl");
+    let out =
+        run_ok(&["trace", "@tinyrisc", src.to_str().unwrap(), "--out", &jsonl.to_string_lossy()]);
+    assert!(out.contains("wrote"), "{out}");
+    assert!(fs::read_to_string(&jsonl).unwrap().lines().count() > 4);
+
+    // VCD: header, at least one var, timestamped value changes.
+    let vcd = run_ok(&["trace", "@tinyrisc", src.to_str().unwrap(), "--vcd"]);
+    assert!(vcd.contains("$timescale"), "{vcd}");
+    assert!(vcd.contains("$var wire"), "{vcd}");
+    assert!(vcd.contains("$enddefinitions $end"), "{vcd}");
+    assert!(vcd.lines().any(|l| l.starts_with('#')), "{vcd}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_prints_the_execution_report() {
+    let dir = std::env::temp_dir().join("lisa_cli_profile_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n").unwrap();
+    let out = run_ok(&["profile", "@tinyrisc", src.to_str().unwrap(), "--mode", "interp"]);
+    assert!(out.contains("halted after"), "{out}");
+    assert!(out.contains("per-operation execution histogram"), "{out}");
+    assert!(out.contains("ldi"), "{out}");
+    assert!(out.contains("hot PCs"), "{out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn batch_runs_the_kernel_matrix() {
     let out = run_ok(&["batch", "--workers", "2", "--mode", "interp"]);
     assert!(out.contains("0 failed"), "{out}");
     assert!(out.contains("on 2 workers"), "{out}");
+    assert!(!out.contains("merged fleet profile"), "no profile without --profile: {out}");
+
+    let out = run_ok(&["batch", "--workers", "2", "--mode", "interp", "--profile"]);
+    assert!(out.contains("merged fleet profile"), "{out}");
+    assert!(out.contains("per-operation execution histogram"), "{out}");
+    assert!(out.contains("stage"), "{out}");
 
     let output = lisa_tool().args(["batch", "--mode", "sideways"]).output().unwrap();
     assert!(!output.status.success());
