@@ -1,0 +1,225 @@
+//! Reproducer files: persisted, shrunk failure cases.
+//!
+//! A reproducer is a small, line-oriented text file (stable under
+//! version control, human-diffable) holding the model name, the seed
+//! and oracle that found the failure, and the minimized instruction
+//! words. The corpus directory is replayed before any fresh fuzzing —
+//! once a divergence is fixed, its reproducer becomes a permanent
+//! regression test.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File extension for reproducer files.
+pub const EXTENSION: &str = "repro";
+
+/// A persisted failure case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproducer {
+    /// Model name the program was synthesized for (`tinyrisc`, …).
+    pub model: String,
+    /// Seed of the fuzzing run that found it.
+    pub seed: u64,
+    /// Label of the oracle that fired ([`crate::OracleKind::label`]).
+    pub oracle: String,
+    /// The minimized program prefix.
+    pub words: Vec<u128>,
+}
+
+impl Reproducer {
+    /// Serializes to the reproducer file format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# lisa-conform reproducer");
+        let _ = writeln!(out, "model = {}", self.model);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(out, "oracle = {}", self.oracle);
+        for word in &self.words {
+            let _ = writeln!(out, "word = {word:#x}");
+        }
+        out
+    }
+
+    /// Parses the reproducer file format.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Reproducer, String> {
+        let mut model = None;
+        let mut seed = None;
+        let mut oracle = None;
+        let mut words = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            match key {
+                "model" => model = Some(value.to_owned()),
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?,
+                    );
+                }
+                "oracle" => oracle = Some(value.to_owned()),
+                "word" => {
+                    let digits = value.strip_prefix("0x").ok_or_else(|| {
+                        format!("line {}: word must be hexadecimal (0x…)", lineno + 1)
+                    })?;
+                    words.push(
+                        u128::from_str_radix(digits, 16)
+                            .map_err(|e| format!("line {}: bad word: {e}", lineno + 1))?,
+                    );
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        Ok(Reproducer {
+            model: model.ok_or("missing `model` line")?,
+            seed: seed.ok_or("missing `seed` line")?,
+            oracle: oracle.unwrap_or_else(|| "unknown".to_owned()),
+            words,
+        })
+    }
+
+    /// The canonical file name: `<model>-<16-hex-digit content hash>.repro`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.{EXTENSION}", self.model, self.content_hash())
+    }
+
+    /// FNV-1a over the words, so identical failures dedupe on disk.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for word in &self.words {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Writes the reproducer into `dir` (created if missing); returns
+    /// the file path.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_text())?;
+        Ok(path)
+    }
+
+    /// Reads and parses one reproducer file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or parse errors mapped to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: &Path) -> std::io::Result<Reproducer> {
+        let text = std::fs::read_to_string(path)?;
+        Reproducer::parse(&text).map_err(|msg| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {msg}", path.display()),
+            )
+        })
+    }
+}
+
+/// Loads every `.repro` file in `dir`, sorted by file name for a
+/// deterministic replay order. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Filesystem or parse errors for files that exist but do not load.
+pub fn load_dir(dir: &Path) -> std::io::Result<Vec<(PathBuf, Reproducer)>> {
+    let mut entries = Vec::new();
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = read
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == EXTENSION))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let rep = Reproducer::load(&path)?;
+        entries.push((path, rep));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Reproducer {
+        Reproducer {
+            model: "tinyrisc".into(),
+            seed: 7,
+            oracle: "lockstep".into(),
+            words: vec![0xf000, 0x1a2b, 0],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let rep = sample();
+        let parsed = Reproducer::parse(&rep.to_text()).unwrap();
+        assert_eq!(parsed, rep);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Reproducer::parse("").unwrap_err().contains("missing `model`"));
+        assert!(Reproducer::parse("model = m\nword = 12").unwrap_err().contains("hexadecimal"));
+        assert!(Reproducer::parse("model = m\nbogus = 1").unwrap_err().contains("unknown key"));
+        assert!(Reproducer::parse("model = m\nseed = x").unwrap_err().contains("bad seed"));
+    }
+
+    #[test]
+    fn file_name_is_stable_and_content_addressed() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.file_name(), b.file_name());
+        b.words.push(1);
+        assert_ne!(a.file_name(), b.file_name());
+        assert!(a.file_name().starts_with("tinyrisc-"));
+        assert!(a.file_name().ends_with(".repro"));
+    }
+
+    #[test]
+    fn save_and_load_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("lisa-conform-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rep = sample();
+        let path = rep.save(&dir).unwrap();
+        assert!(path.exists());
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, rep);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_corpus_directory_is_empty() {
+        let dir = Path::new("/nonexistent/lisa-conform-corpus");
+        assert!(load_dir(dir).unwrap().is_empty());
+    }
+}

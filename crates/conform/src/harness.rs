@@ -1,0 +1,179 @@
+//! The fuzzing loop: generate, check, shrink, persist.
+//!
+//! Each iteration derives its own random stream from `(seed, index)`,
+//! synthesizes a program prefix, wraps it into a halt-padded image and
+//! runs the full oracle stack. The first divergence stops the run: the
+//! failing prefix is shrunk with the same oracle stack as predicate and
+//! packaged as a [`Reproducer`]. [`Fuzzer::self_check`] validates the
+//! whole pipeline by injecting a [`Fault`] into the compiled backend
+//! and demanding that it is caught and minimized.
+
+use lisa_models::Workbench;
+
+use crate::corpus::Reproducer;
+use crate::gen::{GenError, ProgramGen};
+use crate::oracle::{check_all, Fault, Outcome, Verdict};
+use crate::rng::Rng;
+use crate::shrink::shrink;
+
+/// Tuning for one fuzzing run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; every program is a pure function of it.
+    pub seed: u64,
+    /// Number of fresh programs to synthesize and check.
+    pub iters: u64,
+    /// Maximum synthesized prefix length, in instruction words.
+    pub max_len: usize,
+    /// Cycle budget per simulated run.
+    pub max_cycles: u64,
+    /// Deliberate backend corruption (harness self-validation).
+    pub fault: Option<Fault>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig { seed: 0, iters: 500, max_len: 24, max_cycles: 2000, fault: None }
+    }
+}
+
+/// A divergence found by fuzzing, with its minimized form.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Iteration index that produced the program.
+    pub iteration: u64,
+    /// The oracle verdict on the *shrunk* program.
+    pub verdict: Verdict,
+    /// The program prefix as generated.
+    pub original: Vec<u128>,
+    /// The minimized prefix (still failing).
+    pub shrunk: Vec<u128>,
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations completed (including the failing one, if any).
+    pub iterations: u64,
+    /// Runs that halted cleanly with both backends agreeing.
+    pub halted: u64,
+    /// Runs that exhausted the cycle budget in agreement.
+    pub budget: u64,
+    /// Runs where both backends raised the same error.
+    pub errored: u64,
+    /// The first divergence, if one was found.
+    pub failure: Option<Failure>,
+}
+
+impl FuzzReport {
+    /// Whether the run finished without a divergence.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// A fuzzer bound to one workbench.
+pub struct Fuzzer<'w> {
+    wb: &'w Workbench,
+    gen: ProgramGen<'w>,
+    config: FuzzConfig,
+}
+
+impl<'w> Fuzzer<'w> {
+    /// Builds the program generator for `wb`.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError`] when the model cannot drive generation.
+    pub fn new(wb: &'w Workbench, config: FuzzConfig) -> Result<Fuzzer<'w>, GenError> {
+        Ok(Fuzzer { wb, gen: ProgramGen::new(wb)?, config })
+    }
+
+    /// The underlying program generator.
+    #[must_use]
+    pub fn generator(&self) -> &ProgramGen<'w> {
+        &self.gen
+    }
+
+    /// Runs the full oracle stack on one program prefix.
+    ///
+    /// # Errors
+    ///
+    /// The first oracle [`Verdict`].
+    pub fn check_words(&self, prefix: &[u128]) -> Result<Outcome, Verdict> {
+        let image = self.gen.image(prefix);
+        check_all(self.wb, &image, self.config.max_cycles, self.config.fault)
+    }
+
+    /// Replays a persisted reproducer; passing means the regression
+    /// stays fixed.
+    ///
+    /// # Errors
+    ///
+    /// The oracle [`Verdict`] if the old failure resurfaces.
+    pub fn replay(&self, rep: &Reproducer) -> Result<Outcome, Verdict> {
+        let previous_fault = self.config.fault;
+        debug_assert!(previous_fault.is_none(), "replay runs without fault injection");
+        let image = self.gen.image(&rep.words);
+        check_all(self.wb, &image, self.config.max_cycles, None)
+    }
+
+    /// The main loop: fuzz until the iteration budget is spent or a
+    /// divergence is found (which is then shrunk).
+    pub fn run(&self) -> FuzzReport {
+        let mut report = FuzzReport::default();
+        for index in 0..self.config.iters {
+            report.iterations = index + 1;
+            let mut rng = Rng::for_iteration(self.config.seed, index);
+            let prefix = self.gen.gen_program(&mut rng, self.config.max_len);
+            match self.check_words(&prefix) {
+                Ok(Outcome::Halted { .. }) => report.halted += 1,
+                Ok(Outcome::Budget { .. }) => report.budget += 1,
+                Ok(Outcome::Error { .. }) => report.errored += 1,
+                Err(first) => {
+                    let shrunk = shrink(&prefix, |ws| self.check_words(ws).is_err());
+                    let verdict = self.check_words(&shrunk).err().unwrap_or(first);
+                    report.failure =
+                        Some(Failure { iteration: index, verdict, original: prefix, shrunk });
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    /// Packages a failure as a reproducer for this fuzzer's model.
+    #[must_use]
+    pub fn reproducer(&self, model: &str, failure: &Failure) -> Reproducer {
+        Reproducer {
+            model: model.to_owned(),
+            seed: self.config.seed,
+            oracle: failure.verdict.oracle.label().to_owned(),
+            words: failure.shrunk.clone(),
+        }
+    }
+
+    /// End-to-end harness validation: inject a halt-flag fault into the
+    /// compiled backend and demand the lockstep oracle catches it and
+    /// the shrinker minimizes it to at most `max_shrunk` instructions.
+    ///
+    /// # Errors
+    ///
+    /// A description of what the harness failed to do.
+    pub fn self_check(wb: &Workbench, max_shrunk: usize) -> Result<Failure, String> {
+        let config =
+            FuzzConfig { iters: 4, fault: Some(Fault { at_cycle: 0 }), ..FuzzConfig::default() };
+        let fuzzer = Fuzzer::new(wb, config).map_err(|e| e.to_string())?;
+        let report = fuzzer.run();
+        let failure =
+            report.failure.ok_or("injected backend fault was NOT caught by the oracles")?;
+        if failure.shrunk.len() > max_shrunk {
+            return Err(format!(
+                "injected fault shrunk to {} instructions, expected at most {max_shrunk}",
+                failure.shrunk.len()
+            ));
+        }
+        Ok(failure)
+    }
+}

@@ -1,0 +1,403 @@
+//! Execution oracles: the invariants every synthesized program is
+//! checked against.
+//!
+//! The primary oracle runs the interpretive and compiled backends in
+//! **lockstep**, comparing [`State::digest`](lisa_sim::State::digest)
+//! and the mode-independent [`SimStats`] fields after every control
+//! step — the strictest cross-check the workspace can express, and a
+//! direct generalization of the paper's §4.1 `sim62x` comparison.
+//!
+//! Three **metamorphic** oracles then assert that semantics-preserving
+//! transformations of a run do not change its result: snapshotting at a
+//! mid-run cycle and resuming (in either backend), enabling tracing and
+//! profiling, and running through `lisa-exec`'s batch scheduler instead
+//! of a plain loop.
+//!
+//! A [`Fault`] can be injected into the compiled backend to prove the
+//! harness end-to-end: a flipped halt flag must be detected by the
+//! lockstep oracle and shrink to a trivial program.
+
+use lisa_core::model::Resource;
+use lisa_exec::{run_scenario, BatchRunner, JobError, Scenario};
+use lisa_models::Workbench;
+use lisa_sim::{SimError, SimMode, SimStats, Simulator};
+
+/// Which oracle detected a divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Interpretive vs compiled lockstep digest + stats comparison.
+    Lockstep,
+    /// Snapshot at a mid-run cycle, resume in both backends.
+    SnapshotRestore,
+    /// Trace-and-profile-enabled vs plain execution.
+    TraceParity,
+    /// `lisa-exec` batch execution vs sequential execution.
+    BatchParity,
+}
+
+impl OracleKind {
+    /// Stable label used in reproducer files and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleKind::Lockstep => "lockstep",
+            OracleKind::SnapshotRestore => "snapshot-restore",
+            OracleKind::TraceParity => "trace-parity",
+            OracleKind::BatchParity => "batch-parity",
+        }
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a (divergence-free) run ended. Two backends *agreeing* on an
+/// error or an exhausted budget is a pass: the invariant under test is
+/// equivalence, not success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The halt flag was raised.
+    Halted {
+        /// Control steps until the halt was observed.
+        cycles: u64,
+        /// Final state digest (identical in both backends).
+        digest: u64,
+    },
+    /// The cycle budget ran out before the halt flag rose.
+    Budget {
+        /// State digest at the budget boundary.
+        digest: u64,
+    },
+    /// Both backends raised the same runtime error.
+    Error {
+        /// The shared diagnostic text.
+        message: String,
+    },
+}
+
+/// A detected conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// A deliberate backend corruption for harness self-validation: from
+/// `at_cycle` on, the compiled simulator's halt flag is inverted after
+/// every step. The lockstep oracle must catch this on the first
+/// affected cycle for *any* program, so shrinking must reach a trivial
+/// reproducer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// First control step (0-based) after which the flag is inverted.
+    pub at_cycle: u64,
+}
+
+/// Runs every applicable oracle on one program image.
+///
+/// The lockstep oracle always runs and determines the reference
+/// [`Outcome`]; the metamorphic oracles run only on clean (fault-free)
+/// executions, since an injected fault is expected to fail lockstep
+/// before they would matter.
+///
+/// # Errors
+///
+/// The first [`Verdict`] any oracle produces.
+pub fn check_all(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    fault: Option<Fault>,
+) -> Result<Outcome, Verdict> {
+    let reference = lockstep(wb, image, max_cycles, fault)?;
+    if fault.is_none() {
+        trace_parity(wb, image, max_cycles, &reference)?;
+        if let Outcome::Halted { cycles, .. } = reference {
+            if cycles >= 2 {
+                snapshot_restore(wb, image, max_cycles, cycles)?;
+            }
+        }
+        batch_parity(wb, image, max_cycles, &reference)?;
+    }
+    Ok(reference)
+}
+
+fn halt_resource(wb: &Workbench) -> Result<Resource, Verdict> {
+    wb.model().resource_by_name(wb.halt_flag()).cloned().ok_or_else(|| Verdict {
+        oracle: OracleKind::Lockstep,
+        detail: format!("model has no halt flag `{}`", wb.halt_flag()),
+    })
+}
+
+fn halted(sim: &Simulator<'_>, halt: &Resource) -> bool {
+    sim.state().read_int(halt, &[]).unwrap_or(0) != 0
+}
+
+/// Mode-independent stats fields; `decode_cache_hits` is deliberately
+/// excluded (it is the one field the backends legitimately disagree
+/// on).
+fn stats_mismatch(a: &SimStats, b: &SimStats) -> Option<String> {
+    let fields = [
+        ("cycles", a.cycles, b.cycles),
+        ("executed_ops", a.executed_ops, b.executed_ops),
+        ("decodes", a.decodes, b.decodes),
+        ("activations", a.activations, b.activations),
+        ("stalls", a.stalls, b.stalls),
+        ("flushes", a.flushes, b.flushes),
+        ("instructions_retired", a.instructions_retired, b.instructions_retired),
+    ];
+    for (name, x, y) in fields {
+        if x != y {
+            return Some(format!("stats.{name}: interpretive={x} compiled={y}"));
+        }
+    }
+    if a.stall_by_stage != b.stall_by_stage {
+        return Some(format!(
+            "stats.stall_by_stage: interpretive={:?} compiled={:?}",
+            a.stall_by_stage, b.stall_by_stage
+        ));
+    }
+    None
+}
+
+/// The lockstep differential oracle.
+fn lockstep(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    fault: Option<Fault>,
+) -> Result<Outcome, Verdict> {
+    let fail = |detail: String| Verdict { oracle: OracleKind::Lockstep, detail };
+    let halt = halt_resource(wb)?;
+
+    let mut interp = wb.simulator(SimMode::Interpretive).map_err(|e| fail(e.to_string()))?;
+    let mut compiled = wb.simulator(SimMode::Compiled).map_err(|e| fail(e.to_string()))?;
+    let li = interp.load_program(wb.program_memory(), image);
+    let lc = compiled.load_program(wb.program_memory(), image);
+    match (li, lc) {
+        (Ok(()), Ok(())) => {}
+        (Err(a), Err(b)) if a.to_string() == b.to_string() => {
+            return Ok(Outcome::Error { message: a.to_string() });
+        }
+        (a, b) => {
+            return Err(fail(format!("program load disagrees: interpretive={a:?} compiled={b:?}")));
+        }
+    }
+
+    for cycle in 0..max_cycles {
+        let ri = interp.step();
+        let rc = compiled.step();
+        if let Some(f) = fault {
+            if cycle >= f.at_cycle {
+                let cur = compiled.state().read_int(&halt, &[]).unwrap_or(0);
+                let flipped = i64::from(cur == 0);
+                compiled
+                    .state_mut()
+                    .write_int(&halt, &[], flipped)
+                    .map_err(|e| fail(format!("fault injection failed: {e}")))?;
+            }
+        }
+        match (ri, rc) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) => {
+                let (a, b) = (a.to_string(), b.to_string());
+                if a == b {
+                    return Ok(Outcome::Error { message: a });
+                }
+                return Err(fail(format!(
+                    "cycle {cycle}: backends failed differently: interpretive=`{a}` compiled=`{b}`"
+                )));
+            }
+            (Ok(()), Err(e)) => {
+                return Err(fail(format!("cycle {cycle}: only compiled failed: `{e}`")));
+            }
+            (Err(e), Ok(())) => {
+                return Err(fail(format!("cycle {cycle}: only interpretive failed: `{e}`")));
+            }
+        }
+        let (da, db) = (interp.state().digest(), compiled.state().digest());
+        if da != db {
+            return Err(fail(format!(
+                "cycle {cycle}: state digest diverged: interpretive={da:#018x} compiled={db:#018x}"
+            )));
+        }
+        if let Some(detail) = stats_mismatch(interp.stats(), compiled.stats()) {
+            return Err(fail(format!("cycle {cycle}: {detail}")));
+        }
+        if halted(&interp, &halt) {
+            return Ok(Outcome::Halted { cycles: interp.stats().cycles, digest: da });
+        }
+    }
+    Ok(Outcome::Budget { digest: interp.state().digest() })
+}
+
+/// Runs one backend to completion the same way the lockstep oracle
+/// does, optionally with tracing and profiling enabled.
+fn run_one(
+    wb: &Workbench,
+    mode: SimMode,
+    image: &[u128],
+    max_cycles: u64,
+    traced: bool,
+) -> Outcome {
+    let mut sim = match wb.simulator(mode) {
+        Ok(sim) => sim,
+        Err(e) => return Outcome::Error { message: e.to_string() },
+    };
+    let halt = match wb.model().resource_by_name(wb.halt_flag()) {
+        Some(res) => res.clone(),
+        None => return Outcome::Error { message: format!("no halt flag `{}`", wb.halt_flag()) },
+    };
+    if traced {
+        sim.set_trace(true);
+        sim.enable_profile();
+    }
+    if let Err(e) = sim.load_program(wb.program_memory(), image) {
+        return Outcome::Error { message: e.to_string() };
+    }
+    for cycle in 0..max_cycles {
+        if let Err(e) = sim.step() {
+            return Outcome::Error { message: e.to_string() };
+        }
+        if traced && cycle % 256 == 255 {
+            // Keep the event buffer bounded on long runs.
+            let _ = sim.take_events();
+        }
+        if halted(&sim, &halt) {
+            return Outcome::Halted { cycles: sim.stats().cycles, digest: sim.state().digest() };
+        }
+    }
+    Outcome::Budget { digest: sim.state().digest() }
+}
+
+/// Metamorphic oracle: tracing and profiling must not change execution.
+fn trace_parity(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    reference: &Outcome,
+) -> Result<(), Verdict> {
+    let traced = run_one(wb, SimMode::Compiled, image, max_cycles, true);
+    if traced != *reference {
+        return Err(Verdict {
+            oracle: OracleKind::TraceParity,
+            detail: format!("traced run diverged: plain={reference:?} traced={traced:?}"),
+        });
+    }
+    Ok(())
+}
+
+/// Metamorphic oracle: snapshot at the midpoint, resume in the same
+/// backend and in the other backend; all three continuations must agree
+/// bit-exactly with the uninterrupted run.
+fn snapshot_restore(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    total_cycles: u64,
+) -> Result<(), Verdict> {
+    let fail = |detail: String| Verdict { oracle: OracleKind::SnapshotRestore, detail };
+    let halt = halt_resource(wb)?;
+    let mid = total_cycles / 2;
+    let rest_budget = max_cycles - mid;
+
+    let mut base = wb.simulator(SimMode::Interpretive).map_err(|e| fail(e.to_string()))?;
+    base.load_program(wb.program_memory(), image).map_err(|e| fail(e.to_string()))?;
+    base.run(mid).map_err(|e| fail(format!("run to midpoint: {e}")))?;
+    let snap = base.snapshot();
+    let rest = base
+        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, rest_budget)
+        .map_err(|e| fail(format!("uninterrupted continuation: {e}")))?;
+    let want = (rest, base.state().digest());
+
+    for mode in [SimMode::Interpretive, SimMode::Compiled] {
+        let mut resumed = wb.simulator(mode).map_err(|e| fail(e.to_string()))?;
+        resumed.restore(&snap).map_err(|e| fail(format!("restore into {mode:?}: {e}")))?;
+        if resumed.state().digest() != snap.state().digest() {
+            return Err(fail(format!("restore into {mode:?} changed the state digest")));
+        }
+        let rest = resumed
+            .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, rest_budget)
+            .map_err(|e| fail(format!("resumed continuation in {mode:?}: {e}")))?;
+        let got = (rest, resumed.state().digest());
+        if got != want {
+            return Err(fail(format!(
+                "resumed {mode:?} run diverged after cycle {mid}: \
+                 (cycles, digest) = {got:?}, uninterrupted = {want:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Metamorphic oracle: `lisa-exec` batch execution (worker pool and
+/// inline) must reproduce the sequential result.
+fn batch_parity(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    reference: &Outcome,
+) -> Result<(), Verdict> {
+    let fail = |detail: String| Verdict { oracle: OracleKind::BatchParity, detail };
+    let mem = wb
+        .model()
+        .resource_by_name(wb.program_memory())
+        .ok_or_else(|| fail(format!("no program memory `{}`", wb.program_memory())))?;
+    let origin = mem.dims.first().map_or(0, |d| d.base());
+
+    let sc = Scenario::new("conform", wb.model(), SimMode::Compiled)
+        .program(wb.program_memory(), origin, image.to_vec())
+        .halt_on(wb.halt_flag())
+        .steps(max_cycles);
+
+    let inline = run_scenario(&sc);
+    check_batch_result(&inline, reference, max_cycles, "inline").map_err(fail)?;
+
+    let report = BatchRunner::new(2).run(&[sc.clone(), sc]);
+    for job in &report.jobs {
+        check_batch_result(&job.result, reference, max_cycles, &format!("job {}", job.index))
+            .map_err(fail)?;
+    }
+    Ok(())
+}
+
+/// Compares one `lisa-exec` job result against the sequential outcome.
+fn check_batch_result(
+    result: &Result<lisa_exec::JobResult, JobError>,
+    reference: &Outcome,
+    max_cycles: u64,
+    which: &str,
+) -> Result<(), String> {
+    match (reference, result) {
+        (Outcome::Halted { cycles, digest }, Ok(job)) => {
+            if job.cycles != *cycles || job.state_digest != *digest {
+                return Err(format!(
+                    "{which}: batch run finished with (cycles, digest) = ({}, {:#018x}), \
+                     sequential = ({cycles}, {digest:#018x})",
+                    job.cycles, job.state_digest
+                ));
+            }
+            Ok(())
+        }
+        (Outcome::Budget { .. }, Err(JobError::Sim(msg)))
+            if *msg == SimError::StepLimit { limit: max_cycles }.to_string() =>
+        {
+            Ok(())
+        }
+        (Outcome::Error { message }, Err(JobError::Sim(msg))) if msg == message => Ok(()),
+        (expected, got) => {
+            Err(format!("{which}: batch result {got:?} does not match sequential {expected:?}"))
+        }
+    }
+}

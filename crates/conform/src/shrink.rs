@@ -1,0 +1,91 @@
+//! Delta-debugging reduction of failing programs.
+//!
+//! A divergence found in a 30-instruction program is rarely *about* 30
+//! instructions. [`shrink`] applies the classic ddmin strategy over the
+//! instruction sequence: try removing chunks of decreasing size, keep
+//! any removal that still reproduces the failure, and repeat until a
+//! fixpoint — the result is 1-minimal (no single remaining instruction
+//! can be dropped). The predicate is the caller's full oracle stack, so
+//! the minimized program provably still diverges.
+
+/// Ceiling on predicate evaluations; each one is a couple of simulator
+/// runs, so an unbounded shrink could dominate the fuzzing budget.
+const MAX_EVALS: usize = 512;
+
+/// Reduces `words` to a smaller sequence for which `still_fails` holds.
+///
+/// `still_fails` must hold for `words` itself (the caller found the
+/// failure there); it is re-invoked on candidate reductions only. The
+/// returned sequence always satisfies `still_fails` — in the worst case
+/// it is `words` unchanged.
+pub fn shrink(words: &[u128], mut still_fails: impl FnMut(&[u128]) -> bool) -> Vec<u128> {
+    let mut current: Vec<u128> = words.to_vec();
+    let mut evals = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+
+    while !current.is_empty() && evals < MAX_EVALS {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() && evals < MAX_EVALS {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<u128> =
+                current[..start].iter().chain(current[end..].iter()).copied().collect();
+            evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Re-test from the same position: the next chunk slid
+                // into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !reduced {
+            break;
+        }
+        if !reduced {
+            chunk = (chunk / 2).max(1);
+        } else {
+            chunk = chunk.min(current.len().max(1));
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_the_single_culprit() {
+        let words: Vec<u128> = (0..32).collect();
+        let shrunk = shrink(&words, |ws| ws.contains(&17));
+        assert_eq!(shrunk, vec![17]);
+    }
+
+    #[test]
+    fn keeps_a_required_pair() {
+        let words: Vec<u128> = (0..20).collect();
+        let shrunk = shrink(&words, |ws| ws.contains(&3) && ws.contains(&15));
+        assert_eq!(shrunk, vec![3, 15]);
+    }
+
+    #[test]
+    fn unconditional_failure_shrinks_to_empty() {
+        let words: Vec<u128> = (0..10).collect();
+        let shrunk = shrink(&words, |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn result_always_satisfies_the_predicate() {
+        let words: Vec<u128> = (0..16).collect();
+        // Order-sensitive predicate: needs an even word before an odd one.
+        let pred = |ws: &[u128]| {
+            ws.iter().position(|w| w % 2 == 0).is_some_and(|i| ws[i..].iter().any(|w| w % 2 == 1))
+        };
+        let shrunk = shrink(&words, pred);
+        assert!(pred(&shrunk), "shrink returned a non-failing sequence");
+        assert_eq!(shrunk.len(), 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Bounded fuzzing smoke tests: every builtin model survives a short
+//! oracle-checked fuzzing run, and the harness proves it can catch an
+//! injected backend fault.
+
+use lisa_conform::{Fault, FuzzConfig, Fuzzer};
+use lisa_models::Workbench;
+
+fn all_workbenches() -> Vec<(&'static str, Workbench)> {
+    vec![
+        ("tinyrisc", lisa_models::tinyrisc::workbench().unwrap()),
+        ("scalar2", lisa_models::scalar2::workbench().unwrap()),
+        ("accu16", lisa_models::accu16::workbench().unwrap()),
+        ("vliw62", lisa_models::vliw62::workbench().unwrap()),
+    ]
+}
+
+#[test]
+fn short_fuzz_run_passes_on_every_model() {
+    for (name, wb) in all_workbenches() {
+        let config = FuzzConfig { seed: 0, iters: 25, ..FuzzConfig::default() };
+        let fuzzer = Fuzzer::new(&wb, config).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = fuzzer.run();
+        if let Some(failure) = &report.failure {
+            panic!(
+                "{name}: divergence at iteration {}: {}\n  original: {:?}\n  shrunk: {:?}",
+                failure.iteration, failure.verdict, failure.original, failure.shrunk
+            );
+        }
+        assert_eq!(report.iterations, 25, "{name}: run stopped early");
+        assert!(
+            report.halted + report.budget + report.errored == 25,
+            "{name}: outcome counts inconsistent: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn injected_fault_is_caught_and_shrunk() {
+    for (name, wb) in all_workbenches() {
+        let failure =
+            Fuzzer::self_check(&wb, 4).unwrap_or_else(|e| panic!("{name}: self-check failed: {e}"));
+        assert!(
+            failure.shrunk.len() <= 4,
+            "{name}: shrunk to {} instructions",
+            failure.shrunk.len()
+        );
+    }
+}
+
+#[test]
+fn fault_at_later_cycle_is_also_caught() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let config = FuzzConfig {
+        seed: 3,
+        iters: 8,
+        fault: Some(Fault { at_cycle: 5 }),
+        ..FuzzConfig::default()
+    };
+    let fuzzer = Fuzzer::new(&wb, config).unwrap();
+    let report = fuzzer.run();
+    assert!(report.failure.is_some(), "fault at cycle 5 went undetected: {report:?}");
+}

@@ -1,0 +1,108 @@
+//! Generated-manual guarantees: output is deterministic (same model
+//! source → byte-identical manual, across separately built model
+//! databases) and complete (every instruction reachable from the decode
+//! root appears with its assembly syntax).
+
+use lisa_core::model::{CodingTarget, Model, OpId, SynElem};
+use lisa_docgen::manual;
+
+/// Instruction operations reachable from the decode root's coding —
+/// the same set the manual's Instructions section documents.
+fn instruction_ops(model: &Model) -> Vec<OpId> {
+    let mut ops = Vec::new();
+    let Some(&root) = model.decode_roots().first() else { return ops };
+    let root_op = model.operation(root);
+    for variant in &root_op.variants {
+        let Some(coding) = &variant.coding else { continue };
+        for field in &coding.fields {
+            match &field.target {
+                CodingTarget::Group(g) => {
+                    for &m in &root_op.groups[*g].members {
+                        if !ops.contains(&m) {
+                            ops.push(m);
+                        }
+                    }
+                }
+                CodingTarget::Op(o) if !ops.contains(o) => ops.push(*o),
+                _ => {}
+            }
+        }
+    }
+    ops
+}
+
+/// The leading literal (mnemonic) of every syntax variant of `op`.
+fn mnemonics(model: &Model, op: OpId) -> Vec<String> {
+    let mut out = Vec::new();
+    for variant in &model.operation(op).variants {
+        let Some(syntax) = &variant.syntax else { continue };
+        if let Some(SynElem::Literal(text)) = syntax.first() {
+            if !out.contains(text) {
+                out.push(text.clone());
+            }
+        }
+    }
+    out
+}
+
+fn check_model(name: &str, source: &str) {
+    // Determinism within one model database…
+    let model = Model::from_source(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let first = manual(&model, name);
+    assert_eq!(first, manual(&model, name), "{name}: manual is not deterministic");
+
+    // …and across independently built databases of the same source
+    // (catches any map-iteration-order leak in model building).
+    let rebuilt = Model::from_source(source).unwrap();
+    assert_eq!(first, manual(&rebuilt, name), "{name}: manual differs across model builds");
+
+    // Structural completeness.
+    assert!(first.contains(&format!("# {name} Instruction Set Manual")));
+    assert!(first.contains("## Resources"), "{name}: missing resources section");
+    assert!(first.contains("## Instructions"), "{name}: missing instructions section");
+
+    // Every instruction appears as a section, with its syntax rendered.
+    let ops = instruction_ops(&model);
+    assert!(!ops.is_empty(), "{name}: no instructions found under the decode root");
+    for op in ops {
+        let op_name = &model.operation(op).name;
+        assert!(
+            first.contains(&format!("### `{op_name}`")),
+            "{name}: instruction `{op_name}` has no manual section"
+        );
+        for mnemonic in mnemonics(&model, op) {
+            assert!(
+                first.contains(&mnemonic),
+                "{name}: mnemonic `{mnemonic}` of `{op_name}` not mentioned"
+            );
+        }
+    }
+
+    // Each instruction section shows at least one syntax line.
+    let sections = first.matches("### `").count();
+    let syntax_lines = first.matches("Syntax: `").count();
+    assert!(
+        syntax_lines >= sections,
+        "{name}: {sections} instruction sections but only {syntax_lines} syntax lines"
+    );
+}
+
+#[test]
+fn tinyrisc_manual_is_deterministic_and_complete() {
+    check_model("tinyrisc", lisa_models::tinyrisc::SOURCE);
+}
+
+#[test]
+fn vliw62_manual_is_deterministic_and_complete() {
+    check_model("vliw62", lisa_models::vliw62::SOURCE);
+}
+
+#[test]
+fn vliw62_manual_documents_the_pipelines() {
+    let wb = lisa_models::vliw62::workbench().unwrap();
+    let text = manual(wb.model(), "vliw62");
+    assert!(text.contains("## Pipelines"), "pipeline section missing");
+    for stage in ["PG", "PS", "PW", "PR", "DP"] {
+        assert!(text.contains(stage), "fetch stage {stage} missing from pipeline section");
+    }
+}

@@ -1,0 +1,124 @@
+//! Error-path coverage for the generated instruction-set tools: bad
+//! mnemonics, out-of-range operands, and undecodable or truncated code
+//! words must surface as typed diagnostics with useful messages — never
+//! as panics.
+
+use lisa_core::Model;
+use lisa_isa::{Assembler, Decoder, IsaError};
+use lisa_models::Workbench;
+
+fn all_workbenches() -> Vec<(&'static str, Workbench)> {
+    vec![
+        ("tinyrisc", lisa_models::tinyrisc::workbench().unwrap()),
+        ("scalar2", lisa_models::scalar2::workbench().unwrap()),
+        ("accu16", lisa_models::accu16::workbench().unwrap()),
+        ("vliw62", lisa_models::vliw62::workbench().unwrap()),
+    ]
+}
+
+#[test]
+fn malformed_mnemonic_is_a_diagnostic() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let err = wb.assemble(&["FROB R1, R2"]).unwrap_err();
+    assert_eq!(err.to_string(), "no instruction syntax matches `FROB R1, R2`");
+}
+
+#[test]
+fn malformed_mnemonic_has_the_typed_variant() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let decoder = wb.decoder().unwrap();
+    let asm = Assembler::new(wb.model(), &decoder);
+    match asm.assemble_instruction("FROB R1, R2") {
+        Err(IsaError::AsmNoMatch { statement }) => assert_eq!(statement, "FROB R1, R2"),
+        other => panic!("expected AsmNoMatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_operands_are_rejected_with_the_statement_named() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    // JMP's target field is 8 bits; 300 does not encode.
+    let err = wb.assemble(&["JMP 300"]).unwrap_err();
+    assert_eq!(err.to_string(), "no instruction syntax matches `JMP 300`");
+    // The same statement with an encodable operand assembles fine.
+    wb.assemble(&["JMP 30"]).expect("in-range target assembles");
+
+    // LDI's immediate is 6-bit signed (-32..=31); -200 does not encode.
+    let err = wb.assemble(&["LDI R1, -200"]).unwrap_err();
+    assert_eq!(err.to_string(), "no instruction syntax matches `LDI R1, -200`");
+    wb.assemble(&["LDI R1, -32"]).expect("in-range immediate assembles");
+
+    // A register index beyond the register file.
+    let err = wb.assemble(&["LDI R99, 1"]).unwrap_err();
+    assert_eq!(err.to_string(), "no instruction syntax matches `LDI R99, 1`");
+}
+
+#[test]
+fn trailing_input_after_a_match_is_reported() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let err = wb.assemble(&["HLT garbage"]).unwrap_err();
+    assert_eq!(err.to_string(), "trailing input `garbage` after assembling `HLT garbage`");
+}
+
+#[test]
+fn undecodable_word_reports_word_and_width() {
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let decoder = wb.decoder().unwrap();
+    // Opcode 0b1110 is unassigned in tinyrisc.
+    match decoder.decode(0xe000) {
+        Err(IsaError::NoMatch { word, width }) => {
+            assert_eq!(word, 0xe000);
+            assert_eq!(width, 16);
+        }
+        other => panic!("expected NoMatch, got {other:?}"),
+    }
+    let message = decoder.decode(0xe000).unwrap_err().to_string();
+    assert_eq!(message, "no instruction coding matches word 0xe000 (16 bits)");
+}
+
+#[test]
+fn oversized_word_is_a_diagnostic_not_a_panic() {
+    let wb = lisa_models::scalar2::workbench().unwrap();
+    let decoder = wb.decoder().unwrap();
+    let err = decoder.decode(u128::MAX).unwrap_err();
+    assert!(err.to_string().contains("no instruction coding matches"), "unexpected message: {err}");
+    assert!(err.to_string().contains("(32 bits)"), "width missing from: {err}");
+}
+
+#[test]
+fn truncated_and_arbitrary_words_never_panic() {
+    for (name, wb) in all_workbenches() {
+        let decoder = wb.decoder().unwrap_or_else(|e| panic!("{name}: {e}"));
+        // A truncated valid word (high bits cut off) and an exhaustive
+        // 16-bit sweep: every outcome must be a value or a diagnostic.
+        let halt = wb.assemble(&["HLT"]).or_else(|_| wb.assemble(&["HALT"])).unwrap()[0];
+        let _ = decoder.decode(halt >> 16);
+        let _ = decoder.decode(halt & 0xff);
+        for word in 0..=0xffffu128 {
+            let _ = decoder.decode(word);
+        }
+        let _ = decoder.decode(u128::MAX);
+    }
+}
+
+#[test]
+fn rootless_model_cannot_build_a_decoder() {
+    let model = Model::from_source(
+        r#"RESOURCE {
+               PROGRAM_COUNTER int pc;
+               CONTROL_REGISTER bit halt;
+           }
+           OPERATION main {
+               BEHAVIOR { halt = 1; }
+           }"#,
+    )
+    .expect("model builds");
+    match Decoder::new(&model) {
+        Err(IsaError::NoDecodeRoot) => {}
+        other => panic!("expected NoDecodeRoot, got {other:?}"),
+    }
+    assert_eq!(
+        Decoder::new(&model).unwrap_err().to_string(),
+        "model has no decode root (`CODING { resource == group }`)"
+    );
+}

@@ -19,6 +19,14 @@
 //!     --workers N               worker threads (default: available parallelism)
 //!     --mode interp|compiled|both   backends to include (default both)
 //!     --profile                 collect + print the merged execution profile
+//! lisa-tool fuzz   [model] [options]           differential conformance fuzzing
+//!     --model M                 model to fuzz (default: all builtins)
+//!     --seed N                  master seed (default 0)
+//!     --iters N                 fresh programs per model (default 500)
+//!     --corpus-dir DIR          replay reproducers first; persist new failures
+//!     --max-len N               longest synthesized prefix (default 24)
+//!     --max-cycles N            cycle budget per run (default 2000)
+//!     --self-check              only validate the harness via fault injection
 //! ```
 //!
 //! `<model>` is a `.lisa` file path or one of the builtins `@vliw62`,
@@ -66,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => trace_cmd(args),
         "profile" => profile_cmd(args),
         "batch" => batch(args),
+        "fuzz" => fuzz(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -75,13 +84,15 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
      trace options: --out FILE  --vcd  (plus run options)\n\
      profile options: same as run\n\
      asm/disasm options: -o FILE  --packet N\n\
-     batch options: --workers N  --mode interp|compiled|both  --profile"
+     batch options: --workers N  --mode interp|compiled|both  --profile\n\
+     fuzz options: --model M|all  --seed N  --iters N  --corpus-dir DIR\n\
+                   --max-len N  --max-cycles N  --self-check"
         .to_owned()
 }
 
@@ -281,6 +292,146 @@ fn batch(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} of {} jobs failed", report.failures().len(), report.jobs.len()))
+    }
+}
+
+/// Differential conformance fuzzing: replay the corpus, then synthesize
+/// fresh programs and run the full oracle stack on each.
+fn fuzz(args: &[String]) -> Result<(), String> {
+    let spec = flag_value(args, "--model")
+        .or_else(|| args.get(1).map(String::as_str).filter(|a| !a.starts_with("--")))
+        .unwrap_or("all");
+    let config = lisa::conform::FuzzConfig {
+        seed: parse_flag(args, "--seed", 0)?,
+        iters: parse_flag(args, "--iters", 500)?,
+        max_len: parse_flag(args, "--max-len", 24)?,
+        max_cycles: parse_flag(args, "--max-cycles", 2000)?,
+        fault: None,
+    };
+    let corpus_dir = flag_value(args, "--corpus-dir").map(std::path::PathBuf::from);
+    let self_check_only = has_flag(args, "--self-check");
+
+    let specs: Vec<&str> = if spec == "all" {
+        vec!["@tinyrisc", "@scalar2", "@accu16", "@vliw62"]
+    } else {
+        vec![spec]
+    };
+    let mut failed = Vec::new();
+    for spec in specs {
+        let (name, wb) = fuzz_workbench(spec)?;
+        if let Err(msg) = fuzz_one(&name, &wb, config, corpus_dir.as_deref(), self_check_only) {
+            eprintln!("{msg}");
+            failed.push(name);
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("conformance failures in: {}", failed.join(", ")))
+    }
+}
+
+/// Builds the workbench to fuzz: a builtin by name or a `.lisa` file
+/// (assumed to use the default `pmem`/`halt` resource names).
+fn fuzz_workbench(spec: &str) -> Result<(String, lisa::models::Workbench), String> {
+    let wb = match spec.trim_start_matches('@') {
+        "vliw62" => lisa::models::vliw62::workbench(),
+        "accu16" => lisa::models::accu16::workbench(),
+        "scalar2" => lisa::models::scalar2::workbench(),
+        "tinyrisc" => lisa::models::tinyrisc::workbench(),
+        path => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read model `{path}`: {e}"))?;
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| path.to_owned(), |s| s.to_string_lossy().into_owned());
+            return Ok((
+                name,
+                lisa::models::Workbench::from_source(&text, "pmem", "halt")
+                    .map_err(|e| e.to_string())?,
+            ));
+        }
+    };
+    Ok((spec.trim_start_matches('@').to_owned(), wb.map_err(|e| e.to_string())?))
+}
+
+/// Fuzzes one model: harness self-check, corpus replay, fresh programs.
+fn fuzz_one(
+    name: &str,
+    wb: &lisa::models::Workbench,
+    config: lisa::conform::FuzzConfig,
+    corpus_dir: Option<&std::path::Path>,
+    self_check_only: bool,
+) -> Result<(), String> {
+    use lisa::conform::{corpus, Fuzzer};
+
+    // Prove the harness can catch a real divergence before trusting a
+    // clean fuzzing run.
+    let caught = Fuzzer::self_check(wb, 4).map_err(|e| format!("{name}: self-check: {e}"))?;
+    println!(
+        "{name}: self-check ok — injected fault caught by {} oracle, shrunk to {} word(s)",
+        caught.verdict.oracle,
+        caught.shrunk.len()
+    );
+    if self_check_only {
+        return Ok(());
+    }
+
+    let fuzzer = Fuzzer::new(wb, config).map_err(|e| format!("{name}: {e}"))?;
+
+    if let Some(dir) = corpus_dir {
+        let entries = corpus::load_dir(dir).map_err(|e| format!("{name}: corpus: {e}"))?;
+        let mine: Vec<_> = entries.iter().filter(|(_, r)| r.model == name).collect();
+        for (path, rep) in &mine {
+            if let Err(verdict) = fuzzer.replay(rep) {
+                return Err(format!(
+                    "{name}: regression resurfaced replaying {}: {verdict}",
+                    path.display()
+                ));
+            }
+        }
+        if !mine.is_empty() {
+            println!("{name}: replayed {} corpus reproducer(s), all fixed", mine.len());
+        }
+    }
+
+    let report = fuzzer.run();
+    if let Some(failure) = &report.failure {
+        let mut msg = format!(
+            "{name}: DIVERGENCE at iteration {} (seed {}): {}\n  shrunk to {} word(s):",
+            failure.iteration,
+            config.seed,
+            failure.verdict,
+            failure.shrunk.len()
+        );
+        for &word in &failure.shrunk {
+            let text = wb.disassemble(word).unwrap_or_else(|_| "<undecodable>".to_owned());
+            msg.push_str(&format!("\n    {word:#x}  {text}"));
+        }
+        if let Some(dir) = corpus_dir {
+            let rep = fuzzer.reproducer(name, failure);
+            match rep.save(dir) {
+                Ok(path) => msg.push_str(&format!("\n  reproducer written to {}", path.display())),
+                Err(e) => msg.push_str(&format!("\n  could not write reproducer: {e}")),
+            }
+        }
+        return Err(msg);
+    }
+    println!(
+        "{name}: {} iterations ok (halted {}, budget {}, errored {}) — all oracles agree",
+        report.iterations, report.halted, report.budget, report.errored
+    );
+    Ok(())
+}
+
+/// Parses an integer flag with a default.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag) {
+        Some(v) => v.parse().map_err(|e| format!("bad {flag}: {e}")),
+        None => Ok(default),
     }
 }
 

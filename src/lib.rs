@@ -15,6 +15,7 @@
 //! | [`models`] | `lisa-models` | vliw62 / accu16 / tinyrisc models + DSP kernels |
 //! | [`exec`] | `lisa-exec` | parallel batch runner with checkpoint/restore forking |
 //! | [`trace`] | `lisa-trace` | structured trace events, profiles, JSONL/VCD exporters |
+//! | [`conform`] | `lisa-conform` | ISA-driven differential fuzzing, metamorphic oracles, shrinking |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@
 
 pub use lisa_asm as asm;
 pub use lisa_bits as bits;
+pub use lisa_conform as conform;
 pub use lisa_core as core;
 pub use lisa_docgen as docgen;
 pub use lisa_exec as exec;
