@@ -6,6 +6,9 @@
 //! Also verifies the engine's determinism contract: every worker count
 //! must produce the identical per-job outcome list.
 
+use std::fmt::Write as _;
+
+use lisa_bench::write_report;
 use lisa_exec::BatchRunner;
 use lisa_models::kernels::full_matrix;
 use lisa_sim::SimMode;
@@ -23,14 +26,17 @@ fn main() {
         })
         .collect();
 
-    println!("E9 — batch-simulation throughput vs worker count");
-    println!("({} jobs: 4 models x kernel suites x 2 backends)", scenarios.len());
-    println!();
-    println!(
+    let mut out = String::new();
+    writeln!(out, "E9 — batch-simulation throughput vs worker count").unwrap();
+    writeln!(out, "({} jobs: 4 models x kernel suites x 2 backends)", scenarios.len()).unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<8} {:>12} {:>10} {:>14} {:>9}",
         "workers", "cycles", "time", "cycles/s", "scaling"
-    );
-    println!("{}", "-".repeat(58));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(58)).unwrap();
 
     let mut baseline_cps = 0.0;
     let mut reference_jobs = None;
@@ -51,15 +57,18 @@ fn main() {
         if workers == 1 {
             baseline_cps = cps;
         }
-        println!(
+        writeln!(
+            out,
             "{:<8} {:>12} {:>9.1?} {:>14.0} {:>8.2}x",
             workers,
             report.total_cycles(),
             report.elapsed,
             cps,
             if baseline_cps > 0.0 { cps / baseline_cps } else { 1.0 },
-        );
+        )
+        .unwrap();
     }
-    println!("{}", "-".repeat(58));
-    println!("identical job outcomes at every worker count (determinism contract).");
+    writeln!(out, "{}", "-".repeat(58)).unwrap();
+    writeln!(out, "identical job outcomes at every worker count (determinism contract).").unwrap();
+    write_report("e9_batch_throughput.txt", &out);
 }

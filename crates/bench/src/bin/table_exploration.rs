@@ -5,8 +5,10 @@
 //! regenerates all tools, and measures both the regeneration cost and
 //! the kernel-level win.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
+use lisa_bench::write_report;
 use lisa_models::{accu16, Workbench};
 use lisa_sim::SimMode;
 
@@ -64,8 +66,9 @@ fn run_dot(wb: &Workbench, n: usize, fused: bool) -> (u64, i64) {
 }
 
 fn main() {
-    println!("E8 — architecture exploration turnaround (ASIP workflow, paper §1/§5)");
-    println!();
+    let mut out = String::new();
+    writeln!(out, "E8 — architecture exploration turnaround (ASIP workflow, paper §1/§5)").unwrap();
+    writeln!(out).unwrap();
     let n = 256;
 
     let base = accu16::workbench().expect("baseline builds");
@@ -87,17 +90,20 @@ fn main() {
     let (ext_cycles, ext_result) = run_dot(&extended, n, true);
 
     assert_eq!(base_result, ext_result, "bit-accurate custom instruction");
-    println!("{:<28} {:>10} {:>12}", "architecture", "cycles", "dot result");
-    println!("{}", "-".repeat(54));
-    println!("{:<28} {:>10} {:>12}", "accu16 (baseline)", base_cycles, base_result);
-    println!("{:<28} {:>10} {:>12}", "accu16 + MACP", ext_cycles, ext_result);
-    println!("{}", "-".repeat(54));
-    println!(
+    writeln!(out, "{:<28} {:>10} {:>12}", "architecture", "cycles", "dot result").unwrap();
+    writeln!(out, "{}", "-".repeat(54)).unwrap();
+    writeln!(out, "{:<28} {:>10} {:>12}", "accu16 (baseline)", base_cycles, base_result).unwrap();
+    writeln!(out, "{:<28} {:>10} {:>12}", "accu16 + MACP", ext_cycles, ext_result).unwrap();
+    writeln!(out, "{}", "-".repeat(54)).unwrap();
+    writeln!(
+        out,
         "kernel speedup: {:.2}x; full tool regeneration took {}",
         base_cycles as f64 / ext_cycles as f64,
         lisa_bench::fmt_duration(regen)
-    );
-    println!();
-    println!("paper context: the C6201 model regenerated in 30 s (§4.1); iteration");
-    println!("at this cost is what makes description-driven ASIP exploration work.");
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "paper context: the C6201 model regenerated in 30 s (§4.1); iteration").unwrap();
+    writeln!(out, "at this cost is what makes description-driven ASIP exploration work.").unwrap();
+    write_report("e8_exploration.txt", &out);
 }

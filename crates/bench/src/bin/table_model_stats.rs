@@ -1,12 +1,16 @@
 //! Experiment E1: model complexity statistics, side by side with the
 //! paper's TMS320C6201 figures (§4).
 
-use lisa_bench::model_stats_rows;
+use std::fmt::Write as _;
+
+use lisa_bench::{model_stats_rows, write_report};
 
 fn main() {
-    println!("E1 — model complexity (paper §4)");
-    println!();
-    println!(
+    let mut out = String::new();
+    writeln!(out, "E1 — model complexity (paper §4)").unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<10} {:>10} {:>11} {:>13} {:>8} {:>11} {:>9} {:>8}",
         "model",
         "resources",
@@ -16,11 +20,13 @@ fn main() {
         "LISA lines",
         "lines/op",
         "variants"
-    );
-    println!("{}", "-".repeat(86));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(86)).unwrap();
     for row in model_stats_rows() {
         let s = &row.stats;
-        println!(
+        writeln!(
+            out,
             "{:<10} {:>10} {:>11} {:>13} {:>8} {:>11} {:>9.1} {:>8}",
             row.model,
             s.resources,
@@ -30,13 +36,17 @@ fn main() {
             s.lisa_lines,
             s.lines_per_operation(),
             s.variants
-        );
+        )
+        .unwrap();
     }
-    println!("{}", "-".repeat(86));
-    println!(
+    writeln!(out, "{}", "-".repeat(86)).unwrap();
+    writeln!(
+        out,
         "{:<10} {:>10} {:>11} {:>13} {:>8} {:>11} {:>9.1} {:>8}",
         "paper", 54, 256, 156, 8, 5362, 21.0, "-"
-    );
-    println!();
-    println!("paper row: the TMS320C6201 model of Pees et al. (DAC 1999), §4.");
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "paper row: the TMS320C6201 model of Pees et al. (DAC 1999), §4.").unwrap();
+    write_report("e1_model_stats.txt", &out);
 }

@@ -3,51 +3,66 @@
 //! than two orders of magnitude over interpretive processor simulators"
 //! for the compiled technique.
 
-use lisa_bench::measure_sim_speed;
+use std::fmt::Write as _;
+
+use lisa_bench::{measure_sim_speed, write_report};
 use lisa_models::{accu16, kernels, vliw62};
 
 fn main() {
-    println!("E3 — compiled vs interpretive simulation speed");
-    println!();
-    println!(
+    let mut out = String::new();
+    writeln!(out, "E3 — compiled vs interpretive simulation speed").unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<18} {:>8} {:>14} {:>14} {:>9}",
         "kernel", "cycles", "interp c/s", "compiled c/s", "speedup"
-    );
-    println!("{}", "-".repeat(68));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(68)).unwrap();
 
     let vliw = vliw62::workbench().expect("vliw62 builds");
     let mut speedups = Vec::new();
     for kernel in kernels::vliw_suite() {
         let row = measure_sim_speed(&vliw, &kernel, 3);
-        println!(
+        writeln!(
+            out,
             "{:<18} {:>8} {:>14.0} {:>14.0} {:>8.1}x",
             row.kernel,
             row.cycles,
             row.interp_cps(),
             row.compiled_cps(),
             row.speedup()
-        );
+        )
+        .unwrap();
         speedups.push(row.speedup());
     }
 
     let accu = accu16::workbench().expect("accu16 builds");
     for kernel in kernels::accu_suite() {
         let row = measure_sim_speed(&accu, &kernel, 3);
-        println!(
+        writeln!(
+            out,
             "{:<18} {:>8} {:>14.0} {:>14.0} {:>8.1}x",
             row.kernel,
             row.cycles,
             row.interp_cps(),
             row.compiled_cps(),
             row.speedup()
-        );
+        )
+        .unwrap();
         speedups.push(row.speedup());
     }
-    println!("{}", "-".repeat(68));
+    writeln!(out, "{}", "-".repeat(68)).unwrap();
     let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
-    println!("geometric-mean speedup: {geomean:.1}x");
-    println!();
-    println!("paper claim: compiled simulation > 100x over interpretive (DAC'99 §3.3 / [13]);");
-    println!("our interpretive baseline already shares the pipeline engine, so the gap here");
-    println!("isolates decode + name-resolution cost alone (see EXPERIMENTS.md).");
+    writeln!(out, "geometric-mean speedup: {geomean:.1}x").unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "paper claim: compiled simulation > 100x over interpretive (DAC'99 §3.3 / [13]);"
+    )
+    .unwrap();
+    writeln!(out, "our interpretive baseline already shares the pipeline engine, so the gap here")
+        .unwrap();
+    writeln!(out, "isolates decode + name-resolution cost alone (see EXPERIMENTS.md).").unwrap();
+    write_report("e3_sim_speed.txt", &out);
 }

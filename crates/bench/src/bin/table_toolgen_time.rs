@@ -2,17 +2,23 @@
 //! translation of the TMS320C6201 processor model into the simulator
 //! takes only 30 seconds on a Sparc Ultra 10" (§4.1).
 
-use lisa_bench::{fmt_duration, toolgen_once};
+use std::fmt::Write as _;
+
+use lisa_bench::{fmt_duration, toolgen_once, write_report};
 use lisa_models::{accu16, tinyrisc, vliw62};
 
 fn main() {
-    println!("E2 — simulator/tool generation time (paper §4.1: 30 s on a Sparc Ultra 10)");
-    println!();
-    println!(
+    let mut out = String::new();
+    writeln!(out, "E2 — simulator/tool generation time (paper §4.1: 30 s on a Sparc Ultra 10)")
+        .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<10} {:>16} {:>12} {:>12} {:>12} {:>12}",
         "model", "parse+analyze", "decoder", "lowering", "predecode", "total"
-    );
-    println!("{}", "-".repeat(80));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(80)).unwrap();
     for (name, source) in
         [("vliw62", vliw62::SOURCE), ("accu16", accu16::SOURCE), ("tinyrisc", tinyrisc::SOURCE)]
     {
@@ -22,7 +28,8 @@ fn main() {
             .map(|_| toolgen_once(source))
             .min_by_key(lisa_bench::ToolgenTiming::total)
             .expect("five runs");
-        println!(
+        writeln!(
+            out,
             "{:<10} {:>16} {:>12} {:>12} {:>12} {:>12}",
             name,
             fmt_duration(best.parse_and_analyze),
@@ -30,6 +37,8 @@ fn main() {
             fmt_duration(best.lower),
             fmt_duration(best.predecode),
             fmt_duration(best.total())
-        );
+        )
+        .unwrap();
     }
+    write_report("e2_toolgen.txt", &out);
 }

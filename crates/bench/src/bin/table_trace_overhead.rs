@@ -8,8 +8,10 @@
 //! events), profile aggregation, and JSON-lines streaming to a null
 //! writer.
 
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use lisa_bench::write_report;
 use lisa_models::{accu16, kernels, vliw62, Workbench};
 use lisa_sim::{JsonLinesSink, RingBufferSink, SimMode, Simulator};
 
@@ -51,13 +53,16 @@ fn measure(
 
 fn main() {
     let repeats: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
-    println!("E10 — tracing overhead (compiled mode, best of {repeats})");
-    println!();
-    println!(
+    let mut out = String::new();
+    writeln!(out, "E10 — tracing overhead (compiled mode, best of {repeats})").unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<18} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
         "kernel", "cycles", "off c/s", "ring c/s", "profile c/s", "jsonl c/s", "ring ovh"
-    );
-    println!("{}", "-".repeat(90));
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(90)).unwrap();
 
     let suites: [(Workbench, Vec<kernels::Kernel>); 2] = [
         (vliw62::workbench().expect("vliw62 builds"), kernels::vliw_suite()),
@@ -74,7 +79,8 @@ fn main() {
                 cycles = c;
                 cps[slot] = c as f64 / best.as_secs_f64();
             }
-            println!(
+            writeln!(
+                out,
                 "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.1}%",
                 kernel.name,
                 cycles,
@@ -83,20 +89,25 @@ fn main() {
                 cps[2],
                 cps[3],
                 (cps[0] / cps[1] - 1.0) * 100.0,
-            );
+            )
+            .unwrap();
             off_total += cps[0].ln();
             ring_total += cps[1].ln();
         }
     }
     let n = suites.iter().map(|(_, s)| s.len()).sum::<usize>() as f64;
-    println!("{}", "-".repeat(90));
-    println!(
+    writeln!(out, "{}", "-".repeat(90)).unwrap();
+    writeln!(
+        out,
         "geometric means: off {:.0} c/s, ring {:.0} c/s ({:.1}% overhead)",
         (off_total / n).exp(),
         (ring_total / n).exp(),
         ((off_total / n).exp() / (ring_total / n).exp() - 1.0) * 100.0,
-    );
-    println!();
-    println!("acceptance gate: with observability off, throughput must match the");
-    println!("pre-lisa-trace baseline within noise (<3%) — see docs/e10_trace_overhead.txt.");
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "acceptance gate: with observability off, throughput must match the").unwrap();
+    writeln!(out, "pre-lisa-trace baseline within noise (<3%) — see docs/e10_trace_overhead.txt.")
+        .unwrap();
+    write_report("e10_trace_overhead.txt", &out);
 }

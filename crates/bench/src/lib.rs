@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod specialization;
+pub mod trajectory;
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use lisa_core::model::ModelStats;
@@ -169,6 +171,29 @@ pub fn measure_sim_speed(wb: &Workbench, kernel: &Kernel, repeats: u32) -> Speed
         interpretive: best[0],
         compiled: best[1],
     }
+}
+
+/// The repository's `docs/` directory, where every experiment table and
+/// benchmark artifact belongs (resolved from this crate's manifest, so
+/// it does not depend on the invocation directory).
+#[must_use]
+pub fn docs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs")
+}
+
+/// Prints an experiment report to stdout **and** writes it to
+/// `docs/<file_name>`, so `table_*` binaries can never scatter their
+/// output into whatever directory they were launched from.
+///
+/// # Panics
+///
+/// Panics when `docs/` is not writable — the binaries exist to record
+/// results, so failing silently would defeat them.
+pub fn write_report(file_name: &str, text: &str) {
+    print!("{text}");
+    let path = docs_dir().join(file_name);
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("(written to {})", path.display());
 }
 
 /// Formats a duration in engineering units for the tables.

@@ -1,0 +1,535 @@
+//! Machine-readable benchmark trajectories and regression gating.
+//!
+//! `lisa-tool bench` runs the standard kernel suites on every builtin
+//! model in both simulation backends and serializes the result as a
+//! schema-versioned JSON document (`BENCH_<date>.json`). Checked-in
+//! baselines plus [`compare`] turn those documents into a perf-regression
+//! gate: a run whose simulated-MIPS drops more than a threshold below the
+//! baseline fails CI.
+//!
+//! Wall-clock fields are integers (microseconds), so a document
+//! round-trips through [`BenchReport::to_json`] / [`BenchReport::from_json`]
+//! exactly; derived rates (MIPS, cycles/s) are computed, never stored.
+
+use std::time::Instant;
+
+use lisa_metrics::{json, Registry};
+use lisa_models::kernels::{self, Kernel};
+use lisa_models::Workbench;
+use lisa_sim::SimMode;
+
+/// Document schema identifier; bump on breaking field changes.
+pub const SCHEMA: &str = "lisa-bench/1";
+
+/// Wall-clock spread over the repeats of one cell, in microseconds
+/// (nearest-rank percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Fastest repeat.
+    pub min_us: u64,
+    /// Median repeat.
+    pub p50_us: u64,
+    /// 99th-percentile repeat.
+    pub p99_us: u64,
+    /// Slowest repeat.
+    pub max_us: u64,
+}
+
+impl Quantiles {
+    /// Nearest-rank quantiles of a set of repeat durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (a cell always has at least one repeat).
+    #[must_use]
+    pub fn of(durations_us: &[u64]) -> Quantiles {
+        assert!(!durations_us.is_empty(), "at least one repeat per cell");
+        let mut sorted = durations_us.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let n = sorted.len();
+            sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1]
+        };
+        Quantiles {
+            min_us: sorted[0],
+            p50_us: rank(0.50),
+            p99_us: rank(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// One model × backend × kernel measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Builtin model name.
+    pub model: String,
+    /// Backend label (`"interpretive"` / `"compiled"`).
+    pub backend: String,
+    /// Kernel name.
+    pub kernel: String,
+    /// Simulated control steps per run (backend-independent).
+    pub cycles: u64,
+    /// Instructions retired per run.
+    pub instructions: u64,
+    /// Wall-clock spread over the repeats.
+    pub wall_us: Quantiles,
+}
+
+impl BenchRow {
+    /// Simulated MIPS of the best repeat: millions of retired
+    /// instructions per wall-clock second.
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        if self.wall_us.min_us == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.wall_us.min_us as f64
+        }
+    }
+
+    /// Simulation speed of the best repeat in cycles/second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_us.min_us == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e6 / self.wall_us.min_us as f64
+        }
+    }
+
+    fn key(&self) -> (&str, &str, &str) {
+        (&self.model, &self.backend, &self.kernel)
+    }
+}
+
+/// A full benchmark run: every builtin model × both backends × its
+/// kernel suite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Civil date (UTC) the run was taken, `YYYY-MM-DD`.
+    pub date: String,
+    /// Repeats per cell (best/percentiles are over these).
+    pub repeats: u32,
+    /// Whether the reduced quick suite was used.
+    pub quick: bool,
+    /// Measurements, in deterministic model/backend/kernel order.
+    pub rows: Vec<BenchRow>,
+}
+
+/// One baseline-versus-current regression found by [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Model of the regressed cell.
+    pub model: String,
+    /// Backend of the regressed cell.
+    pub backend: String,
+    /// Kernel of the regressed cell.
+    pub kernel: String,
+    /// Baseline simulated MIPS (0.0 when the cell is missing from the
+    /// current run).
+    pub baseline_mips: f64,
+    /// Current simulated MIPS.
+    pub current_mips: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.current_mips == 0.0 && self.baseline_mips == 0.0 {
+            return write!(
+                f,
+                "{}/{}/{}: missing from current run",
+                self.model, self.backend, self.kernel
+            );
+        }
+        write!(
+            f,
+            "{}/{}/{}: {:.3} MIPS vs baseline {:.3} MIPS ({:+.1}%)",
+            self.model,
+            self.backend,
+            self.kernel,
+            self.current_mips,
+            self.baseline_mips,
+            (self.current_mips / self.baseline_mips - 1.0) * 100.0,
+        )
+    }
+}
+
+/// The builtin models paired with their kernel suites, in report order.
+fn model_suites(quick: bool) -> Vec<(&'static str, Workbench, Vec<Kernel>)> {
+    let mut suites = vec![
+        ("vliw62", lisa_models::vliw62::workbench().expect("builds"), kernels::vliw_suite()),
+        ("accu16", lisa_models::accu16::workbench().expect("builds"), kernels::accu_suite()),
+        ("scalar2", lisa_models::scalar2::workbench().expect("builds"), kernels::scalar_suite()),
+        ("tinyrisc", lisa_models::tinyrisc::workbench().expect("builds"), kernels::tiny_suite()),
+    ];
+    if quick {
+        for (_, _, kernels) in &mut suites {
+            kernels.truncate(1);
+        }
+    }
+    suites
+}
+
+/// Runs the benchmark matrix: every builtin model × both backends ×
+/// its kernel suite, `repeats` timed runs per cell.
+///
+/// When `metrics` is given, each simulator publishes its stats into the
+/// registry (`lisa_sim_*` series) and per-cell wall clocks land in the
+/// `lisa_bench_cell_duration_us` histogram.
+///
+/// # Panics
+///
+/// Panics if a builtin model or kernel is broken (covered by tier-1
+/// tests).
+#[must_use]
+pub fn measure(quick: bool, repeats: u32, metrics: Option<&Registry>) -> BenchReport {
+    let repeats = repeats.max(1);
+    let mut rows = Vec::new();
+    for (model, wb, suite) in model_suites(quick) {
+        for mode in [SimMode::Interpretive, SimMode::Compiled] {
+            let backend = mode.metric_label();
+            for kernel in &suite {
+                let mut durations_us = Vec::with_capacity(repeats as usize);
+                let mut cycles = 0u64;
+                let mut instructions = 0u64;
+                for _ in 0..repeats {
+                    let mut sim = kernels::load_kernel(&wb, kernel, mode).expect("kernel loads");
+                    let t = Instant::now();
+                    cycles = wb.run_to_halt(&mut sim, kernel.max_steps).expect("kernel halts");
+                    let elapsed = t.elapsed();
+                    kernels::verify_kernel(&wb, kernel, &sim);
+                    instructions = sim.stats().instructions_retired;
+                    let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                    durations_us.push(us.max(1));
+                    if let Some(reg) = metrics {
+                        sim.publish_metrics(reg);
+                        reg.histogram(
+                            "lisa_bench_cell_duration_us",
+                            "Wall-clock kernel run duration in microseconds.",
+                            &[("model", model), ("backend", backend), ("kernel", &kernel.name)],
+                        )
+                        .observe(us);
+                    }
+                }
+                rows.push(BenchRow {
+                    model: model.to_owned(),
+                    backend: backend.to_owned(),
+                    kernel: kernel.name.clone(),
+                    cycles,
+                    instructions,
+                    wall_us: Quantiles::of(&durations_us),
+                });
+            }
+        }
+    }
+    BenchReport { date: today_utc(), repeats, quick, rows }
+}
+
+impl BenchReport {
+    /// Serializes to the `lisa-bench/1` JSON document (deterministic
+    /// field and row order, integer wall clocks).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::escape(SCHEMA)));
+        out.push_str(&format!("  \"date\": {},\n", json::escape(&self.date)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"model\": {}, ", json::escape(&row.model)));
+            out.push_str(&format!("\"backend\": {}, ", json::escape(&row.backend)));
+            out.push_str(&format!("\"kernel\": {}, ", json::escape(&row.kernel)));
+            out.push_str(&format!("\"cycles\": {}, ", row.cycles));
+            out.push_str(&format!("\"instructions\": {}, ", row.instructions));
+            out.push_str(&format!(
+                "\"wall_us\": {{\"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}, ",
+                row.wall_us.min_us, row.wall_us.p50_us, row.wall_us.p99_us, row.wall_us.max_us
+            ));
+            out.push_str(&format!(
+                "\"mips\": {:.4}, \"cycles_per_sec\": {:.1}}}",
+                row.mips(),
+                row.cycles_per_sec()
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a `lisa-bench/1` document.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, an unknown schema, or missing fields.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let doc = json::parse(text)?;
+        let schema = doc.get("schema").and_then(json::Value::as_str).unwrap_or("<missing>");
+        if schema != SCHEMA {
+            return Err(format!("unsupported bench schema `{schema}` (expected `{SCHEMA}`)"));
+        }
+        let date =
+            doc.get("date").and_then(json::Value::as_str).ok_or("missing `date`")?.to_owned();
+        let repeats = doc
+            .get("repeats")
+            .and_then(json::Value::as_u64)
+            .and_then(|r| u32::try_from(r).ok())
+            .ok_or("missing `repeats`")?;
+        let quick = doc.get("quick").and_then(json::Value::as_bool).ok_or("missing `quick`")?;
+        let rows = doc
+            .get("rows")
+            .and_then(json::Value::as_array)
+            .ok_or("missing `rows`")?
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let field_str = |name: &str| {
+                    row.get(name)
+                        .and_then(json::Value::as_str)
+                        .map(str::to_owned)
+                        .ok_or(format!("row {i}: missing `{name}`"))
+                };
+                let field_u64 = |v: &json::Value, name: &str| {
+                    v.get(name)
+                        .and_then(json::Value::as_u64)
+                        .ok_or(format!("row {i}: missing `{name}`"))
+                };
+                let wall = row.get("wall_us").ok_or(format!("row {i}: missing `wall_us`"))?;
+                Ok(BenchRow {
+                    model: field_str("model")?,
+                    backend: field_str("backend")?,
+                    kernel: field_str("kernel")?,
+                    cycles: field_u64(row, "cycles")?,
+                    instructions: field_u64(row, "instructions")?,
+                    wall_us: Quantiles {
+                        min_us: field_u64(wall, "min")?,
+                        p50_us: field_u64(wall, "p50")?,
+                        p99_us: field_u64(wall, "p99")?,
+                        max_us: field_u64(wall, "max")?,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchReport { date, repeats, quick, rows })
+    }
+
+    /// A plain-text summary table, one row per cell.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<9} {:<13} {:<18} {:>9} {:>12} {:>12} {:>9}\n",
+            "model", "backend", "kernel", "cycles", "cycles/s", "best (µs)", "MIPS"
+        );
+        out.push_str(&"-".repeat(88));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<9} {:<13} {:<18} {:>9} {:>12.0} {:>12} {:>9.3}\n",
+                row.model,
+                row.backend,
+                row.kernel,
+                row.cycles,
+                row.cycles_per_sec(),
+                row.wall_us.min_us,
+                row.mips()
+            ));
+        }
+        out
+    }
+}
+
+/// Compares a current run against a baseline: every baseline cell whose
+/// simulated MIPS dropped by more than `threshold_pct` percent (or that
+/// vanished from the current run) is a [`Regression`]. Cells only in the
+/// current run are ignored — new kernels aren't regressions.
+#[must_use]
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for base in &baseline.rows {
+        let regression = |current_mips: f64| Regression {
+            model: base.model.clone(),
+            backend: base.backend.clone(),
+            kernel: base.kernel.clone(),
+            baseline_mips: base.mips(),
+            current_mips,
+        };
+        match current.rows.iter().find(|r| r.key() == base.key()) {
+            None => regressions.push(Regression { baseline_mips: 0.0, ..regression(0.0) }),
+            Some(now) => {
+                if now.mips() < base.mips() * (1.0 - threshold_pct / 100.0) {
+                    regressions.push(regression(now.mips()));
+                }
+            }
+        }
+    }
+    regressions
+}
+
+/// Today's UTC civil date as `YYYY-MM-DD`, from the system clock
+/// (no external date dependency; days-to-civil per Howard Hinnant's
+/// public-domain algorithm).
+#[must_use]
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            date: "2026-08-06".to_owned(),
+            repeats: 3,
+            quick: true,
+            rows: vec![
+                BenchRow {
+                    model: "tinyrisc".into(),
+                    backend: "compiled".into(),
+                    kernel: "fib".into(),
+                    cycles: 1000,
+                    instructions: 500,
+                    wall_us: Quantiles { min_us: 100, p50_us: 120, p99_us: 150, max_us: 150 },
+                },
+                BenchRow {
+                    model: "tinyrisc".into(),
+                    backend: "interpretive".into(),
+                    kernel: "fib".into(),
+                    cycles: 1000,
+                    instructions: 500,
+                    wall_us: Quantiles { min_us: 400, p50_us: 420, p99_us: 500, max_us: 500 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample();
+        let back = BenchReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+        // And the re-serialization is byte-identical (deterministic).
+        assert_eq!(back.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let doc = sample().to_json().replace(SCHEMA, "lisa-bench/99");
+        let err = BenchReport::from_json(&doc).expect_err("wrong schema");
+        assert!(err.contains("lisa-bench/99"), "{err}");
+        assert!(BenchReport::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn derived_rates_come_from_best_repeat() {
+        let report = sample();
+        // 500 instructions in 100 µs = 5 MIPS; 1000 cycles in 100 µs = 1e7 c/s.
+        assert!((report.rows[0].mips() - 5.0).abs() < 1e-12);
+        assert!((report.rows[0].cycles_per_sec() - 1e7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let q = Quantiles::of(&[40, 10, 30, 20]);
+        assert_eq!(q, Quantiles { min_us: 10, p50_us: 20, p99_us: 40, max_us: 40 });
+        let single = Quantiles::of(&[7]);
+        assert_eq!(single, Quantiles { min_us: 7, p50_us: 7, p99_us: 7, max_us: 7 });
+    }
+
+    #[test]
+    fn compare_flags_slowdowns_and_missing_cells() {
+        let baseline = sample();
+        assert!(compare(&baseline, &baseline, 10.0).is_empty(), "self-compare is clean");
+
+        // 5x slowdown on the compiled cell: well past any threshold.
+        let mut slow = baseline.clone();
+        slow.rows[0].wall_us.min_us *= 5;
+        let regs = compare(&slow, &baseline, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kernel, "fib");
+        assert_eq!(regs[0].backend, "compiled");
+        assert!(regs[0].to_string().contains("MIPS vs baseline"), "{}", regs[0]);
+
+        // A small wobble under the threshold is not a regression.
+        let mut wobble = baseline.clone();
+        wobble.rows[0].wall_us.min_us += 5; // 100 -> 105 µs ≈ -4.8%
+        assert!(compare(&wobble, &baseline, 10.0).is_empty());
+
+        // A cell missing from the current run is flagged.
+        let mut missing = baseline.clone();
+        missing.rows.remove(1);
+        let regs = compare(&missing, &baseline, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].to_string().contains("missing"), "{}", regs[0]);
+
+        // Extra cells in the current run are fine.
+        assert!(compare(&baseline, &missing, 10.0).is_empty());
+    }
+
+    #[test]
+    fn today_utc_is_a_plausible_civil_date() {
+        let date = today_utc();
+        assert_eq!(date.len(), 10, "{date}");
+        let parts: Vec<&str> = date.split('-').collect();
+        assert_eq!(parts.len(), 3, "{date}");
+        let year: i64 = parts[0].parse().expect("year");
+        let month: u32 = parts[1].parse().expect("month");
+        let day: u32 = parts[2].parse().expect("day");
+        assert!(year >= 2024, "{date}");
+        assert!((1..=12).contains(&month), "{date}");
+        assert!((1..=31).contains(&day), "{date}");
+    }
+
+    #[test]
+    fn quick_measurement_covers_all_models_and_both_backends() {
+        let reg = Registry::new();
+        let report = measure(true, 1, Some(&reg));
+        assert!(report.quick);
+        for model in ["vliw62", "accu16", "scalar2", "tinyrisc"] {
+            for backend in ["interpretive", "compiled"] {
+                assert!(
+                    report.rows.iter().any(|r| r.model == model && r.backend == backend),
+                    "missing {model}/{backend}"
+                );
+            }
+        }
+        for row in &report.rows {
+            assert!(row.cycles > 0, "{row:?}");
+            assert!(row.instructions > 0, "{row:?}");
+            assert!(row.mips() > 0.0, "{row:?}");
+        }
+        // The registry saw the simulators run.
+        let snap = reg.snapshot();
+        assert!(
+            snap.metrics.keys().any(|k| k.name == "lisa_sim_cycles_total"),
+            "sim stats published"
+        );
+        assert!(
+            snap.metrics.keys().any(|k| k.name == "lisa_bench_cell_duration_us"),
+            "cell latency recorded"
+        );
+    }
+}

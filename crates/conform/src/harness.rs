@@ -8,6 +8,7 @@
 //! whole pipeline by injecting a [`Fault`] into the compiled backend
 //! and demanding that it is caught and minimized.
 
+use lisa_metrics::Registry;
 use lisa_models::Workbench;
 
 use crate::corpus::Reproducer;
@@ -78,6 +79,7 @@ pub struct Fuzzer<'w> {
     wb: &'w Workbench,
     gen: ProgramGen<'w>,
     config: FuzzConfig,
+    metrics: Option<&'w Registry>,
 }
 
 impl<'w> Fuzzer<'w> {
@@ -87,7 +89,17 @@ impl<'w> Fuzzer<'w> {
     ///
     /// [`GenError`] when the model cannot drive generation.
     pub fn new(wb: &'w Workbench, config: FuzzConfig) -> Result<Fuzzer<'w>, GenError> {
-        Ok(Fuzzer { wb, gen: ProgramGen::new(wb)?, config })
+        Ok(Fuzzer { wb, gen: ProgramGen::new(wb)?, config, metrics: None })
+    }
+
+    /// Publishes fuzzing progress into `registry` while [`Fuzzer::run`]
+    /// executes: `lisa_conform_iterations_total`,
+    /// `lisa_conform_oracle_firings_total` and
+    /// `lisa_conform_shrink_steps_total` (shrink predicate evaluations).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &'w Registry) -> Fuzzer<'w> {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The underlying program generator.
@@ -122,9 +134,27 @@ impl<'w> Fuzzer<'w> {
     /// The main loop: fuzz until the iteration budget is spent or a
     /// divergence is found (which is then shrunk).
     pub fn run(&self) -> FuzzReport {
+        let handles = self.metrics.map(|reg| {
+            (
+                reg.counter("lisa_conform_iterations_total", "Fuzzing iterations completed.", &[]),
+                reg.counter(
+                    "lisa_conform_oracle_firings_total",
+                    "Oracle divergences detected (before shrinking).",
+                    &[],
+                ),
+                reg.counter(
+                    "lisa_conform_shrink_steps_total",
+                    "Shrink predicate evaluations (oracle re-runs during minimization).",
+                    &[],
+                ),
+            )
+        });
         let mut report = FuzzReport::default();
         for index in 0..self.config.iters {
             report.iterations = index + 1;
+            if let Some((iters, _, _)) = &handles {
+                iters.inc();
+            }
             let mut rng = Rng::for_iteration(self.config.seed, index);
             let prefix = self.gen.gen_program(&mut rng, self.config.max_len);
             match self.check_words(&prefix) {
@@ -132,7 +162,15 @@ impl<'w> Fuzzer<'w> {
                 Ok(Outcome::Budget { .. }) => report.budget += 1,
                 Ok(Outcome::Error { .. }) => report.errored += 1,
                 Err(first) => {
-                    let shrunk = shrink(&prefix, |ws| self.check_words(ws).is_err());
+                    if let Some((_, firings, _)) = &handles {
+                        firings.inc();
+                    }
+                    let shrunk = shrink(&prefix, |ws| {
+                        if let Some((_, _, steps)) = &handles {
+                            steps.inc();
+                        }
+                        self.check_words(ws).is_err()
+                    });
                     let verdict = self.check_words(&shrunk).err().unwrap_or(first);
                     report.failure =
                         Some(Failure { iteration: index, verdict, original: prefix, shrunk });

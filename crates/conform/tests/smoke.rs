@@ -48,6 +48,41 @@ fn injected_fault_is_caught_and_shrunk() {
 }
 
 #[test]
+fn fuzzer_metrics_count_iterations_firings_and_shrink_steps() {
+    use lisa_metrics::{MetricKey, MetricValue, Registry};
+
+    let wb = lisa_models::tinyrisc::workbench().unwrap();
+    let reg = Registry::new();
+    let count =
+        |reg: &Registry, name: &str| match reg.snapshot().metrics.get(&MetricKey::new(name, &[])) {
+            Some(&MetricValue::Counter(n)) => n,
+            other => panic!("{name}: {other:?}"),
+        };
+
+    // A clean run: every iteration counted, no firings, no shrinking.
+    let config = FuzzConfig { seed: 0, iters: 10, ..FuzzConfig::default() };
+    let report = Fuzzer::new(&wb, config).unwrap().with_metrics(&reg).run();
+    assert!(report.passed());
+    assert_eq!(count(&reg, "lisa_conform_iterations_total"), 10);
+    assert_eq!(count(&reg, "lisa_conform_oracle_firings_total"), 0);
+    assert_eq!(count(&reg, "lisa_conform_shrink_steps_total"), 0);
+
+    // A faulty backend: the oracle fires once and shrinking re-runs it.
+    let reg = Registry::new();
+    let config = FuzzConfig {
+        seed: 0,
+        iters: 4,
+        fault: Some(Fault { at_cycle: 0 }),
+        ..FuzzConfig::default()
+    };
+    let report = Fuzzer::new(&wb, config).unwrap().with_metrics(&reg).run();
+    let failure = report.failure.expect("injected fault caught");
+    assert_eq!(count(&reg, "lisa_conform_iterations_total"), failure.iteration + 1);
+    assert_eq!(count(&reg, "lisa_conform_oracle_firings_total"), 1);
+    assert!(count(&reg, "lisa_conform_shrink_steps_total") > 0, "shrinking evaluated candidates");
+}
+
+#[test]
 fn fault_at_later_cycle_is_also_caught() {
     let wb = lisa_models::tinyrisc::workbench().unwrap();
     let config = FuzzConfig {

@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod observe;
 mod report;
 mod runner;
 mod scenario;
 
-pub use report::{BatchReport, JobOutcome, JobResult};
+pub use observe::{BatchObserver, BatchProgress, Heartbeat};
+pub use report::{BatchReport, JobOutcome, JobResult, LatencySummary};
 pub use runner::BatchRunner;
 pub use scenario::{run_scenario, Check, JobError, Scenario};

@@ -8,7 +8,7 @@ use lisa_trace::Profile;
 use crate::scenario::JobError;
 
 /// The measurable outcome of one successful job.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct JobResult {
     /// Control steps the job ran (excluding any steps already recorded
     /// in a base snapshot's stats — this is the run's own cycle count).
@@ -21,6 +21,35 @@ pub struct JobResult {
     /// Per-job execution profile, when the scenario asked for one
     /// ([`crate::Scenario::profiled`]).
     pub profile: Option<Profile>,
+    /// Wall-clock time this job took (setup, run and checks). Excluded
+    /// from equality: outcomes stay comparable across runs and worker
+    /// counts, while timing describes one particular run.
+    pub elapsed: Duration,
+}
+
+impl PartialEq for JobResult {
+    fn eq(&self, other: &JobResult) -> bool {
+        self.cycles == other.cycles
+            && self.stats == other.stats
+            && self.state_digest == other.state_digest
+            && self.profile == other.profile
+    }
+}
+
+impl Eq for JobResult {}
+
+/// Wall-clock latency spread over a batch's successful jobs
+/// (nearest-rank percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Fastest job.
+    pub min: Duration,
+    /// Median job (nearest rank).
+    pub p50: Duration,
+    /// 99th-percentile job (nearest rank).
+    pub p99: Duration,
+    /// Slowest job.
+    pub max: Duration,
 }
 
 /// One job's slot in a batch: its input position, name, and result.
@@ -65,6 +94,53 @@ impl BatchReport {
         } else {
             0.0
         }
+    }
+
+    /// Sum of instructions retired over all successful jobs.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.result.as_ref().ok())
+            .map(|r| r.stats.instructions_retired)
+            .sum()
+    }
+
+    /// Aggregate simulated MIPS of this run: millions of retired
+    /// instructions per wall-clock second (0.0 for an instantaneous or
+    /// empty batch).
+    #[must_use]
+    pub fn simulated_mips(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total_instructions() as f64 / secs / 1e6
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall-clock latency spread across successful jobs, or `None` when
+    /// no job succeeded. Percentiles use the nearest-rank method, so
+    /// every reported value is an actually-observed job duration.
+    #[must_use]
+    pub fn latency(&self) -> Option<LatencySummary> {
+        let mut durations: Vec<Duration> =
+            self.jobs.iter().filter_map(|j| j.result.as_ref().ok()).map(|r| r.elapsed).collect();
+        if durations.is_empty() {
+            return None;
+        }
+        durations.sort_unstable();
+        let rank = |q: f64| {
+            // Nearest rank: smallest index covering fraction q.
+            let n = durations.len();
+            durations[((q * n as f64).ceil() as usize).clamp(1, n) - 1]
+        };
+        Some(LatencySummary {
+            min: durations[0],
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: *durations.last().expect("non-empty"),
+        })
     }
 
     /// The jobs that failed, in submission order.
@@ -129,13 +205,23 @@ impl BatchReport {
         }
         let failed = self.jobs.len() - self.jobs.iter().filter(|j| j.result.is_ok()).count();
         out.push_str(&format!(
-            "{} jobs ({failed} failed), {} cycles in {:.3} s on {} workers: {:.0} cycles/s\n",
+            "{} jobs ({failed} failed), {} cycles in {:.3} s on {} workers: {:.0} cycles/s, {:.2} MIPS\n",
             self.jobs.len(),
             self.total_cycles(),
             self.elapsed.as_secs_f64(),
             self.workers,
             self.cycles_per_sec(),
+            self.simulated_mips(),
         ));
+        if let Some(lat) = self.latency() {
+            out.push_str(&format!(
+                "job latency: min {:.3} ms / p50 {:.3} ms / p99 {:.3} ms / max {:.3} ms\n",
+                lat.min.as_secs_f64() * 1e3,
+                lat.p50.as_secs_f64() * 1e3,
+                lat.p99.as_secs_f64() * 1e3,
+                lat.max.as_secs_f64() * 1e3,
+            ));
+        }
         out
     }
 }
@@ -147,9 +233,10 @@ mod tests {
     fn report() -> BatchReport {
         let ok = JobResult {
             cycles: 100,
-            stats: SimStats::default(),
+            stats: SimStats { instructions_retired: 50, ..SimStats::default() },
             state_digest: 0xabcd,
             profile: None,
+            elapsed: Duration::from_millis(10),
         };
         BatchReport {
             workers: 2,
@@ -182,6 +269,54 @@ mod tests {
         assert!(text.contains("FAIL"));
         assert!(text.contains("boom"));
         assert!(text.contains("2 jobs (1 failed)"));
+        assert!(text.contains("MIPS"));
+        assert!(text.contains("job latency: min"));
+    }
+
+    #[test]
+    fn equality_ignores_elapsed() {
+        let r = report();
+        let mut other = r.clone();
+        if let Ok(job) = other.jobs[0].result.as_mut() {
+            job.elapsed = Duration::from_secs(999);
+        }
+        assert_eq!(r.jobs, other.jobs, "timing does not affect outcome equality");
+    }
+
+    #[test]
+    fn mips_counts_retired_instructions_per_second() {
+        let r = report();
+        assert_eq!(r.total_instructions(), 50);
+        // 50 instructions in 0.5 s = 100/s = 1e-4 MIPS.
+        assert!((r.simulated_mips() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_uses_nearest_rank_percentiles() {
+        assert!(BatchReport { workers: 1, jobs: Vec::new(), elapsed: Duration::ZERO }
+            .latency()
+            .is_none());
+
+        let mut r = report();
+        for (i, ms) in [30u64, 20, 40].iter().enumerate() {
+            r.jobs.push(JobOutcome {
+                index: 2 + i,
+                name: format!("j{i}"),
+                result: Ok(JobResult {
+                    cycles: 1,
+                    stats: SimStats::default(),
+                    state_digest: 0,
+                    profile: None,
+                    elapsed: Duration::from_millis(*ms),
+                }),
+            });
+        }
+        // Successful durations: 10, 20, 30, 40 ms (the failure is skipped).
+        let lat = r.latency().expect("has successes");
+        assert_eq!(lat.min, Duration::from_millis(10));
+        assert_eq!(lat.p50, Duration::from_millis(20), "nearest rank: ceil(0.5*4) = 2nd");
+        assert_eq!(lat.p99, Duration::from_millis(40), "nearest rank: ceil(0.99*4) = 4th");
+        assert_eq!(lat.max, Duration::from_millis(40));
     }
 
     #[test]
@@ -207,6 +342,7 @@ mod tests {
                 stats: SimStats::default(),
                 state_digest: 1,
                 profile: Some(pb),
+                elapsed: Duration::from_millis(30),
             }),
         });
 

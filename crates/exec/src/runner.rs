@@ -2,9 +2,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use crate::observe::{BatchObserver, BatchProgress};
 use crate::report::{BatchReport, JobOutcome};
 use crate::scenario::{run_scenario, JobError, Scenario};
 
@@ -89,8 +90,122 @@ impl BatchRunner {
     /// derived throughput) varies between runs.
     #[must_use]
     pub fn run(&self, scenarios: &[Scenario<'_>]) -> BatchReport {
+        self.run_observed(scenarios, &BatchObserver::new())
+    }
+
+    /// Runs every scenario like [`BatchRunner::run`], additionally
+    /// feeding the given [`BatchObserver`]: job counters and latency
+    /// histograms into its metrics registry, and periodic
+    /// [`BatchProgress`] samples (with ETA) to its heartbeat.
+    ///
+    /// Observation never changes outcomes — `report.jobs` equals what an
+    /// unobserved run produces.
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        scenarios: &[Scenario<'_>],
+        observer: &BatchObserver<'_>,
+    ) -> BatchReport {
         let start = Instant::now();
-        let results = self.execute(scenarios, |_, sc| run_scenario(sc));
+        let done = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+
+        // Counter handles are interned once; the per-scenario latency
+        // histogram is fetched per job (one short registry lock per
+        // *job*, invisible next to running a simulation).
+        let counters = observer.metrics.map(|reg| {
+            (
+                reg.counter(
+                    "lisa_exec_jobs_started_total",
+                    "Batch jobs picked up by a worker.",
+                    &[],
+                ),
+                reg.counter("lisa_exec_jobs_succeeded_total", "Batch jobs that passed.", &[]),
+                reg.counter(
+                    "lisa_exec_jobs_failed_total",
+                    "Batch jobs that failed setup, simulation or a check.",
+                    &[],
+                ),
+                reg.counter("lisa_exec_jobs_panicked_total", "Batch jobs that panicked.", &[]),
+            )
+        });
+
+        let progress = |done_now: usize, failed_now: usize| {
+            let elapsed = start.elapsed();
+            let eta = (done_now > 0 && done_now < scenarios.len())
+                .then(|| elapsed.mul_f64((scenarios.len() - done_now) as f64 / done_now as f64));
+            BatchProgress {
+                total: scenarios.len(),
+                done: done_now,
+                failed: failed_now,
+                elapsed,
+                eta,
+            }
+        };
+
+        let finished = Mutex::new(false);
+        let wake = Condvar::new();
+        let results = std::thread::scope(|scope| {
+            if let Some(hb) = &observer.heartbeat {
+                scope.spawn(|| {
+                    let mut guard = finished.lock().expect("heartbeat lock");
+                    while !*guard {
+                        let (g, timeout) =
+                            wake.wait_timeout(guard, hb.interval).expect("heartbeat lock");
+                        guard = g;
+                        if !*guard && timeout.timed_out() {
+                            (hb.emit)(&progress(
+                                done.load(Ordering::Relaxed),
+                                failed.load(Ordering::Relaxed),
+                            ));
+                        }
+                    }
+                });
+            }
+
+            let results = self.execute(scenarios, |_, sc| {
+                if let Some((started, _, _, _)) = &counters {
+                    started.inc();
+                }
+                let job_start = Instant::now();
+                // Catch panics here (instead of leaving it to `execute`)
+                // so the panic outcome is counted and timed like any
+                // other failure.
+                let result = catch_unwind(AssertUnwindSafe(|| run_scenario(sc)))
+                    .unwrap_or_else(|payload| Err(JobError::Panic(panic_text(&*payload))));
+                if let Some((_, succeeded, failures, panicked)) = &counters {
+                    match &result {
+                        Ok(_) => succeeded.inc(),
+                        Err(JobError::Panic(_)) => panicked.inc(),
+                        Err(_) => failures.inc(),
+                    }
+                }
+                if let Some(reg) = observer.metrics {
+                    let micros = u64::try_from(job_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    reg.histogram(
+                        "lisa_exec_job_duration_us",
+                        "Wall-clock job duration in microseconds.",
+                        &[("scenario", &sc.name)],
+                    )
+                    .observe(micros);
+                }
+                if result.is_err() {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                result
+            });
+
+            *finished.lock().expect("heartbeat lock") = true;
+            wake.notify_all();
+            results
+        });
+
+        if let Some(hb) = &observer.heartbeat {
+            // Final synchronous beat so consumers always see 100%.
+            (hb.emit)(&progress(done.load(Ordering::Relaxed), failed.load(Ordering::Relaxed)));
+        }
+
         let jobs = results
             .into_iter()
             .enumerate()
@@ -184,6 +299,70 @@ mod tests {
                 assert_eq!(*r.as_ref().expect("ok"), i as u32 * 2);
             }
         }
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_and_fill_the_registry() {
+        use lisa_metrics::{MetricKey, MetricValue, Registry};
+
+        let model = counter();
+        let mut scenarios: Vec<Scenario> = (0..5)
+            .map(|i| {
+                Scenario::new(format!("job{i}"), &model, SimMode::Interpretive)
+                    .halt_on("halt")
+                    .steps(100)
+            })
+            .collect();
+        // One failing job: unknown poke resource -> setup failure.
+        scenarios.push(Scenario::new("broken", &model, SimMode::Interpretive).poke("nope", 0, 1));
+
+        let reg = Registry::new();
+        let observed =
+            BatchRunner::new(3).run_observed(&scenarios, &BatchObserver::new().with_metrics(&reg));
+        let plain = BatchRunner::new(3).run(&scenarios);
+        assert_eq!(observed.jobs, plain.jobs, "observation does not change outcomes");
+
+        let snap = reg.snapshot();
+        let count = |name| match snap.metrics.get(&MetricKey::new(name, &[])) {
+            Some(&MetricValue::Counter(n)) => n,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(count("lisa_exec_jobs_started_total"), 6);
+        assert_eq!(count("lisa_exec_jobs_succeeded_total"), 5);
+        assert_eq!(count("lisa_exec_jobs_failed_total"), 1);
+        assert_eq!(count("lisa_exec_jobs_panicked_total"), 0);
+        match snap
+            .metrics
+            .get(&MetricKey::new("lisa_exec_job_duration_us", &[("scenario", "job0")]))
+        {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("expected per-scenario latency histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_emits_a_final_complete_sample() {
+        let model = counter();
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| {
+                Scenario::new(format!("job{i}"), &model, SimMode::Interpretive)
+                    .halt_on("halt")
+                    .steps(100)
+            })
+            .collect();
+        let samples = Mutex::new(Vec::new());
+        let observer = BatchObserver::new()
+            .with_heartbeat(std::time::Duration::from_millis(1), |p: &crate::BatchProgress| {
+                samples.lock().unwrap().push(*p)
+            });
+        let report = BatchRunner::new(2).run_observed(&scenarios, &observer);
+        assert!(report.all_passed());
+        drop(observer);
+        let samples = samples.into_inner().unwrap();
+        let last = samples.last().expect("at least the final beat");
+        assert_eq!((last.total, last.done, last.failed), (4, 4, 0));
+        assert_eq!(last.eta, None, "nothing remains at completion");
+        assert!(last.line().contains("4/4 jobs (0 failed)"), "{}", last.line());
     }
 
     #[test]

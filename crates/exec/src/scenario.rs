@@ -201,6 +201,7 @@ impl<'m> Scenario<'m> {
 ///
 /// Any stage maps to the matching [`JobError`] variant.
 pub fn run_scenario(sc: &Scenario<'_>) -> Result<JobResult, JobError> {
+    let started = std::time::Instant::now();
     let setup = |e: lisa_sim::SimError| JobError::Setup(e.to_string());
 
     let mut sim = Simulator::new(sc.model, sc.mode).map_err(setup)?;
@@ -280,6 +281,7 @@ pub fn run_scenario(sc: &Scenario<'_>) -> Result<JobResult, JobError> {
         stats: *sim.stats(),
         state_digest: sim.state().digest(),
         profile: sim.take_profile(),
+        elapsed: started.elapsed(),
     })
 }
 

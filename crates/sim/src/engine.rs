@@ -116,6 +116,9 @@ pub struct Simulator<'m> {
     pub(crate) seq: u64,
     pub(crate) observer: Option<Box<Observer>>,
     pub(crate) pc_res: Option<ResourceId>,
+    /// Stats values already exported by `publish_metrics`, so repeated
+    /// publishes add only the delta accumulated in between.
+    pub(crate) metrics_published: SimStats,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -166,6 +169,7 @@ impl<'m> Simulator<'m> {
             seq: 0,
             observer: None,
             pc_res,
+            metrics_published: SimStats::default(),
         })
     }
 

@@ -23,12 +23,14 @@ mod compiled;
 mod engine;
 mod error;
 mod eval;
+mod metrics;
 mod snapshot;
 mod state;
 mod stats;
 
 pub use engine::{SimMode, Simulator};
 pub use error::SimError;
+pub use metrics::publish_stats;
 // Re-exported so simulator users can drive tracing/profiling without a
 // separate `lisa-trace` dependency.
 pub use lisa_trace::{

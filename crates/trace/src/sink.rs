@@ -201,6 +201,45 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_at_exact_capacity_drops_nothing() {
+        let mut sink = RingBufferSink::new(4);
+        for c in 0..4 {
+            sink.record(&ev(c));
+        }
+        assert_eq!(sink.dropped(), 0, "filling to capacity evicts nothing");
+        assert_eq!(
+            sink.drain().iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
+            [0, 1, 2, 3],
+            "all events survive, in order"
+        );
+
+        // One past capacity evicts exactly the oldest event.
+        for c in 0..5 {
+            sink.record(&ev(c));
+        }
+        assert_eq!(sink.dropped(), 1);
+        assert_eq!(sink.drain().iter().map(TraceEvent::cycle).collect::<Vec<_>>(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_buffer_refills_after_drain_and_clear() {
+        let mut sink = RingBufferSink::new(2);
+        for c in 0..3 {
+            sink.record(&ev(c));
+        }
+        assert_eq!(sink.drain().len(), 2);
+        // The drop counter is cumulative across drains; capacity is intact.
+        sink.record(&ev(10));
+        sink.record(&ev(11));
+        sink.record(&ev(12));
+        assert_eq!(sink.dropped(), 2, "1 from the first fill + 1 after refill");
+        sink.clear();
+        assert!(sink.drain().is_empty());
+        sink.record(&ev(20));
+        assert_eq!(sink.drain().iter().map(TraceEvent::cycle).collect::<Vec<_>>(), [20]);
+    }
+
+    #[test]
     fn ring_buffer_minimum_capacity_is_one() {
         let mut sink = RingBufferSink::new(0);
         assert_eq!(sink.capacity(), 1);

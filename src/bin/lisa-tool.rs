@@ -27,7 +27,20 @@
 //!     --max-len N               longest synthesized prefix (default 24)
 //!     --max-cycles N            cycle budget per run (default 2000)
 //!     --self-check              only validate the harness via fault injection
+//! lisa-tool bench  [options]                   benchmark models x backends x kernels
+//!     --quick                   reduced suite (1 kernel per model)
+//!     --repeats N               timed runs per cell (default 3, --quick 2)
+//!     --out DIR                 output directory (default: the repo's docs/)
+//!     --baseline FILE           compare against a BENCH_*.json; fail on regression
+//!     --threshold PCT           regression threshold in percent (default 10)
 //! ```
+//!
+//! `batch`, `fuzz` and `bench` also accept `--metrics FILE` to dump the
+//! run's metric registry in Prometheus text format.
+//!
+//! Exit codes: `0` success; `1` the tools ran but the work failed (batch
+//! job failures, fuzz divergence, bench regression); `2` usage or
+//! model/program errors.
 //!
 //! `<model>` is a `.lisa` file path or one of the builtins `@vliw62`,
 //! `@accu16`, `@scalar2`, `@tinyrisc`. VLIW packing (`||` bars, p-bits) is enabled
@@ -38,62 +51,96 @@ use std::process::ExitCode;
 
 use lisa::core::model::ModelStats;
 use lisa::core::Model;
+use lisa::metrics::Registry;
 use lisa::sim::SimMode;
+
+/// CLI failure, split by exit code: `Usage` exits 2 (bad invocation,
+/// unreadable input, model errors), `Failed` exits 1 (the tools ran but
+/// the work failed — job failures, divergences, perf regressions).
+enum CliError {
+    Usage(String),
+    Failed(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Failed(msg)) => {
             eprintln!("lisa-tool: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("lisa-tool: {msg}");
+            ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     match command.as_str() {
-        "check" => check(args.get(1).ok_or_else(usage)?),
-        "stats" => stats(args.get(1).ok_or_else(usage)?),
-        "doc" => doc(args.get(1).ok_or_else(usage)?, flag_value(args, "-o")),
-        "asm" => asm(
+        "check" => Ok(check(args.get(1).ok_or_else(usage)?)?),
+        "stats" => Ok(stats(args.get(1).ok_or_else(usage)?)?),
+        "doc" => Ok(doc(args.get(1).ok_or_else(usage)?, flag_value(args, "-o"))?),
+        "asm" => Ok(asm(
             args.get(1).ok_or_else(usage)?,
             args.get(2).ok_or_else(usage)?,
             flag_value(args, "-o"),
             packet_size(args),
-        ),
-        "disasm" => disasm(
+        )?),
+        "disasm" => Ok(disasm(
             args.get(1).ok_or_else(usage)?,
             args.get(2).ok_or_else(usage)?,
             packet_size(args),
-        ),
-        "run" => simulate(args),
-        "trace" => trace_cmd(args),
-        "profile" => profile_cmd(args),
+        )?),
+        "run" => Ok(simulate(args)?),
+        "trace" => Ok(trace_cmd(args)?),
+        "profile" => Ok(profile_cmd(args)?),
         "batch" => batch(args),
         "fuzz" => fuzz(args),
+        "bench" => bench(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
      trace options: --out FILE  --vcd  (plus run options)\n\
      profile options: same as run\n\
      asm/disasm options: -o FILE  --packet N\n\
-     batch options: --workers N  --mode interp|compiled|both  --profile\n\
+     batch options: --workers N  --mode interp|compiled|both  --profile  --metrics FILE\n\
      fuzz options: --model M|all  --seed N  --iters N  --corpus-dir DIR\n\
-                   --max-len N  --max-cycles N  --self-check"
+                   --max-len N  --max-cycles N  --self-check  --metrics FILE\n\
+     bench options: --quick  --repeats N  --out DIR  --baseline FILE  --threshold PCT\n\
+                    --metrics FILE\n\
+     exit codes: 0 ok; 1 jobs failed / divergence / perf regression; 2 usage or model error"
         .to_owned()
+}
+
+/// Writes the registry's snapshot in Prometheus text format when the
+/// command was given `--metrics FILE`.
+fn dump_metrics(args: &[String], registry: &Registry) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--metrics") {
+        fs::write(path, registry.snapshot().to_prometheus())
+            .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -259,7 +306,7 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
 
 /// Runs every builtin kernel on every builtin model (the models×kernels
 /// matrix) across the selected backends on a worker pool.
-fn batch(args: &[String]) -> Result<(), String> {
+fn batch(args: &[String]) -> Result<(), CliError> {
     let workers: usize = match flag_value(args, "--workers") {
         Some(v) => v.parse().map_err(|e| format!("bad --workers: {e}"))?,
         None => std::thread::available_parallelism().map_or(1, usize::from),
@@ -268,7 +315,7 @@ fn batch(args: &[String]) -> Result<(), String> {
         Some("interp" | "interpretive") => &[SimMode::Interpretive],
         Some("compiled") => &[SimMode::Compiled],
         Some("both") | None => &[SimMode::Interpretive, SimMode::Compiled],
-        Some(other) => return Err(format!("unknown mode `{other}`")),
+        Some(other) => return Err(format!("unknown mode `{other}`").into()),
     };
 
     let profile = has_flag(args, "--profile");
@@ -282,8 +329,23 @@ fn batch(args: &[String]) -> Result<(), String> {
         })
         .collect();
 
-    let report = lisa::exec::BatchRunner::new(workers).run(&scenarios);
+    let registry = Registry::new();
+    let mut observer = lisa::exec::BatchObserver::new().with_metrics(&registry);
+    // Live heartbeat with ETA when a human is watching; file/pipe
+    // consumers (tests, CI logs) get the silent deterministic output.
+    if std::io::IsTerminal::is_terminal(&std::io::stderr()) {
+        observer = observer.with_heartbeat(std::time::Duration::from_secs(1), |p| {
+            eprintln!("batch: {}", p.line());
+        });
+    }
+    let report = lisa::exec::BatchRunner::new(workers).run_observed(&scenarios, &observer);
     print!("{}", report.table());
+    for job in &report.jobs {
+        if let Ok(r) = &job.result {
+            lisa::sim::publish_stats(&registry, &r.stats, scenarios[job.index].mode.metric_label());
+        }
+    }
+    dump_metrics(args, &registry)?;
     if let Some(merged) = report.merged_profile() {
         println!("\nmerged fleet profile:");
         print!("{}", merged.report());
@@ -291,13 +353,60 @@ fn batch(args: &[String]) -> Result<(), String> {
     if report.all_passed() {
         Ok(())
     } else {
-        Err(format!("{} of {} jobs failed", report.failures().len(), report.jobs.len()))
+        Err(CliError::Failed(format!(
+            "{} of {} jobs failed",
+            report.failures().len(),
+            report.jobs.len()
+        )))
     }
+}
+
+/// Benchmarks every builtin model × both backends × its kernel suite,
+/// writes the schema-versioned `BENCH_<date>.json` trajectory, and (with
+/// `--baseline`) gates on simulated-MIPS regressions.
+fn bench(args: &[String]) -> Result<(), CliError> {
+    use lisa_bench::trajectory::{self, BenchReport};
+
+    let quick = has_flag(args, "--quick");
+    let repeats: u32 = parse_flag(args, "--repeats", if quick { 2 } else { 3 })?;
+    let threshold: f64 = parse_flag(args, "--threshold", 10.0)?;
+
+    let registry = Registry::new();
+    let report = trajectory::measure(quick, repeats, Some(&registry));
+    print!("{}", report.table());
+
+    let out_dir =
+        flag_value(args, "--out").map_or_else(lisa_bench::docs_dir, std::path::PathBuf::from);
+    let path = out_dir.join(format!("BENCH_{}.json", report.date));
+    fs::write(&path, report.to_json())
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    dump_metrics(args, &registry)?;
+
+    if let Some(baseline_path) = flag_value(args, "--baseline") {
+        let text = fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+        let baseline = BenchReport::from_json(&text)
+            .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
+        let regressions = trajectory::compare(&report, &baseline, threshold);
+        if !regressions.is_empty() {
+            let mut msg = format!(
+                "{} perf regression(s) vs {baseline_path} (threshold {threshold}%):",
+                regressions.len()
+            );
+            for r in &regressions {
+                msg.push_str(&format!("\n  {r}"));
+            }
+            return Err(CliError::Failed(msg));
+        }
+        println!("no regressions vs {baseline_path} (threshold {threshold}%)");
+    }
+    Ok(())
 }
 
 /// Differential conformance fuzzing: replay the corpus, then synthesize
 /// fresh programs and run the full oracle stack on each.
-fn fuzz(args: &[String]) -> Result<(), String> {
+fn fuzz(args: &[String]) -> Result<(), CliError> {
     let spec = flag_value(args, "--model")
         .or_else(|| args.get(1).map(String::as_str).filter(|a| !a.starts_with("--")))
         .unwrap_or("all");
@@ -316,18 +425,22 @@ fn fuzz(args: &[String]) -> Result<(), String> {
     } else {
         vec![spec]
     };
+    let registry = Registry::new();
     let mut failed = Vec::new();
     for spec in specs {
         let (name, wb) = fuzz_workbench(spec)?;
-        if let Err(msg) = fuzz_one(&name, &wb, config, corpus_dir.as_deref(), self_check_only) {
+        if let Err(msg) =
+            fuzz_one(&name, &wb, config, corpus_dir.as_deref(), self_check_only, &registry)
+        {
             eprintln!("{msg}");
             failed.push(name);
         }
     }
+    dump_metrics(args, &registry)?;
     if failed.is_empty() {
         Ok(())
     } else {
-        Err(format!("conformance failures in: {}", failed.join(", ")))
+        Err(CliError::Failed(format!("conformance failures in: {}", failed.join(", "))))
     }
 }
 
@@ -356,12 +469,13 @@ fn fuzz_workbench(spec: &str) -> Result<(String, lisa::models::Workbench), Strin
 }
 
 /// Fuzzes one model: harness self-check, corpus replay, fresh programs.
-fn fuzz_one(
+fn fuzz_one<'a>(
     name: &str,
-    wb: &lisa::models::Workbench,
+    wb: &'a lisa::models::Workbench,
     config: lisa::conform::FuzzConfig,
     corpus_dir: Option<&std::path::Path>,
     self_check_only: bool,
+    registry: &'a Registry,
 ) -> Result<(), String> {
     use lisa::conform::{corpus, Fuzzer};
 
@@ -377,7 +491,8 @@ fn fuzz_one(
         return Ok(());
     }
 
-    let fuzzer = Fuzzer::new(wb, config).map_err(|e| format!("{name}: {e}"))?;
+    let fuzzer =
+        Fuzzer::new(wb, config).map_err(|e| format!("{name}: {e}"))?.with_metrics(registry);
 
     if let Some(dir) = corpus_dir {
         let entries = corpus::load_dir(dir).map_err(|e| format!("{name}: corpus: {e}"))?;
@@ -523,7 +638,10 @@ fn simulate(args: &[String]) -> Result<(), String> {
             println!("{line}");
         }
     }
-    println!("halted after {cycles} control steps in {elapsed:?} ({mode:?})");
+    let mips = sim.stats().instructions_retired as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6;
+    println!(
+        "halted after {cycles} control steps in {elapsed:?} ({mode:?}, {mips:.2} simulated MIPS)"
+    );
     println!("stats: {}", sim.stats());
 
     if let Some(dump) = flag_value(args, "--dump") {

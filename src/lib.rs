@@ -16,6 +16,7 @@
 //! | [`exec`] | `lisa-exec` | parallel batch runner with checkpoint/restore forking |
 //! | [`trace`] | `lisa-trace` | structured trace events, profiles, JSONL/VCD exporters |
 //! | [`conform`] | `lisa-conform` | ISA-driven differential fuzzing, metamorphic oracles, shrinking |
+//! | [`metrics`] | `lisa-metrics` | always-on runtime metrics: lock-free registry, Prometheus/JSON exposition |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@ pub use lisa_core as core;
 pub use lisa_docgen as docgen;
 pub use lisa_exec as exec;
 pub use lisa_isa as isa;
+pub use lisa_metrics as metrics;
 pub use lisa_models as models;
 pub use lisa_sim as sim;
 pub use lisa_trace as trace;

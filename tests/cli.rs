@@ -143,21 +143,155 @@ fn batch_runs_the_kernel_matrix() {
     assert!(out.contains("merged fleet profile"), "{out}");
     assert!(out.contains("per-operation execution histogram"), "{out}");
     assert!(out.contains("stage"), "{out}");
-
-    let output = lisa_tool().args(["batch", "--mode", "sideways"]).output().unwrap();
-    assert!(!output.status.success());
 }
 
 #[test]
-fn errors_exit_nonzero_with_messages() {
+fn usage_and_model_errors_exit_2() {
     let output = lisa_tool().args(["check", "/nonexistent.lisa"]).output().unwrap();
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("cannot read model"));
 
     let output = lisa_tool().args(["frobnicate"]).output().unwrap();
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("unknown command"));
 
     let output = lisa_tool().output().unwrap();
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "no arguments is a usage error");
+
+    let output = lisa_tool().args(["batch", "--mode", "sideways"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+
+    let output =
+        lisa_tool().args(["bench", "--quick", "--baseline", "/nonexistent.json"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "unreadable baseline is a usage error");
+}
+
+#[test]
+fn run_reports_simulated_mips() {
+    let dir = std::env::temp_dir().join("lisa_cli_mips_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n").unwrap();
+    let out = run_ok(&["run", "@tinyrisc", src.to_str().unwrap()]);
+    assert!(out.contains("simulated MIPS"), "{out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_dumps_prometheus_metrics() {
+    let dir = std::env::temp_dir().join("lisa_cli_batch_metrics_test");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.prom");
+    let out = run_ok(&[
+        "batch",
+        "--workers",
+        "2",
+        "--mode",
+        "compiled",
+        "--metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("0 failed"), "{out}");
+    assert!(out.contains("job latency: min"), "{out}");
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("# TYPE lisa_exec_jobs_started_total counter"), "{text}");
+    assert!(text.contains("lisa_exec_job_duration_us_bucket"), "{text}");
+    assert!(text.contains("lisa_sim_cycles_total{backend=\"compiled\"}"), "{text}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_writes_trajectory_and_gates_on_baseline() {
+    let dir = std::env::temp_dir().join("lisa_cli_bench_test");
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    let out = run_ok(&["bench", "--quick", "--repeats", "1", "--out", dir.to_str().unwrap()]);
+    assert!(out.contains("MIPS"), "{out}");
+    assert!(out.contains("wrote"), "{out}");
+
+    // Exactly one BENCH_<date>.json appeared, with the expected schema
+    // and the full model × backend matrix.
+    let files: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    assert_eq!(files.len(), 1, "{files:?}");
+    let text = fs::read_to_string(&files[0]).unwrap();
+    assert!(text.contains("\"schema\": \"lisa-bench/1\""), "{text}");
+    for model in ["vliw62", "accu16", "scalar2", "tinyrisc"] {
+        assert!(text.contains(model), "missing {model}: {text}");
+    }
+    for backend in ["interpretive", "compiled"] {
+        assert!(text.contains(backend), "missing {backend}: {text}");
+    }
+
+    // Comparing a run against itself is clean (exit 0)...
+    let baseline = dir.join("baseline.json");
+    fs::copy(&files[0], &baseline).unwrap();
+    let out = run_ok(&[
+        "bench",
+        "--quick",
+        "--repeats",
+        "1",
+        "--out",
+        dir.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--threshold",
+        "99",
+    ]);
+    assert!(out.contains("no regressions"), "{out}");
+
+    // ...but a synthetically 100x-faster baseline makes the current run
+    // a regression: exit 1, with the offending cells named.
+    let sped_up = fs::read_to_string(&baseline)
+        .unwrap()
+        .lines()
+        .map(|line| {
+            if line.trim_start().starts_with("{\"model\"") {
+                // Divide every wall-clock field by 100 (min 1 µs).
+                let mut out = line.to_owned();
+                for key in ["\"min\": ", "\"p50\": ", "\"p99\": ", "\"max\": "] {
+                    if let Some(start) = out.find(key) {
+                        let vstart = start + key.len();
+                        let vend = out[vstart..]
+                            .find(|c: char| !c.is_ascii_digit())
+                            .map_or(out.len(), |i| vstart + i);
+                        let v: u64 = out[vstart..vend].parse().unwrap();
+                        out = format!("{}{}{}", &out[..vstart], (v / 100).max(1), &out[vend..]);
+                    }
+                }
+                out
+            } else {
+                line.to_owned()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let fast = dir.join("fast_baseline.json");
+    fs::write(&fast, sped_up).unwrap();
+    let output = lisa_tool()
+        .args([
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--out",
+            dir.to_str().unwrap(),
+            "--baseline",
+            fast.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "regression must exit 1");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("perf regression"), "{stderr}");
+    assert!(stderr.contains("MIPS vs baseline"), "{stderr}");
+    fs::remove_dir_all(&dir).ok();
 }
