@@ -371,6 +371,20 @@ fn bench(args: &[String]) -> Result<(), CliError> {
     let repeats: u32 = parse_flag(args, "--repeats", if quick { 2 } else { 3 })?;
     let threshold: f64 = parse_flag(args, "--threshold", 10.0)?;
 
+    // Validate the baseline up front: an unreadable or malformed file is
+    // a usage error, and it must not cost a benchmark run — or overwrite
+    // today's `BENCH_<date>.json` — before being reported.
+    let baseline = match flag_value(args, "--baseline") {
+        Some(baseline_path) => {
+            let text = fs::read_to_string(baseline_path)
+                .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+            let parsed = BenchReport::from_json(&text)
+                .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
+            Some((baseline_path, parsed))
+        }
+        None => None,
+    };
+
     let registry = Registry::new();
     let report = trajectory::measure(quick, repeats, Some(&registry));
     print!("{}", report.table());
@@ -383,11 +397,7 @@ fn bench(args: &[String]) -> Result<(), CliError> {
     println!("wrote {}", path.display());
     dump_metrics(args, &registry)?;
 
-    if let Some(baseline_path) = flag_value(args, "--baseline") {
-        let text = fs::read_to_string(baseline_path)
-            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
-        let baseline = BenchReport::from_json(&text)
-            .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
+    if let Some((baseline_path, baseline)) = baseline {
         let regressions = trajectory::compare(&report, &baseline, threshold);
         if !regressions.is_empty() {
             let mut msg = format!(

@@ -161,9 +161,16 @@ fn usage_and_model_errors_exit_2() {
     let output = lisa_tool().args(["batch", "--mode", "sideways"]).output().unwrap();
     assert_eq!(output.status.code(), Some(2));
 
+    // An unreadable baseline must be rejected *before* the benchmark
+    // runs, so no `--out` is needed: a regression here would otherwise
+    // overwrite docs/BENCH_<date>.json with this test binary's numbers.
     let output =
         lisa_tool().args(["bench", "--quick", "--baseline", "/nonexistent.json"]).output().unwrap();
     assert_eq!(output.status.code(), Some(2), "unreadable baseline is a usage error");
+    assert!(
+        !String::from_utf8_lossy(&output.stdout).contains("wrote "),
+        "bench must not write a trajectory when the baseline is unusable"
+    );
 }
 
 #[test]
