@@ -1,0 +1,181 @@
+//! Experiment E13: HTTP service throughput and latency over loopback.
+//!
+//! Boots the `lisa-serve` server in-process on an ephemeral port, then
+//! drives it with keep-alive client threads issuing `/healthz` probes
+//! and real `/v1/simulate` jobs. Reports requests/s plus p50/p99
+//! request latency per worker-pool size, so the worker-count lever is
+//! visible in one table.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lisa_bench::write_report;
+use lisa_serve::{AppState, ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+const HEALTH_REQUESTS: usize = 400;
+const SIM_REQUESTS: usize = 60;
+
+/// One benchmark cell: per-request latencies measured by every client.
+struct Cell {
+    elapsed: Duration,
+    latencies_us: Vec<u64>,
+}
+
+fn boot(workers: usize) -> (SocketAddr, lisa_serve::ServerHandle, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue: 256,
+        timeout: Duration::from_secs(30),
+        once: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, Arc::new(AppState::new())).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    (addr, handle, join)
+}
+
+/// Sends `count` sequential keep-alive requests on one connection,
+/// timing each round trip.
+fn client(addr: SocketAddr, request: &[u8], count: usize, body_probe: &[u8]) -> Vec<u64> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut latencies = Vec::with_capacity(count);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    for _ in 0..count {
+        let t = Instant::now();
+        conn.write_all(request).expect("write request");
+        // Read one full response: head + Content-Length body bytes.
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4) {
+                let head = String::from_utf8_lossy(&buf[..head_end]);
+                assert!(head.starts_with("HTTP/1.1 200"), "unexpected response: {head}");
+                let need: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .expect("Content-Length")
+                    .trim()
+                    .parse()
+                    .expect("length value");
+                if buf.len() >= head_end + need {
+                    assert!(
+                        body_probe.is_empty()
+                            || buf[head_end..head_end + need]
+                                .windows(body_probe.len())
+                                .any(|w| w == body_probe),
+                        "response body missing {:?}",
+                        String::from_utf8_lossy(body_probe)
+                    );
+                    buf.drain(..head_end + need);
+                    break;
+                }
+            }
+            let n = conn.read(&mut chunk).expect("read response");
+            assert!(n > 0, "server closed mid-benchmark");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    latencies
+}
+
+/// Runs one cell: `CLIENTS` threads each sending `per_client` requests.
+fn run_cell(workers: usize, request: &[u8], per_client: usize, body_probe: &'static [u8]) -> Cell {
+    let (addr, handle, join) = boot(workers);
+    let t = Instant::now();
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let request = request.to_vec();
+            std::thread::spawn(move || client(addr, &request, per_client, body_probe))
+        })
+        .collect();
+    let mut latencies_us = Vec::new();
+    for thread in threads {
+        latencies_us.extend(thread.join().expect("client thread"));
+    }
+    let elapsed = t.elapsed();
+    handle.shutdown();
+    join.join().expect("server thread");
+    latencies_us.sort_unstable();
+    Cell { elapsed, latencies_us }
+}
+
+/// Nearest-rank percentile over sorted data.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let health = b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n".to_vec();
+    let sim_body = br#"{"model": "tinyrisc", "program": "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n", "dump": [["R", 4]]}"#;
+    let sim = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        sim_body.len(),
+        String::from_utf8_lossy(sim_body)
+    )
+    .into_bytes();
+
+    let mut out = String::new();
+    writeln!(out, "E13 — HTTP service throughput and latency (loopback)").unwrap();
+    writeln!(
+        out,
+        "({CLIENTS} keep-alive clients; {HEALTH_REQUESTS} /healthz + {SIM_REQUESTS} /v1/simulate requests each)"
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "{:<14} {:<8} {:>9} {:>12} {:>10} {:>10}",
+        "endpoint", "workers", "requests", "requests/s", "p50 us", "p99 us"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(68)).unwrap();
+
+    for (endpoint, request, per_client, probe) in [
+        ("/healthz", &health, HEALTH_REQUESTS, &b""[..]),
+        ("/v1/simulate", &sim, SIM_REQUESTS, &b"\"halted\": true"[..]),
+    ] {
+        for workers in [1usize, 2, 4] {
+            // Best of three to damp scheduler noise.
+            let cell = (0..3)
+                .map(|_| run_cell(workers, request, per_client, probe))
+                .min_by(|a, b| a.elapsed.cmp(&b.elapsed))
+                .expect("three runs");
+            let total = cell.latencies_us.len();
+            let rps = total as f64 / cell.elapsed.as_secs_f64();
+            writeln!(
+                out,
+                "{:<14} {:<8} {:>9} {:>12.0} {:>10} {:>10}",
+                endpoint,
+                workers,
+                total,
+                rps,
+                percentile(&cell.latencies_us, 50.0),
+                percentile(&cell.latencies_us, 99.0),
+            )
+            .unwrap();
+        }
+    }
+
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "note: single-machine loopback numbers; /v1/simulate includes a full\n\
+         assemble + compiled-mode run per request. p50/p99 are nearest-rank\n\
+         over all client-observed round-trip times."
+    )
+    .unwrap();
+
+    write_report("e13_serve_throughput.txt", &out);
+}

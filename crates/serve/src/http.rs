@@ -1,0 +1,623 @@
+//! A small, strict HTTP/1.1 message layer.
+//!
+//! The service speaks to load generators and `curl`, not to the whole
+//! web, so the parser accepts the plain core of HTTP/1.1 and rejects
+//! everything else loudly: exact `\r\n` line endings, no obsolete
+//! header folding, no chunked bodies (`Content-Length` only), hard size
+//! limits on the request line, the header block and the body. Parsing
+//! is *incremental* over a byte buffer — [`parse_request`] either
+//! returns a complete request plus the bytes it consumed, asks for more
+//! input, or fails with an [`HttpError`] that maps to a concrete status
+//! code — which makes the whole state machine a pure function the
+//! property tests can hammer with arbitrary byte soup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+
+/// Size limits enforced while parsing a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version).
+    pub max_request_line: usize,
+    /// Largest accepted header block (request line included), bytes.
+    pub max_head_bytes: usize,
+    /// Most headers accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// A malformed or oversized request; each variant maps to the status
+/// code the connection should die with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// The request line exceeds [`Limits::max_request_line`].
+    RequestLineTooLong,
+    /// The header block exceeds [`Limits::max_head_bytes`] or
+    /// [`Limits::max_headers`].
+    HeadersTooLarge,
+    /// A header line is malformed (no colon, bad name, folding).
+    BadHeader,
+    /// `Content-Length` is unparsable or repeated with different values.
+    BadContentLength,
+    /// The declared body exceeds [`Limits::max_body`].
+    BodyTooLarge,
+    /// A body-bearing method arrived without `Content-Length`.
+    LengthRequired,
+    /// `Transfer-Encoding` (chunked bodies) is not supported.
+    UnsupportedTransferEncoding,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+}
+
+impl HttpError {
+    /// The status code this parse failure answers with.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequestLine | HttpError::BadHeader | HttpError::BadContentLength => 400,
+            HttpError::RequestLineTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::LengthRequired => 411,
+            HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::UnsupportedVersion => 505,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::RequestLineTooLong => "request line too long",
+            HttpError::HeadersTooLarge => "header block too large",
+            HttpError::BadHeader => "malformed header",
+            HttpError::BadContentLength => "bad Content-Length",
+            HttpError::BodyTooLarge => "body too large",
+            HttpError::LengthRequired => "Content-Length required",
+            HttpError::UnsupportedTransferEncoding => "transfer encodings are not supported",
+            HttpError::UnsupportedVersion => "unsupported HTTP version",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    /// Headers in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, matched case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request
+    /// (HTTP/1.1 defaults to keep-alive, 1.0 to close).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// Serializes the request back to wire bytes. `Content-Length` is
+    /// derived from the body (and must not appear in `headers`); the
+    /// result parses back to an equal `Request` — the round-trip
+    /// property tests hold [`parse_request`] to exactly that.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let version = if self.http11 { "HTTP/1.1" } else { "HTTP/1.0" };
+        let mut out = format!("{} {} {version}\r\n", self.method, self.target).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Is `b` a valid `token` byte (RFC 9110 field names and methods)?
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Is `b` acceptable in a request target? (visible ASCII, no spaces)
+fn is_target_byte(b: u8) -> bool {
+    (0x21..=0x7e).contains(&b)
+}
+
+/// Is `b` acceptable in a header value? (visible ASCII, space, tab)
+fn is_value_byte(b: u8) -> bool {
+    b == b'\t' || (0x20..=0x7e).contains(&b)
+}
+
+/// Attempts to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` when a full request (head and
+/// body) is present, `Ok(None)` when more bytes are needed, and
+/// `Err(HttpError)` when the prefix can never become a valid request
+/// under `limits`. Never panics, for any input.
+///
+/// # Errors
+///
+/// See [`HttpError`]; each variant names the violated rule.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Option<(Request, usize)>, HttpError> {
+    // Find the end of the header block without scanning unbounded input.
+    let window = &buf[..buf.len().min(limits.max_head_bytes)];
+    let head_len = match find_head_end(window) {
+        Some(n) => n,
+        None if buf.len() >= limits.max_head_bytes => {
+            // Diagnose the oversized prefix: a request line that never
+            // ends gets the more precise 414.
+            let line_end = window.iter().position(|&b| b == b'\n');
+            return Err(match line_end {
+                None if window.len() > limits.max_request_line => HttpError::RequestLineTooLong,
+                _ => HttpError::HeadersTooLarge,
+            });
+        }
+        None => {
+            // An incomplete head can still be rejected early if its
+            // request line is already over budget.
+            if window.iter().take(limits.max_request_line + 1).all(|&b| b != b'\n')
+                && window.len() > limits.max_request_line
+            {
+                return Err(HttpError::RequestLineTooLong);
+            }
+            return Ok(None);
+        }
+    };
+    let head = &buf[..head_len];
+
+    let lines = head_lines(head)?;
+    let (request_line, header_lines) = lines.split_first().ok_or(HttpError::BadRequestLine)?;
+    if request_line.len() > limits.max_request_line {
+        return Err(HttpError::RequestLineTooLong);
+    }
+    let (method, target, http11) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for &line in header_lines {
+        if headers.len() == limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = parse_header_line(line)?;
+        if name.eq_ignore_ascii_case(b"transfer-encoding") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        if name.eq_ignore_ascii_case(b"content-length") {
+            let parsed: usize = std::str::from_utf8(value)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or(HttpError::BadContentLength)?;
+            match content_length {
+                Some(prev) if prev != parsed => return Err(HttpError::BadContentLength),
+                _ => content_length = Some(parsed),
+            }
+        }
+        headers.push((
+            String::from_utf8_lossy(name).into_owned(),
+            String::from_utf8_lossy(value).into_owned(),
+        ));
+    }
+
+    let body_len = match content_length {
+        Some(n) if n > limits.max_body => return Err(HttpError::BodyTooLarge),
+        Some(n) => n,
+        // A POST/PUT without Content-Length has no delimited body; the
+        // caller can't know where it ends, so require the header.
+        None if matches!(method, "POST" | "PUT" | "PATCH") => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => 0,
+    };
+    let total = head_len + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+
+    Ok(Some((
+        Request {
+            method: method.to_owned(),
+            target: target.to_owned(),
+            http11,
+            headers,
+            body: buf[head_len..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Splits the head (request line + headers) into `\r\n`-terminated
+/// lines; a bare `\n` or stray `\r` is an error, which keeps request
+/// smuggling tricks out.
+fn head_lines(head: &[u8]) -> Result<Vec<&[u8]>, HttpError> {
+    let content = head.strip_suffix(b"\r\n\r\n").ok_or(HttpError::BadRequestLine)?;
+    let pieces: Vec<&[u8]> = content.split(|&b| b == b'\n').collect();
+    let last = pieces.len() - 1;
+    pieces
+        .into_iter()
+        .enumerate()
+        .map(|(i, piece)| {
+            let line = if i < last {
+                piece.strip_suffix(b"\r").ok_or(HttpError::BadHeader)?
+            } else {
+                piece
+            };
+            if line.contains(&b'\r') {
+                return Err(HttpError::BadHeader);
+            }
+            Ok(line)
+        })
+        .collect()
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(&str, &str, bool), HttpError> {
+    let text = std::str::from_utf8(line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = text.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine);
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if target.is_empty() || !target.bytes().all(is_target_byte) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::UnsupportedVersion),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    Ok((method, target, http11))
+}
+
+fn parse_header_line(line: &[u8]) -> Result<(&[u8], &[u8]), HttpError> {
+    // Obsolete line folding (leading whitespace) is rejected outright.
+    if line.first().is_some_and(|&b| b == b' ' || b == b'\t') {
+        return Err(HttpError::BadHeader);
+    }
+    let colon = line.iter().position(|&b| b == b':').ok_or(HttpError::BadHeader)?;
+    let (name, rest) = line.split_at(colon);
+    if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+        return Err(HttpError::BadHeader);
+    }
+    let value = trim_ascii(&rest[1..]);
+    if !value.iter().all(|&b| is_value_byte(b)) {
+        return Err(HttpError::BadHeader);
+    }
+    Ok((name, value))
+}
+
+fn trim_ascii(mut v: &[u8]) -> &[u8] {
+    while v.first().is_some_and(|&b| b == b' ' || b == b'\t') {
+        v = &v[1..];
+    }
+    while v.last().is_some_and(|&b| b == b' ' || b == b'\t') {
+        v = &v[..v.len() - 1];
+    }
+    v
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are emitted by
+    /// [`Response::write_to`], not listed here).
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    #[must_use]
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: BTreeMap::new(), body: Vec::new() }
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        let mut r = Response::new(status);
+        r.headers.insert("Content-Type".to_owned(), "text/plain; charset=utf-8".to_owned());
+        r.body = body.into().into_bytes();
+        r
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        let mut r = Response::new(status);
+        r.headers.insert("Content-Type".to_owned(), "application/json".to_owned());
+        r.body = body.into().into_bytes();
+        r
+    }
+
+    /// The error response for a parse failure (always closes).
+    #[must_use]
+    pub fn for_error(err: &HttpError) -> Response {
+        Response::text(err.status(), format!("{err}\n"))
+    }
+
+    /// Writes the full response; `close` controls the `Connection`
+    /// header so clients see exactly what the server will do next.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status)).into_bytes();
+        for (name, value) in &self.headers {
+            head.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        head.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        head.extend_from_slice(if close {
+            b"Connection: close\r\n" as &[u8]
+        } else {
+            b"Connection: keep-alive\r\n"
+        });
+        head.extend_from_slice(b"\r\n");
+        // One write for head + body: a split write interacts badly with
+        // Nagle's algorithm (the body write stalls until the head is
+        // ACKed), and a single syscall is cheaper anyway.
+        head.extend_from_slice(&self.body);
+        w.write_all(&head)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Request {
+        let (req, consumed) =
+            parse_request(bytes, &Limits::default()).expect("parses").expect("complete");
+        assert_eq!(consumed, bytes.len());
+        req
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length() {
+        let req = parse_all(b"POST /v1/assemble HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn needs_more_bytes_until_the_body_arrives() {
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in 0..full.len() {
+            assert_eq!(
+                parse_request(&full[..cut], &Limits::default()).expect("prefixes never error"),
+                None,
+                "cut at {cut}"
+            );
+        }
+        assert!(parse_request(full, &Limits::default()).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_message() {
+        let bytes = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, used) = parse_request(bytes, &Limits::default()).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        let (second, used2) = parse_request(&bytes[used..], &Limits::default()).unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+        assert_eq!(used + used2, bytes.len());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            "GET\r\n\r\n",
+            "GET  /two-spaces HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "G ET /x HTTP/1.1\r\n\r\n",
+            "GET /x y HTTP/1.1\r\n\r\n",
+            "GET /x FTP/1.1\r\n\r\n",
+            " GET /x HTTP/1.1\r\n\r\n",
+        ] {
+            assert_eq!(
+                parse_request(bad.as_bytes(), &Limits::default()),
+                Err(HttpError::BadRequestLine),
+                "{bad:?}"
+            );
+        }
+        assert_eq!(
+            parse_request(b"GET /x HTTP/2.0\r\n\r\n", &Limits::default()),
+            Err(HttpError::UnsupportedVersion)
+        );
+    }
+
+    #[test]
+    fn bare_lf_and_folding_are_rejected() {
+        assert!(parse_request(b"GET /x HTTP/1.1\nHost: x\r\n\r\n\r\n", &Limits::default()).is_err());
+        assert_eq!(
+            parse_request(b"GET /x HTTP/1.1\r\nA: b\r\n c\r\n\r\n", &Limits::default()),
+            Err(HttpError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn content_length_violations() {
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\n\r\n", &Limits::default()),
+            Err(HttpError::LengthRequired)
+        );
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &Limits::default()),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse_request(
+                b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+                &Limits::default()
+            ),
+            Err(HttpError::BadContentLength)
+        );
+        let limits = Limits { max_body: 8, ..Limits::default() };
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n", &limits),
+            Err(HttpError::BodyTooLarge)
+        );
+    }
+
+    #[test]
+    fn chunked_bodies_are_501() {
+        assert_eq!(
+            parse_request(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                &Limits::default()
+            ),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+    }
+
+    #[test]
+    fn size_limits_fire() {
+        let limits = Limits { max_request_line: 16, max_head_bytes: 64, ..Limits::default() };
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64));
+        assert_eq!(
+            parse_request(long_line.as_bytes(), &limits),
+            Err(HttpError::RequestLineTooLong)
+        );
+        let many_headers = format!("GET / HTTP/1.1\r\n{}\r\n", "A: b\r\n".repeat(20));
+        assert_eq!(
+            parse_request(many_headers.as_bytes(), &limits),
+            Err(HttpError::HeadersTooLarge)
+        );
+        // A header block that never terminates trips the byte cap too.
+        let endless = format!("GET / HTTP/1.1\r\nA: {}", "b".repeat(128));
+        assert_eq!(parse_request(endless.as_bytes(), &limits), Err(HttpError::HeadersTooLarge));
+        let limits = Limits { max_headers: 2, ..Limits::default() };
+        assert_eq!(
+            parse_request(b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n", &limits),
+            Err(HttpError::HeadersTooLarge)
+        );
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(parse_all(b"GET / HTTP/1.1\r\n\r\n").keep_alive());
+        assert!(!parse_all(b"GET / HTTP/1.0\r\n\r\n").keep_alive());
+        assert!(!parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+        assert!(parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let req = Request {
+            method: "POST".to_owned(),
+            target: "/v1/simulate?x=1".to_owned(),
+            http11: true,
+            headers: vec![("Host".to_owned(), "localhost".to_owned())],
+            body: b"{\"model\":\"tinyrisc\"}".to_vec(),
+        };
+        let bytes = req.to_bytes();
+        let (back, consumed) = parse_request(&bytes, &Limits::default()).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        // Content-Length is synthesized on the wire; drop it to compare.
+        let mut back = back;
+        back.headers.retain(|(n, _)| !n.eq_ignore_ascii_case("content-length"));
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn responses_have_well_formed_heads() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}").write_to(&mut buf, false).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+
+        let mut buf = Vec::new();
+        Response::for_error(&HttpError::HeadersTooLarge).write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+    }
+}

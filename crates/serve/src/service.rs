@@ -1,0 +1,528 @@
+//! Request routing and the endpoint handlers.
+//!
+//! [`AppState`] owns everything a request needs — the builtin model
+//! registry (each model parsed and analysed once at startup, the way
+//! the paper generates its tool suite once per description) and the
+//! shared metrics [`Registry`]. [`AppState::dispatch`] is a pure
+//! `Request -> Response` function over that state, so the whole request
+//! path is testable without a socket.
+
+use std::time::{Duration, Instant};
+
+use lisa_asm::Assembler;
+use lisa_core::Model;
+use lisa_exec::{BatchObserver, BatchRunner};
+use lisa_metrics::Registry;
+use lisa_models::kernels::full_matrix;
+use lisa_models::{accu16, scalar2, tinyrisc, vliw62};
+use lisa_sim::{SimError, SimMode, Simulator};
+
+use crate::api::{self, AssembleRequest, BatchRequest, SimulateOutcome, SimulateRequest};
+use crate::http::{Request, Response};
+
+/// One builtin model, ready to serve requests.
+pub struct ServedModel {
+    /// Registry name (`tinyrisc`, `accu16`, `scalar2`, `vliw62`).
+    pub name: &'static str,
+    /// The analysed model database.
+    pub model: Model,
+    /// Program-memory resource programs load into.
+    pub program_memory: &'static str,
+    /// Halt-flag resource.
+    pub halt_flag: &'static str,
+    /// VLIW fetch-packet size, when packet assembly applies.
+    pub packet: Option<usize>,
+}
+
+impl ServedModel {
+    fn assembler(&self) -> Assembler<'_> {
+        match self.packet {
+            Some(n) => Assembler::with_packet(&self.model, n, 1),
+            None => Assembler::new(&self.model),
+        }
+    }
+}
+
+/// Shared service state: models + metrics.
+pub struct AppState {
+    models: Vec<ServedModel>,
+    registry: Registry,
+}
+
+impl AppState {
+    /// Builds every builtin model and an empty metrics registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bundled model fails to build (a bug, covered by
+    /// model tests).
+    #[must_use]
+    pub fn new() -> AppState {
+        let models = vec![
+            ServedModel {
+                name: "tinyrisc",
+                model: Model::from_source(tinyrisc::SOURCE).expect("tinyrisc builds"),
+                program_memory: "pmem",
+                halt_flag: "halt",
+                packet: None,
+            },
+            ServedModel {
+                name: "accu16",
+                model: Model::from_source(accu16::SOURCE).expect("accu16 builds"),
+                program_memory: "prog_mem",
+                halt_flag: "halt",
+                packet: None,
+            },
+            ServedModel {
+                name: "scalar2",
+                model: Model::from_source(scalar2::SOURCE).expect("scalar2 builds"),
+                program_memory: "pmem",
+                halt_flag: "halt",
+                packet: None,
+            },
+            ServedModel {
+                name: "vliw62",
+                model: Model::from_source(vliw62::SOURCE).expect("vliw62 builds"),
+                program_memory: "pmem",
+                halt_flag: "halt",
+                packet: Some(vliw62::FETCH_PACKET),
+            },
+        ];
+        AppState { models, registry: Registry::new() }
+    }
+
+    /// The shared metrics registry (exposed at `GET /metrics`).
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The served model registry.
+    #[must_use]
+    pub fn models(&self) -> &[ServedModel] {
+        &self.models
+    }
+
+    fn model(&self, name: &str) -> Option<&ServedModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Routes one request to its handler, records per-endpoint counters
+    /// and latency, and returns the response. `deadline` bounds the
+    /// handler's work (simulations stop and answer 504 when it passes).
+    pub fn dispatch(&self, req: &Request, deadline: Instant) -> Response {
+        let started = Instant::now();
+        let (endpoint, response) = self.route(req, deadline);
+        let status = response.status.to_string();
+        self.registry
+            .counter(
+                "lisa_serve_requests_total",
+                "HTTP requests served, by endpoint and status.",
+                &[("endpoint", endpoint), ("status", &status)],
+            )
+            .inc();
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.registry
+            .histogram(
+                "lisa_serve_request_duration_us",
+                "Request handling latency in microseconds.",
+                &[("endpoint", endpoint)],
+            )
+            .observe(micros);
+        response
+    }
+
+    /// The route table. Returns the endpoint label used for metrics
+    /// (unknown paths share one label so they can't explode cardinality).
+    fn route(&self, req: &Request, deadline: Instant) -> (&'static str, Response) {
+        match (req.method.as_str(), req.target.split('?').next().unwrap_or("")) {
+            ("GET", "/healthz") => ("/healthz", Response::text(200, "ok\n")),
+            ("GET", "/metrics") => {
+                ("/metrics", Response::text(200, self.registry.snapshot().to_prometheus()))
+            }
+            ("GET", "/v1/models") => ("/v1/models", self.handle_models()),
+            ("POST", "/v1/assemble") => ("/v1/assemble", self.handle_assemble(&req.body)),
+            ("POST", "/v1/simulate") => ("/v1/simulate", self.handle_simulate(&req.body, deadline)),
+            ("POST", "/v1/batch") => ("/v1/batch", self.handle_batch(&req.body)),
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/models" | "/v1/assemble" | "/v1/simulate"
+                | "/v1/batch",
+            ) => ("method_not_allowed", Response::json(405, api::error_body("method not allowed"))),
+            _ => ("not_found", Response::json(404, api::error_body("no such route"))),
+        }
+    }
+
+    fn handle_models(&self) -> Response {
+        let mut body = String::from("{\"models\": [");
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!(
+                "{{\"name\": \"{}\", \"operations\": {}, \"resources\": {}, \
+                 \"program_memory\": \"{}\", \"halt_flag\": \"{}\"}}",
+                m.name,
+                m.model.operations().len(),
+                m.model.resources().len(),
+                m.program_memory,
+                m.halt_flag
+            ));
+        }
+        body.push_str("]}");
+        Response::json(200, body)
+    }
+
+    fn handle_assemble(&self, body: &[u8]) -> Response {
+        let req = match AssembleRequest::from_json(body) {
+            Ok(r) => r,
+            Err(e) => return Response::json(400, api::error_body(&e)),
+        };
+        let Some(served) = self.model(&req.model) else {
+            return Response::json(404, api::error_body(&format!("unknown model `{}`", req.model)));
+        };
+        match served.assembler().assemble(&req.program) {
+            Ok(program) => Response::json(
+                200,
+                api::assemble_body(program.origin, &program.words, &program.listing),
+            ),
+            Err(e) => Response::json(422, api::error_body(&e.to_string())),
+        }
+    }
+
+    fn handle_simulate(&self, body: &[u8], deadline: Instant) -> Response {
+        let req = match SimulateRequest::from_json(body) {
+            Ok(r) => r,
+            Err(e) => return Response::json(400, api::error_body(&e)),
+        };
+        let Some(served) = self.model(&req.model) else {
+            return Response::json(404, api::error_body(&format!("unknown model `{}`", req.model)));
+        };
+        let mode = match req.mode.as_str() {
+            "interp" | "interpretive" => SimMode::Interpretive,
+            "compiled" => SimMode::Compiled,
+            other => {
+                return Response::json(400, api::error_body(&format!("unknown mode `{other}`")))
+            }
+        };
+
+        let program = match served.assembler().assemble(&req.program) {
+            Ok(p) => p,
+            Err(e) => return Response::json(422, api::error_body(&e.to_string())),
+        };
+        let run = simulate(
+            served,
+            mode,
+            &program.words,
+            program.origin,
+            req.max_cycles,
+            &req.dump,
+            deadline,
+        );
+        match run {
+            Ok(outcome) => Response::json(200, api::simulate_body(&outcome)),
+            Err(SimulateError::Deadline) => {
+                Response::json(504, api::error_body("deadline exceeded"))
+            }
+            Err(SimulateError::Sim(msg)) => Response::json(422, api::error_body(&msg)),
+        }
+    }
+
+    fn handle_batch(&self, body: &[u8]) -> Response {
+        let req = match BatchRequest::from_json(body) {
+            Ok(r) => r,
+            Err(e) => return Response::json(400, api::error_body(&e)),
+        };
+        let modes: &[SimMode] = match req.mode.as_str() {
+            "interp" | "interpretive" => &[SimMode::Interpretive],
+            "compiled" => &[SimMode::Compiled],
+            "both" => &[SimMode::Interpretive, SimMode::Compiled],
+            other => {
+                return Response::json(400, api::error_body(&format!("unknown mode `{other}`")))
+            }
+        };
+        let started = Instant::now();
+        let matrix = match full_matrix() {
+            Ok(m) => m,
+            Err(e) => return Response::json(500, api::error_body(&e.to_string())),
+        };
+        let scenarios: Vec<_> = matrix
+            .iter()
+            .flat_map(|(wb, kernels)| {
+                kernels
+                    .iter()
+                    .flat_map(move |k| modes.iter().map(move |&mode| wb.scenario(k, mode)))
+            })
+            .collect();
+        let observer = BatchObserver::new().with_metrics(&self.registry);
+        let report = BatchRunner::new(req.workers).run_observed(&scenarios, &observer);
+        let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Response::json(
+            200,
+            api::batch_body(
+                report.jobs.len(),
+                report.failures().len(),
+                report.total_cycles(),
+                elapsed,
+            ),
+        )
+    }
+}
+
+impl Default for AppState {
+    fn default() -> AppState {
+        AppState::new()
+    }
+}
+
+enum SimulateError {
+    Deadline,
+    Sim(String),
+}
+
+/// Runs one simulation with both a cycle budget and a wall-clock
+/// deadline. The deadline is checked every 1024 control steps so the
+/// hot loop stays free of syscalls.
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    served: &ServedModel,
+    mode: SimMode,
+    words: &[u128],
+    origin: u64,
+    max_cycles: u64,
+    dumps: &[(String, usize)],
+    deadline: Instant,
+) -> Result<SimulateOutcome, SimulateError> {
+    let sim_err = |e: SimError| SimulateError::Sim(e.to_string());
+    let mut sim = Simulator::new(&served.model, mode).map_err(sim_err)?;
+    let pmem = served
+        .model
+        .resource_by_name(served.program_memory)
+        .ok_or_else(|| SimulateError::Sim(format!("no `{}` memory", served.program_memory)))?
+        .clone();
+    for (i, &word) in words.iter().enumerate() {
+        let value = lisa_bits::Bits::from_u128_wrapped(pmem.ty.width(), word);
+        sim.state_mut().write(&pmem, &[origin as i64 + i as i64], value).map_err(sim_err)?;
+    }
+    if mode == SimMode::Compiled {
+        sim.predecode_program_memory();
+    }
+    let halt = served
+        .model
+        .resource_by_name(served.halt_flag)
+        .ok_or_else(|| SimulateError::Sim(format!("no `{}` flag", served.halt_flag)))?
+        .clone();
+
+    let mut ticks: u32 = 0;
+    let mut timed_out = false;
+    let outcome = sim.run_until(
+        |st| {
+            if st.read_int(&halt, &[]).unwrap_or(0) != 0 {
+                return true;
+            }
+            ticks = ticks.wrapping_add(1);
+            if ticks.is_multiple_of(1024) && Instant::now() >= deadline {
+                timed_out = true;
+                return true;
+            }
+            false
+        },
+        max_cycles,
+    );
+    let (cycles, halted) = match outcome {
+        Ok(cycles) if timed_out => (cycles, false),
+        Ok(cycles) => (cycles, true),
+        Err(SimError::StepLimit { .. }) => (max_cycles, false),
+        Err(e) => return Err(sim_err(e)),
+    };
+    if timed_out {
+        return Err(SimulateError::Deadline);
+    }
+    let mut dump = Vec::new();
+    for (name, count) in dumps {
+        let res = served
+            .model
+            .resource_by_name(name)
+            .ok_or_else(|| SimulateError::Sim(format!("unknown dump resource `{name}`")))?;
+        let values = if res.is_array() {
+            let base = res.dims.first().map_or(0, |d| d.base()) as i64;
+            (0..(*count).min(res.element_count() as usize))
+                .map(|i| sim.state().read_int(res, &[base + i as i64]).map_err(sim_err))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            vec![sim.state().read_int(res, &[]).map_err(sim_err)?]
+        };
+        dump.push((name.clone(), values));
+    }
+    Ok(SimulateOutcome {
+        cycles,
+        halted,
+        instructions_retired: sim.stats().instructions_retired,
+        state_digest: sim.state().digest(),
+        dump,
+    })
+}
+
+/// A far-future deadline for contexts without a per-request timeout
+/// (tests, the bench client's in-process dispatch).
+#[must_use]
+pub fn no_deadline() -> Instant {
+    Instant::now() + Duration::from_secs(86_400)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(state: &AppState, target: &str) -> Response {
+        let req = Request {
+            method: "GET".to_owned(),
+            target: target.to_owned(),
+            http11: true,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        state.dispatch(&req, no_deadline())
+    }
+
+    fn post(state: &AppState, target: &str, body: &str) -> Response {
+        let req = Request {
+            method: "POST".to_owned(),
+            target: target.to_owned(),
+            http11: true,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        };
+        state.dispatch(&req, no_deadline())
+    }
+
+    #[test]
+    fn healthz_and_models_respond() {
+        let state = AppState::new();
+        assert_eq!(get(&state, "/healthz").status, 200);
+        let models = get(&state, "/v1/models");
+        assert_eq!(models.status, 200);
+        let text = String::from_utf8(models.body).unwrap();
+        for name in ["tinyrisc", "accu16", "scalar2", "vliw62"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+
+    #[test]
+    fn assemble_and_simulate_happy_path() {
+        let state = AppState::new();
+        let resp = post(
+            &state,
+            "/v1/assemble",
+            r#"{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n"}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"words\""), "{text}");
+
+        let resp = post(
+            &state,
+            "/v1/simulate",
+            r#"{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n"}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"halted\": true"), "{text}");
+    }
+
+    #[test]
+    fn interp_and_compiled_agree_on_the_digest() {
+        let state = AppState::new();
+        let body = |mode: &str| {
+            format!(
+                r#"{{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n", "mode": "{mode}"}}"#
+            )
+        };
+        let a = post(&state, "/v1/simulate", &body("interp"));
+        let b = post(&state, "/v1/simulate", &body("compiled"));
+        assert_eq!(a.status, 200);
+        let digest = |r: &Response| {
+            let text = String::from_utf8(r.body.clone()).unwrap();
+            let key = "\"state_digest\": ";
+            let at = text.find(key).unwrap() + key.len();
+            text[at..].split(',').next().unwrap().to_owned()
+        };
+        assert_eq!(digest(&a), digest(&b));
+    }
+
+    #[test]
+    fn unknown_model_is_404_and_bad_asm_is_422() {
+        let state = AppState::new();
+        let resp = post(&state, "/v1/assemble", r#"{"model": "z80", "program": "NOP"}"#);
+        assert_eq!(resp.status, 404);
+        let resp =
+            post(&state, "/v1/assemble", r#"{"model": "tinyrisc", "program": "FROBNICATE R1"}"#);
+        assert_eq!(resp.status, 422);
+        let resp = post(&state, "/v1/simulate", r#"{"broken": true}"#);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn routes_404_and_405() {
+        let state = AppState::new();
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(post(&state, "/healthz", "").status, 405);
+        assert_eq!(get(&state, "/v1/simulate").status, 405);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_halted_false() {
+        let state = AppState::new();
+        // An infinite loop: branch to self.
+        let resp = post(
+            &state,
+            "/v1/simulate",
+            r#"{"model": "tinyrisc", "program": "loop: JMP loop\n", "max_cycles": 50}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"halted\": false"), "{text}");
+        assert!(text.contains("\"cycles\": 50"), "{text}");
+    }
+
+    #[test]
+    fn a_passed_deadline_is_a_504() {
+        let state = AppState::new();
+        let req = Request {
+            method: "POST".to_owned(),
+            target: "/v1/simulate".to_owned(),
+            http11: true,
+            headers: Vec::new(),
+            body:
+                br#"{"model": "tinyrisc", "program": "loop: JMP loop\n", "max_cycles": 100000000}"#
+                    .to_vec(),
+        };
+        let resp = state.dispatch(&req, Instant::now());
+        assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn metrics_count_dispatches_per_endpoint() {
+        use lisa_metrics::{MetricKey, MetricValue};
+
+        let state = AppState::new();
+        for _ in 0..3 {
+            assert_eq!(get(&state, "/healthz").status, 200);
+        }
+        assert_eq!(get(&state, "/nope").status, 404);
+        let snap = state.registry().snapshot();
+        let key = MetricKey::new(
+            "lisa_serve_requests_total",
+            &[("endpoint", "/healthz"), ("status", "200")],
+        );
+        assert_eq!(snap.metrics.get(&key), Some(&MetricValue::Counter(3)));
+        let key = MetricKey::new(
+            "lisa_serve_requests_total",
+            &[("endpoint", "not_found"), ("status", "404")],
+        );
+        assert_eq!(snap.metrics.get(&key), Some(&MetricValue::Counter(1)));
+        // The /metrics endpoint itself gets counted and timed.
+        let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        assert!(text.contains("lisa_serve_request_duration_us_bucket"), "{text}");
+    }
+}

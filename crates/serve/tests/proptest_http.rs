@@ -1,0 +1,187 @@
+//! Property tests for the HTTP layer and the JSON request bodies.
+//!
+//! Three invariants, per the parser's contract:
+//!
+//! 1. **No panic on byte soup** — `parse_request` over arbitrary bytes
+//!    (and over HTTP-ish mutations) returns `Ok`/`Err`, never panics.
+//! 2. **Serialize→parse round-trip** — any valid [`Request`] survives
+//!    `to_bytes` → `parse_request` intact, consuming every byte.
+//! 3. **JSON bodies round-trip** — generated API request values survive
+//!    `to_json` → `from_json`.
+
+use lisa_serve::api::{AssembleRequest, BatchRequest, SimulateRequest};
+use lisa_serve::http::{parse_request, Limits, Request, Response};
+use proptest::prelude::*;
+
+/// RFC 7230 token characters (header names, methods).
+fn token_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,12}"
+}
+
+/// Visible-ASCII request targets.
+fn target_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9/.?=&]{0,24}".prop_map(|rest| format!("/{rest}"))
+}
+
+/// Header values: printable ASCII without CR/LF (trimmed, since the
+/// parser strips optional whitespace around values).
+fn header_value_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}".prop_map(|v| v.trim().to_owned())
+}
+
+/// Whole valid requests. Header names that the serializer/parser treat
+/// specially (framing and connection control) are excluded so the
+/// round-trip comparison stays exact.
+fn request_strategy() -> impl Strategy<Value = Request> {
+    let headers = prop::collection::vec((token_strategy(), header_value_strategy()), 0..=6);
+    let body = prop::collection::vec(any::<u8>(), 0..=200);
+    (token_strategy(), target_strategy(), headers, body).prop_map(
+        |(method, target, headers, body)| Request {
+            method,
+            target,
+            http11: true,
+            headers: headers
+                .into_iter()
+                .filter(|(n, _)| {
+                    !n.eq_ignore_ascii_case("content-length")
+                        && !n.eq_ignore_ascii_case("connection")
+                        && !n.eq_ignore_ascii_case("transfer-encoding")
+                })
+                .collect(),
+            body,
+        },
+    )
+}
+
+proptest! {
+    /// Invariant 1a: completely arbitrary bytes never panic the parser.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..=512)) {
+        let limits = Limits::default();
+        let _ = parse_request(&bytes, &limits);
+    }
+
+    /// Invariant 1b: HTTP-ish soup (valid prefix + mutations) never
+    /// panics and never returns a request that claims more bytes than
+    /// the buffer holds.
+    #[test]
+    fn mutated_requests_never_panic(
+        req in request_strategy(),
+        flip_at in any::<u16>(),
+        flip_to in any::<u8>(),
+        truncate_to in any::<u16>(),
+    ) {
+        let mut bytes = req.to_bytes();
+        if !bytes.is_empty() {
+            let i = flip_at as usize % bytes.len();
+            bytes[i] = flip_to;
+        }
+        bytes.truncate(truncate_to as usize % (bytes.len() + 1));
+        let limits = Limits::default();
+        if let Ok(Some((_, consumed))) = parse_request(&bytes, &limits) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// Invariant 2: serialize → parse round-trips exactly and consumes
+    /// the whole serialization.
+    #[test]
+    fn serialize_parse_round_trips(req in request_strategy()) {
+        let bytes = req.to_bytes();
+        let limits = Limits::default();
+        let (back, consumed) = parse_request(&bytes, &limits)
+            .expect("serialized request must parse")
+            .expect("serialized request must be complete");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&back.method, &req.method);
+        prop_assert_eq!(&back.target, &req.target);
+        prop_assert_eq!(&back.body, &req.body);
+        // The serializer synthesizes Content-Length; ignore it when
+        // comparing the header lists.
+        let echoed: Vec<_> = back
+            .headers
+            .iter()
+            .filter(|(n, _)| !n.eq_ignore_ascii_case("content-length"))
+            .cloned()
+            .collect();
+        prop_assert_eq!(&echoed, &req.headers);
+    }
+
+    /// Every prefix of a valid request either asks for more bytes or
+    /// fails cleanly — it never parses as complete.
+    #[test]
+    fn prefixes_never_parse_as_complete(req in request_strategy(), cut in any::<u16>()) {
+        let bytes = req.to_bytes();
+        let cut = cut as usize % bytes.len().max(1);
+        let limits = Limits::default();
+        if let Ok(Some((_, consumed))) = parse_request(&bytes[..cut], &limits) {
+            prop_assert!(consumed <= cut);
+        }
+    }
+
+    /// Responses always serialize with a well-formed head.
+    #[test]
+    fn response_heads_are_well_formed(
+        status in 100u16..600,
+        body in prop::collection::vec(any::<u8>(), 0..=100),
+        close in any::<bool>(),
+    ) {
+        let mut resp = Response::new(status);
+        resp.body = body;
+        let mut out = Vec::new();
+        resp.write_to(&mut out, close).expect("write to Vec");
+        let text = String::from_utf8_lossy(&out);
+        prop_assert!(text.starts_with(&format!("HTTP/1.1 {status} ")), "{}", text);
+        prop_assert!(out.windows(4).any(|w| w == b"\r\n\r\n"));
+    }
+
+    /// Invariant 3a: assemble bodies round-trip through JSON.
+    #[test]
+    fn assemble_request_json_round_trips(
+        model in "[a-z0-9_]{1,12}",
+        program in "[ -~\\n\\t]{0,80}",
+    ) {
+        let req = AssembleRequest { model, program };
+        let back = AssembleRequest::from_json(req.to_json().as_bytes())
+            .expect("serialized body must parse");
+        prop_assert_eq!(back, req);
+    }
+
+    /// Invariant 3b: simulate bodies (with dump lists and escapes in the
+    /// program text) round-trip through JSON.
+    #[test]
+    fn simulate_request_json_round_trips(
+        model in "[a-z0-9_]{1,12}",
+        program in prop::collection::vec(any::<char>(), 0..=40),
+        mode in prop_oneof![Just("interp".to_owned()), Just("compiled".to_owned())],
+        max_cycles in 0u64..10_000_000,
+        dump in prop::collection::vec(("[A-Za-z]{1,6}", 0usize..64), 0..=4),
+    ) {
+        let req = SimulateRequest {
+            model,
+            program: program.into_iter().collect(),
+            mode,
+            max_cycles,
+            dump,
+        };
+        let back = SimulateRequest::from_json(req.to_json().as_bytes())
+            .expect("serialized body must parse");
+        prop_assert_eq!(back, req);
+    }
+
+    /// Invariant 3c: batch bodies round-trip through JSON.
+    #[test]
+    fn batch_request_json_round_trips(
+        mode in prop_oneof![
+            Just("interp".to_owned()),
+            Just("compiled".to_owned()),
+            Just("both".to_owned())
+        ],
+        workers in 1usize..=16,
+    ) {
+        let req = BatchRequest { mode, workers };
+        let back =
+            BatchRequest::from_json(req.to_json().as_bytes()).expect("serialized body must parse");
+        prop_assert_eq!(back, req);
+    }
+}

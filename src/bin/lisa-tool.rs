@@ -33,6 +33,12 @@
 //!     --out DIR                 output directory (default: the repo's docs/)
 //!     --baseline FILE           compare against a BENCH_*.json; fail on regression
 //!     --threshold PCT           regression threshold in percent (default 10)
+//! lisa-tool serve  [options]                   HTTP simulation service
+//!     --addr A                  bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+//!     --workers N               connection worker threads (default 4)
+//!     --queue N                 accept-queue capacity; full queue sheds 503 (default 64)
+//!     --timeout-ms N            per-request deadline in milliseconds (default 5000)
+//!     --once                    serve a single connection, then exit
 //! ```
 //!
 //! `batch`, `fuzz` and `bench` also accept `--metrics FILE` to dump the
@@ -108,6 +114,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "batch" => batch(args),
         "fuzz" => fuzz(args),
         "bench" => bench(args),
+        "serve" => serve(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -117,7 +124,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench|serve> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
      trace options: --out FILE  --vcd  (plus run options)\n\
@@ -128,6 +135,7 @@ fn usage() -> String {
                    --max-len N  --max-cycles N  --self-check  --metrics FILE\n\
      bench options: --quick  --repeats N  --out DIR  --baseline FILE  --threshold PCT\n\
                     --metrics FILE\n\
+     serve options: --addr A  --workers N  --queue N  --timeout-ms N  --once\n\
      exit codes: 0 ok; 1 jobs failed / divergence / perf regression; 2 usage or model error"
         .to_owned()
 }
@@ -411,6 +419,47 @@ fn bench(args: &[String]) -> Result<(), CliError> {
         }
         println!("no regressions vs {baseline_path} (threshold {threshold}%)");
     }
+    Ok(())
+}
+
+/// Boots the HTTP simulation service and blocks until shutdown (or, with
+/// `--once`, until the first connection has been served).
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:8080").to_owned();
+    let workers: usize = parse_flag(args, "--workers", 4)?;
+    let queue: usize = parse_flag(args, "--queue", 64)?;
+    let timeout_ms: u64 = parse_flag(args, "--timeout-ms", 5000)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_owned().into());
+    }
+    if queue == 0 {
+        return Err("--queue must be at least 1".to_owned().into());
+    }
+    if timeout_ms == 0 {
+        return Err("--timeout-ms must be at least 1".to_owned().into());
+    }
+
+    let config = lisa::serve::ServeConfig {
+        addr: addr.clone(),
+        workers,
+        queue,
+        timeout: std::time::Duration::from_millis(timeout_ms),
+        once: has_flag(args, "--once"),
+        limits: lisa::serve::http::Limits::default(),
+    };
+    let state = std::sync::Arc::new(lisa::serve::AppState::new());
+    let server = lisa::serve::Server::bind(config, state)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Announce the resolved address (and flush) before accepting, so
+    // scripts driving `--addr 127.0.0.1:0` can scrape the port.
+    println!(
+        "serving on http://{local} ({workers} workers, queue {queue}, timeout {timeout_ms}ms)"
+    );
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    let summary =
+        server.run().map_err(|e| CliError::Failed(format!("server error on {local}: {e}")))?;
+    println!("serve done: accepted {} connection(s), shed {}", summary.accepted, summary.shed);
     Ok(())
 }
 

@@ -17,6 +17,7 @@
 //! | [`trace`] | `lisa-trace` | structured trace events, profiles, JSONL/VCD exporters |
 //! | [`conform`] | `lisa-conform` | ISA-driven differential fuzzing, metamorphic oracles, shrinking |
 //! | [`metrics`] | `lisa-metrics` | always-on runtime metrics: lock-free registry, Prometheus/JSON exposition |
+//! | [`serve`] | `lisa-serve` | dependency-free HTTP/1.1 simulation service: assemble/simulate/batch over the wire |
 //!
 //! # Quickstart
 //!
@@ -51,5 +52,6 @@ pub use lisa_exec as exec;
 pub use lisa_isa as isa;
 pub use lisa_metrics as metrics;
 pub use lisa_models as models;
+pub use lisa_serve as serve;
 pub use lisa_sim as sim;
 pub use lisa_trace as trace;

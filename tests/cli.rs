@@ -174,6 +174,62 @@ fn usage_and_model_errors_exit_2() {
 }
 
 #[test]
+fn serve_once_answers_a_request_and_exits_0() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = lisa_tool()
+        .args(["serve", "--addr", "127.0.0.1:0", "--once", "--timeout-ms", "10000"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The announce line carries the resolved ephemeral port.
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut announce = String::new();
+    stdout.read_line(&mut announce).expect("read announce line");
+    assert!(announce.starts_with("serving on http://"), "{announce}");
+    let addr = announce
+        .trim_start_matches("serving on http://")
+        .split_whitespace()
+        .next()
+        .expect("address in announce line")
+        .to_owned();
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+    conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    drop(conn);
+
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "--once must exit 0 after one connection");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.contains("accepted 1 connection"), "{rest}");
+}
+
+#[test]
+fn serve_flag_validation_exits_2() {
+    // Unbindable address.
+    let output = lisa_tool().args(["serve", "--addr", "999.0.0.1:0", "--once"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "bad --addr is a usage error");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cannot bind"));
+
+    // Zero-capacity queue.
+    let output = lisa_tool().args(["serve", "--queue", "0", "--once"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "zero --queue is a usage error");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--queue"));
+
+    // Zero workers.
+    let output = lisa_tool().args(["serve", "--workers", "0", "--once"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "zero --workers is a usage error");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--workers"));
+}
+
+#[test]
 fn run_reports_simulated_mips() {
     let dir = std::env::temp_dir().join("lisa_cli_mips_test");
     fs::create_dir_all(&dir).unwrap();
