@@ -56,4 +56,4 @@ mod scenario;
 pub use observe::{BatchObserver, BatchProgress, Heartbeat};
 pub use report::{BatchReport, JobOutcome, JobResult, LatencySummary};
 pub use runner::BatchRunner;
-pub use scenario::{run_scenario, Check, JobError, Scenario};
+pub use scenario::{run_scenario, run_scenario_with, Check, JobError, Scenario};

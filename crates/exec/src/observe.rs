@@ -13,6 +13,7 @@
 use std::time::Duration;
 
 use lisa_metrics::Registry;
+use lisa_spans::SpanScope;
 
 /// A point-in-time view of a running batch, handed to the heartbeat
 /// callback.
@@ -71,6 +72,11 @@ pub struct BatchObserver<'a> {
     pub metrics: Option<&'a Registry>,
     /// Periodic progress callback.
     pub heartbeat: Option<Heartbeat<'a>>,
+    /// Span context for wall-clock tracing: the batch becomes one
+    /// `batch` root span with a worker-stamped `job` span (and its
+    /// `job_queue_wait` split) per scenario, and the simulator phases of
+    /// each job nest beneath it.
+    pub spans: Option<SpanScope>,
 }
 
 impl std::fmt::Debug for BatchObserver<'_> {
@@ -78,6 +84,7 @@ impl std::fmt::Debug for BatchObserver<'_> {
         f.debug_struct("BatchObserver")
             .field("metrics", &self.metrics.is_some())
             .field("heartbeat", &self.heartbeat.as_ref().map(|h| h.interval))
+            .field("spans", &self.spans.is_some())
             .finish()
     }
 }
@@ -105,6 +112,14 @@ impl<'a> BatchObserver<'a> {
         emit: impl Fn(&BatchProgress) + Sync + 'a,
     ) -> BatchObserver<'a> {
         self.heartbeat = Some(Heartbeat { interval, emit: Box::new(emit) });
+        self
+    }
+
+    /// Records wall-clock spans for the batch and its jobs under
+    /// `scope` (typically a fresh trace on a shared recorder).
+    #[must_use]
+    pub fn with_spans(mut self, scope: SpanScope) -> BatchObserver<'a> {
+        self.spans = Some(scope);
         self
     }
 }

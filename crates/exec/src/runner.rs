@@ -5,9 +5,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use lisa_spans::SpanKind;
+
 use crate::observe::{BatchObserver, BatchProgress};
 use crate::report::{BatchReport, JobOutcome};
-use crate::scenario::{run_scenario, JobError, Scenario};
+use crate::scenario::{run_scenario_with, JobError, Scenario};
 
 /// A fixed-size pool of worker threads draining a shared job queue.
 ///
@@ -37,7 +39,9 @@ impl BatchRunner {
         BatchRunner { workers }
     }
 
-    /// Fans `f` out over `items` on the worker pool.
+    /// Fans `f` out over `items` on the worker pool. `f` receives
+    /// `(worker, index, item)` — the worker ordinal (`0..workers`, for
+    /// attribution) and the item's index in `items`.
     ///
     /// The result vector is keyed by item index regardless of which
     /// worker ran which item or in what order they finished. A panicking
@@ -50,7 +54,7 @@ impl BatchRunner {
     where
         T: Sync,
         R: Send,
-        F: Fn(usize, &T) -> Result<R, JobError> + Sync,
+        F: Fn(usize, usize, &T) -> Result<R, JobError> + Sync,
     {
         let n = items.len();
         if n == 0 {
@@ -62,13 +66,14 @@ impl BatchRunner {
             Mutex::new((0..n).map(|_| None).collect());
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                let (cursor, slots, f) = (&cursor, &slots, &f);
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(worker, i, &items[i])))
                         .unwrap_or_else(|payload| Err(JobError::Panic(panic_text(&*payload))));
                     slots.lock().expect("slot lock")[i] = Some(outcome);
                 });
@@ -143,6 +148,16 @@ impl BatchRunner {
             }
         };
 
+        // When a span context is attached, the batch is one root span
+        // and each job nests under it; the root guard commits when
+        // `execute` returns.
+        let span_root = observer.spans.as_ref().map(|scope| {
+            let root = scope.start(SpanKind::Batch);
+            let jobs_scope = scope.child(root.id());
+            let epoch = scope.now_ns();
+            (root, jobs_scope, epoch)
+        });
+
         let finished = Mutex::new(false);
         let wake = Condvar::new();
         let results = std::thread::scope(|scope| {
@@ -163,7 +178,7 @@ impl BatchRunner {
                 });
             }
 
-            let results = self.execute(scenarios, |_, sc| {
+            let results = self.execute(scenarios, |worker, _, sc| {
                 if let Some((started, _, _, _)) = &counters {
                     started.inc();
                 }
@@ -171,8 +186,41 @@ impl BatchRunner {
                 // Catch panics here (instead of leaving it to `execute`)
                 // so the panic outcome is counted and timed like any
                 // other failure.
-                let result = catch_unwind(AssertUnwindSafe(|| run_scenario(sc)))
-                    .unwrap_or_else(|payload| Err(JobError::Panic(panic_text(&*payload))));
+                let run = |spans: Option<&lisa_spans::SpanScope>| {
+                    catch_unwind(AssertUnwindSafe(|| run_scenario_with(sc, spans)))
+                        .unwrap_or_else(|payload| Err(JobError::Panic(panic_text(&*payload))))
+                };
+                let result = match &span_root {
+                    Some((_, jobs_scope, epoch)) => {
+                        let job_scope = jobs_scope.clone().with_worker(worker as u32);
+                        let claimed = job_scope.now_ns();
+                        // The job id is allocated up front so the
+                        // simulator phases can nest under it while the
+                        // job span itself is still open.
+                        let job_id = job_scope.recorder.alloc_id();
+                        let sim_scope = job_scope.child(job_id);
+                        let result = run(Some(&sim_scope));
+                        let dur = job_scope.now_ns().saturating_sub(claimed);
+                        job_scope.recorder.record_with_id(
+                            job_id,
+                            job_scope.trace,
+                            job_scope.parent,
+                            SpanKind::Job,
+                            job_scope.worker,
+                            claimed,
+                            dur,
+                        );
+                        // Queue wait: batch start to the worker claiming
+                        // this job (the parallelism-limited share).
+                        sim_scope.record(
+                            SpanKind::JobQueueWait,
+                            *epoch,
+                            claimed.saturating_sub(*epoch),
+                        );
+                        result
+                    }
+                    None => run(None),
+                };
                 if let Some((_, succeeded, failures, panicked)) = &counters {
                     match &result {
                         Ok(_) => succeeded.inc(),
@@ -200,6 +248,7 @@ impl BatchRunner {
             wake.notify_all();
             results
         });
+        drop(span_root);
 
         if let Some(hb) = &observer.heartbeat {
             // Final synchronous beat so consumers always see 100%.
@@ -250,7 +299,7 @@ mod tests {
         // Jobs with wildly different lengths: late-queued short jobs
         // finish before early long ones on a multi-worker pool.
         let squares: Vec<u64> = (0..32).map(|i| (i % 7) * 100 + 1).collect();
-        let out = BatchRunner::new(8).execute(&squares, |i, &len| {
+        let out = BatchRunner::new(8).execute(&squares, |_, i, &len| {
             let mut acc = 0u64;
             for k in 0..len {
                 acc = acc.wrapping_add(k ^ i as u64);
@@ -285,7 +334,7 @@ mod tests {
     #[test]
     fn a_panicking_job_does_not_poison_the_batch() {
         let items: Vec<u32> = (0..6).collect();
-        let out = BatchRunner::new(3).execute(&items, |_, &v| {
+        let out = BatchRunner::new(3).execute(&items, |_, _, &v| {
             assert!(v != 4, "job four exploded");
             Ok(v * 2)
         });
@@ -338,6 +387,44 @@ mod tests {
             Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 1),
             other => panic!("expected per-scenario latency histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn observed_run_emits_a_connected_batch_span_tree() {
+        use lisa_spans::{SpanRecorder, SpanScope};
+        use std::sync::Arc;
+
+        let model = counter();
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                Scenario::new(format!("job{i}"), &model, SimMode::Interpretive)
+                    .halt_on("halt")
+                    .steps(100)
+            })
+            .collect();
+        let recorder = Arc::new(SpanRecorder::new(4096));
+        recorder.set_enabled(true);
+        let trace = recorder.new_trace();
+        let scope = SpanScope::new(Arc::clone(&recorder), trace);
+        let report =
+            BatchRunner::new(3).run_observed(&scenarios, &BatchObserver::new().with_spans(scope));
+        assert!(report.all_passed());
+
+        let spans = recorder.collect();
+        let by_kind = |kind: SpanKind| spans.iter().filter(|s| s.kind == kind).count();
+        assert_eq!(by_kind(SpanKind::Batch), 1);
+        assert_eq!(by_kind(SpanKind::Job), 6);
+        assert_eq!(by_kind(SpanKind::JobQueueWait), 6);
+        assert!(by_kind(SpanKind::CycleChunk) >= 6, "each job runs at least one chunk");
+
+        // Single connected tree: one trace, one root, every parent resolves.
+        let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+        assert_eq!(ids.len(), spans.len(), "span ids are unique");
+        assert!(spans.iter().all(|s| s.trace == trace));
+        assert_eq!(spans.iter().filter(|s| s.parent == 0).count(), 1, "one root");
+        assert!(spans.iter().all(|s| s.parent == 0 || ids.contains(&s.parent)));
+        // Worker ordinals stay within the pool.
+        assert!(spans.iter().filter(|s| s.kind == SpanKind::Job).all(|s| s.worker < 3));
     }
 
     #[test]

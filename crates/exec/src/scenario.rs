@@ -201,10 +201,26 @@ impl<'m> Scenario<'m> {
 ///
 /// Any stage maps to the matching [`JobError`] variant.
 pub fn run_scenario(sc: &Scenario<'_>) -> Result<JobResult, JobError> {
+    run_scenario_with(sc, None)
+}
+
+/// [`run_scenario`] with an optional span context attached to the
+/// simulator, so the job's phases (snapshot restore, predecode, cycle
+/// chunks) land as children of the caller's span tree. `None` is exactly
+/// [`run_scenario`].
+///
+/// # Errors
+///
+/// Any stage maps to the matching [`JobError`] variant.
+pub fn run_scenario_with(
+    sc: &Scenario<'_>,
+    spans: Option<&lisa_spans::SpanScope>,
+) -> Result<JobResult, JobError> {
     let started = std::time::Instant::now();
     let setup = |e: lisa_sim::SimError| JobError::Setup(e.to_string());
 
     let mut sim = Simulator::new(sc.model, sc.mode).map_err(setup)?;
+    sim.set_spans(spans.cloned());
     if let Some(base) = &sc.base {
         sim.restore(base).map_err(setup)?;
     }

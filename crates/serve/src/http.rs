@@ -395,6 +395,21 @@ impl Response {
         r
     }
 
+    /// A `200` Prometheus exposition response. The content type carries
+    /// the exposition-format version (`text/plain; version=0.0.4`) so
+    /// scrapers negotiate correctly; plain endpoints like `/healthz`
+    /// keep [`Response::text`]'s generic `text/plain`.
+    #[must_use]
+    pub fn prometheus(body: impl Into<String>) -> Response {
+        let mut r = Response::new(200);
+        r.headers.insert(
+            "Content-Type".to_owned(),
+            "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+        );
+        r.body = body.into().into_bytes();
+        r
+    }
+
     /// An `application/json` response.
     #[must_use]
     pub fn json(status: u16, body: impl Into<String>) -> Response {

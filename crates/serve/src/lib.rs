@@ -10,6 +10,7 @@
 //! | `/v1/batch`         | POST   | fan the kernel matrix out over the batch runner |
 //! | `/v1/models`        | GET    | list the builtin models |
 //! | `/metrics`          | GET    | Prometheus exposition of the shared registry |
+//! | `/v1/debug/spans`   | GET    | recent runtime spans (`?format=json\|chrome&limit=N`) |
 //! | `/healthz`          | GET    | liveness probe |
 //!
 //! The module split mirrors the layering: [`http`] is the pure

@@ -26,8 +26,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use lisa_spans::{SpanKind, SpanRecorder, SpanScope};
+
 use crate::http::{parse_request, Limits, Response};
 use crate::service::AppState;
+
+/// The reserved trace id for infrastructure spans (lock acquisition,
+/// shed, drain): they describe the server, not any one request, so they
+/// stay out of the per-request trees.
+const INFRA_TRACE: u64 = 0;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -68,29 +75,75 @@ pub struct ServeSummary {
     pub shed: u64,
 }
 
+/// A connection waiting for a worker, with its tracing identity: the
+/// trace id, the pre-allocated `accept` root span id (recorded once the
+/// connection finishes, so it covers the whole session), and the
+/// enqueue timestamp the worker turns into a `queue_wait` span.
+struct QueuedConn {
+    conn: TcpStream,
+    trace: u64,
+    accept: u64,
+    queued_ns: u64,
+}
+
+impl QueuedConn {
+    /// A connection with no tracing identity (recorder disabled, tests).
+    fn untraced(conn: TcpStream) -> QueuedConn {
+        QueuedConn { conn, trace: 0, accept: 0, queued_ns: 0 }
+    }
+}
+
 /// Why the accept queue rejected a connection.
 enum Push {
     Queued,
-    Full(TcpStream),
+    Full(QueuedConn),
     Closed,
 }
 
 /// The bounded connection queue shared by acceptor and workers.
 struct ConnQueue {
-    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    inner: Mutex<(VecDeque<QueuedConn>, bool)>,
     ready: Condvar,
     capacity: usize,
+    /// Lock-acquisition spans (`lock_push`/`lock_pop`) land here on the
+    /// infra trace; `None` records nothing.
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl ConnQueue {
     fn new(capacity: usize) -> ConnQueue {
-        ConnQueue { inner: Mutex::new((VecDeque::new(), false)), ready: Condvar::new(), capacity }
+        ConnQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+            spans: None,
+        }
+    }
+
+    fn with_spans(mut self, spans: Arc<SpanRecorder>) -> ConnQueue {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Records how long acquiring the queue mutex took — the lock-hold
+    /// contention the accept path and the workers inflict on each other.
+    fn record_lock(&self, kind: SpanKind, start_ns: Option<u64>) {
+        if let (Some(spans), Some(start)) = (&self.spans, start_ns) {
+            let now = spans.now_ns();
+            spans.record(INFRA_TRACE, 0, kind, 0, start, now.saturating_sub(start));
+        }
+    }
+
+    fn lock_clock(&self) -> Option<u64> {
+        self.spans.as_ref().filter(|s| s.is_enabled()).map(|s| s.now_ns())
     }
 
     /// Pushes a connection, returning it back when the queue is full so
     /// the caller can shed it.
-    fn push(&self, conn: TcpStream) -> Push {
+    fn push(&self, conn: QueuedConn) -> Push {
+        let t0 = self.lock_clock();
         let mut guard = self.inner.lock().expect("queue lock");
+        self.record_lock(SpanKind::LockPush, t0);
         if guard.1 {
             return Push::Closed;
         }
@@ -105,8 +158,10 @@ impl ConnQueue {
 
     /// Pops the next connection; `None` once closed **and** empty, so
     /// queued connections are always drained before workers exit.
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<QueuedConn> {
+        let t0 = self.lock_clock();
         let mut guard = self.inner.lock().expect("queue lock");
+        self.record_lock(SpanKind::LockPop, t0);
         loop {
             if let Some(conn) = guard.0.pop_front() {
                 return Some(conn);
@@ -202,17 +257,49 @@ impl Server {
         let depth_gauge =
             reg.gauge("lisa_serve_queue_depth", "Connections waiting for a worker.", &[]);
 
-        let queue = ConnQueue::new(self.config.queue.max(1));
+        let spans = Arc::clone(self.state.spans());
+        let queue = ConnQueue::new(self.config.queue.max(1)).with_spans(Arc::clone(&spans));
         let workers = self.config.workers.max(1);
         self.listener.set_nonblocking(true)?;
 
         let mut summary = ServeSummary { accepted: 0, shed: 0 };
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    while let Some(conn) = queue.pop() {
+        let drain_start = std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let (queue, spans, depth_gauge) = (&queue, &spans, &depth_gauge);
+                let (state, config, stop) = (&self.state, &self.config, &self.stop);
+                let worker = worker as u32;
+                scope.spawn(move || {
+                    while let Some(qc) = queue.pop() {
                         depth_gauge.set(queue.depth() as i64);
-                        handle_connection(conn, &self.state, &self.config, &self.stop);
+                        let QueuedConn { conn, trace, accept, queued_ns } = qc;
+                        let scope = (trace != 0).then(|| {
+                            let now = spans.now_ns();
+                            spans.record(
+                                trace,
+                                accept,
+                                SpanKind::QueueWait,
+                                worker,
+                                queued_ns,
+                                now.saturating_sub(queued_ns),
+                            );
+                            SpanScope { recorder: Arc::clone(spans), trace, parent: accept, worker }
+                        });
+                        handle_connection(conn, scope.as_ref(), state, config, stop);
+                        if trace != 0 {
+                            // The accept root covers the whole session:
+                            // enqueue, queue wait, every request on the
+                            // connection.
+                            let now = spans.now_ns();
+                            spans.record_with_id(
+                                accept,
+                                trace,
+                                0,
+                                SpanKind::Accept,
+                                worker,
+                                queued_ns,
+                                now.saturating_sub(queued_ns),
+                            );
+                        }
                     }
                 });
             }
@@ -229,12 +316,34 @@ impl Server {
                         // disable Nagle so small responses leave now.
                         let _ = conn.set_nonblocking(false);
                         let _ = conn.set_nodelay(true);
-                        match queue.push(conn) {
+                        let qc = if spans.is_enabled() {
+                            QueuedConn {
+                                conn,
+                                trace: spans.new_trace(),
+                                accept: spans.alloc_id(),
+                                queued_ns: spans.now_ns(),
+                            }
+                        } else {
+                            QueuedConn::untraced(conn)
+                        };
+                        match queue.push(qc) {
                             Push::Queued => depth_gauge.set(queue.depth() as i64),
-                            Push::Full(conn) => {
+                            Push::Full(qc) => {
                                 summary.shed += 1;
                                 shed_ctr.inc();
-                                shed(conn);
+                                let t0 = spans.is_enabled().then(|| spans.now_ns());
+                                shed(qc.conn);
+                                if let Some(t0) = t0 {
+                                    let now = spans.now_ns();
+                                    spans.record(
+                                        INFRA_TRACE,
+                                        0,
+                                        SpanKind::Shed,
+                                        0,
+                                        t0,
+                                        now.saturating_sub(t0),
+                                    );
+                                }
                             }
                             Push::Closed => break,
                         }
@@ -255,9 +364,15 @@ impl Server {
 
             // Drain: close the queue; workers finish queued connections
             // (pop returns None only once the queue is empty).
+            let drain_start = spans.is_enabled().then(|| spans.now_ns());
             queue.close();
-            Ok(())
+            Ok(drain_start)
         })?;
+        // The scope has joined every worker: the drain is complete.
+        if let Some(t0) = drain_start {
+            let now = spans.now_ns();
+            spans.record(INFRA_TRACE, 0, SpanKind::Drain, 0, t0, now.saturating_sub(t0));
+        }
         Ok(summary)
     }
 }
@@ -273,8 +388,13 @@ fn shed(mut conn: TcpStream) {
 /// complete request is buffered (bounded by the read deadline), dispatch
 /// it, write the response. Leaves quietly on client disconnect, answers
 /// parse failures with their mapped status, and never panics the worker.
+///
+/// With a span scope (parented on the connection's `accept` root), each
+/// iteration emits a `request` span wrapping `parse`, the dispatch tree
+/// and `write`.
 fn handle_connection(
     mut conn: TcpStream,
+    spans: Option<&SpanScope>,
     state: &AppState,
     config: &ServeConfig,
     stop: &AtomicBool,
@@ -292,6 +412,11 @@ fn handle_connection(
             } else {
                 config.timeout
             };
+
+        // The request span starts when its first byte is seen, not when
+        // the worker starts waiting — idle keep-alive time is not part
+        // of any request.
+        let mut parse_start = spans.filter(|_| !buf.is_empty()).map(|s| s.recorder.now_ns());
 
         // Accumulate bytes until one full request parses.
         let request = loop {
@@ -318,7 +443,12 @@ fn handle_connection(
             let _ = conn.set_read_timeout(Some(deadline - now));
             match conn.read(&mut chunk) {
                 Ok(0) => break 'requests, // client closed
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if parse_start.is_none() {
+                        parse_start = spans.map(|s| s.recorder.now_ns());
+                    }
+                }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
@@ -330,14 +460,49 @@ fn handle_connection(
             }
         };
 
+        // Pre-allocate the request span id so parse/dispatch/write can
+        // parent on it; it is recorded last, covering all of them.
+        let req_span = spans.zip(parse_start).map(|(scope, start)| {
+            let id = scope.recorder.alloc_id();
+            let now = scope.recorder.now_ns();
+            scope.recorder.record(
+                scope.trace,
+                id,
+                SpanKind::Parse,
+                scope.worker,
+                start,
+                now.saturating_sub(start),
+            );
+            (scope.child(id), id, start)
+        });
+
         let keep_alive = request.keep_alive();
-        let response = state.dispatch(&request, Instant::now() + config.timeout);
+        let response = state.dispatch_spanned(
+            &request,
+            Instant::now() + config.timeout,
+            req_span.as_ref().map(|(scope, _, _)| scope),
+        );
         // Close when the client asked to, or when shutdown began and no
         // further pipelined request is already buffered.
         let draining = stop.load(Ordering::SeqCst);
         let close = !keep_alive || (draining && buf.is_empty());
         let _ = conn.set_write_timeout(Some(config.timeout));
-        if response.write_to(&mut conn, close).is_err() || close {
+        let write_guard = req_span.as_ref().map(|(scope, _, _)| scope.start(SpanKind::Write));
+        let wrote = response.write_to(&mut conn, close);
+        drop(write_guard);
+        if let (Some(conn_scope), Some((scope, id, start))) = (spans, req_span) {
+            let now = scope.recorder.now_ns();
+            scope.recorder.record_with_id(
+                id,
+                scope.trace,
+                conn_scope.parent,
+                SpanKind::Request,
+                scope.worker,
+                start,
+                now.saturating_sub(start),
+            );
+        }
+        if wrote.is_err() || close {
             break;
         }
     }
@@ -361,7 +526,7 @@ mod tests {
         }
 
         let queue = ConnQueue::new(2);
-        let mut it = server_side.into_iter();
+        let mut it = server_side.into_iter().map(QueuedConn::untraced);
         assert!(matches!(queue.push(it.next().unwrap()), Push::Queued));
         assert!(matches!(queue.push(it.next().unwrap()), Push::Queued));
         assert!(matches!(queue.push(it.next().unwrap()), Push::Full(_)));
@@ -375,7 +540,7 @@ mod tests {
 
         // Pushing after close is rejected.
         let extra = TcpStream::connect(addr).unwrap();
-        let held = listener.accept().unwrap().0;
+        let held = QueuedConn::untraced(listener.accept().unwrap().0);
         assert!(matches!(queue.push(held), Push::Closed));
         drop(extra);
         drop(clients);

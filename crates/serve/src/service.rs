@@ -7,6 +7,8 @@
 //! `Request -> Response` function over that state, so the whole request
 //! path is testable without a socket.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lisa_asm::Assembler;
@@ -16,6 +18,7 @@ use lisa_metrics::Registry;
 use lisa_models::kernels::full_matrix;
 use lisa_models::{accu16, scalar2, tinyrisc, vliw62};
 use lisa_sim::{SimError, SimMode, Simulator};
+use lisa_spans::{export, SpanKind, SpanRecorder, SpanScope};
 
 use crate::api::{self, AssembleRequest, BatchRequest, SimulateOutcome, SimulateRequest};
 use crate::http::{Request, Response};
@@ -43,10 +46,18 @@ impl ServedModel {
     }
 }
 
-/// Shared service state: models + metrics.
+/// Span-ring capacity for the always-on request tracer: a flight
+/// recorder, large enough to hold several hundred request trees.
+const SPAN_CAPACITY: usize = 16 * 1024;
+
+/// Shared service state: models + metrics + the span recorder.
 pub struct AppState {
     models: Vec<ServedModel>,
     registry: Registry,
+    spans: Arc<SpanRecorder>,
+    /// Span-ring drop count already published to the registry, so each
+    /// `/metrics` scrape adds only the delta.
+    spans_dropped_published: AtomicU64,
 }
 
 impl AppState {
@@ -88,13 +99,33 @@ impl AppState {
                 packet: Some(vliw62::FETCH_PACKET),
             },
         ];
-        AppState { models, registry: Registry::new() }
+        let registry = Registry::new();
+        // The one place every exposition carries a version signal.
+        registry
+            .gauge(
+                "lisa_build_info",
+                "Build information; the value is always 1.",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
+        let spans = Arc::new(SpanRecorder::new(SPAN_CAPACITY));
+        spans.set_enabled(true);
+        AppState { models, registry, spans, spans_dropped_published: AtomicU64::new(0) }
     }
 
     /// The shared metrics registry (exposed at `GET /metrics`).
     #[must_use]
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The shared span recorder (exposed at `GET /v1/debug/spans`).
+    /// Enabled by default; disable with
+    /// [`SpanRecorder::set_enabled`]`(false)` to shrink the request path
+    /// to one branch per would-be span.
+    #[must_use]
+    pub fn spans(&self) -> &Arc<SpanRecorder> {
+        &self.spans
     }
 
     /// The served model registry.
@@ -111,8 +142,27 @@ impl AppState {
     /// and latency, and returns the response. `deadline` bounds the
     /// handler's work (simulations stop and answer 504 when it passes).
     pub fn dispatch(&self, req: &Request, deadline: Instant) -> Response {
+        self.dispatch_spanned(req, deadline, None)
+    }
+
+    /// [`AppState::dispatch`] with a span context: routing and the
+    /// handler's phases (`assemble`, `run`, `serialize`) are recorded as
+    /// children of `spans`'s parent (the connection's `request` span).
+    pub fn dispatch_spanned(
+        &self,
+        req: &Request,
+        deadline: Instant,
+        spans: Option<&SpanScope>,
+    ) -> Response {
         let started = Instant::now();
-        let (endpoint, response) = self.route(req, deadline);
+        let (endpoint, response) = match spans {
+            Some(scope) => {
+                let route = scope.start(SpanKind::Route);
+                let route_scope = scope.child(route.id());
+                self.route(req, deadline, Some(&route_scope))
+            }
+            None => self.route(req, deadline, None),
+        };
         let status = response.status.to_string();
         self.registry
             .counter(
@@ -134,22 +184,93 @@ impl AppState {
 
     /// The route table. Returns the endpoint label used for metrics
     /// (unknown paths share one label so they can't explode cardinality).
-    fn route(&self, req: &Request, deadline: Instant) -> (&'static str, Response) {
+    fn route(
+        &self,
+        req: &Request,
+        deadline: Instant,
+        spans: Option<&SpanScope>,
+    ) -> (&'static str, Response) {
         match (req.method.as_str(), req.target.split('?').next().unwrap_or("")) {
             ("GET", "/healthz") => ("/healthz", Response::text(200, "ok\n")),
-            ("GET", "/metrics") => {
-                ("/metrics", Response::text(200, self.registry.snapshot().to_prometheus()))
-            }
+            ("GET", "/metrics") => ("/metrics", self.handle_metrics()),
             ("GET", "/v1/models") => ("/v1/models", self.handle_models()),
+            ("GET", "/v1/debug/spans") => ("/v1/debug/spans", self.handle_spans(&req.target)),
             ("POST", "/v1/assemble") => ("/v1/assemble", self.handle_assemble(&req.body)),
-            ("POST", "/v1/simulate") => ("/v1/simulate", self.handle_simulate(&req.body, deadline)),
-            ("POST", "/v1/batch") => ("/v1/batch", self.handle_batch(&req.body)),
+            ("POST", "/v1/simulate") => {
+                ("/v1/simulate", self.handle_simulate(&req.body, deadline, spans))
+            }
+            ("POST", "/v1/batch") => ("/v1/batch", self.handle_batch(&req.body, spans)),
             (
                 _,
-                "/healthz" | "/metrics" | "/v1/models" | "/v1/assemble" | "/v1/simulate"
-                | "/v1/batch",
+                "/healthz" | "/metrics" | "/v1/models" | "/v1/debug/spans" | "/v1/assemble"
+                | "/v1/simulate" | "/v1/batch",
             ) => ("method_not_allowed", Response::json(405, api::error_body("method not allowed"))),
             _ => ("not_found", Response::json(404, api::error_body("no such route"))),
+        }
+    }
+
+    /// `GET /metrics`: the Prometheus exposition. Span-ring overflow is
+    /// folded into the registry right before the snapshot, so the scrape
+    /// that reports loss is never stale.
+    fn handle_metrics(&self) -> Response {
+        let dropped = self.spans.dropped();
+        let published = self.spans_dropped_published.swap(dropped, Ordering::Relaxed);
+        let delta = dropped.saturating_sub(published);
+        if delta > 0 {
+            self.registry
+                .counter(
+                    "lisa_spans_dropped_total",
+                    "Spans overwritten because a span ring wrapped.",
+                    &[],
+                )
+                .add(delta);
+        }
+        Response::prometheus(self.registry.snapshot().to_prometheus())
+    }
+
+    /// `GET /v1/debug/spans?limit=N&format=chrome|json`: the recorder's
+    /// current contents, newest-biased. The default JSON object carries
+    /// raw-nanosecond spans plus the drop count; `format=chrome` returns
+    /// a Chrome trace-event array that loads directly in Perfetto.
+    fn handle_spans(&self, target: &str) -> Response {
+        let query = target.split_once('?').map_or("", |(_, q)| q);
+        let mut limit = 2048usize;
+        let mut format = "json";
+        for pair in query.split('&') {
+            match pair.split_once('=') {
+                Some(("limit", v)) => match v.parse::<usize>() {
+                    Ok(n) => limit = n,
+                    Err(_) => {
+                        return Response::json(400, api::error_body("bad `limit` value"));
+                    }
+                },
+                Some(("format", v)) => format = v,
+                _ => {}
+            }
+        }
+        let mut spans = self.spans.collect();
+        if spans.len() > limit {
+            // Keep the newest spans (collect() sorts by start time).
+            spans.drain(..spans.len() - limit);
+        }
+        match format {
+            "chrome" => Response::json(200, export::to_chrome_trace(&spans)),
+            "json" => {
+                let mut body = format!(
+                    "{{\"enabled\": {}, \"dropped\": {}, \"spans\": [",
+                    self.spans.is_enabled(),
+                    self.spans.dropped()
+                );
+                for (i, s) in spans.iter().enumerate() {
+                    if i > 0 {
+                        body.push_str(", ");
+                    }
+                    body.push_str(&export::span_json(s));
+                }
+                body.push_str("]}");
+                Response::json(200, body)
+            }
+            _ => Response::json(400, api::error_body("unknown `format` (json|chrome)")),
         }
     }
 
@@ -190,7 +311,12 @@ impl AppState {
         }
     }
 
-    fn handle_simulate(&self, body: &[u8], deadline: Instant) -> Response {
+    fn handle_simulate(
+        &self,
+        body: &[u8],
+        deadline: Instant,
+        spans: Option<&SpanScope>,
+    ) -> Response {
         let req = match SimulateRequest::from_json(body) {
             Ok(r) => r,
             Err(e) => return Response::json(400, api::error_body(&e)),
@@ -206,21 +332,37 @@ impl AppState {
             }
         };
 
-        let program = match served.assembler().assemble(&req.program) {
-            Ok(p) => p,
-            Err(e) => return Response::json(422, api::error_body(&e.to_string())),
+        let program = {
+            let _span = spans.map(|s| s.start(SpanKind::Assemble));
+            match served.assembler().assemble(&req.program) {
+                Ok(p) => p,
+                Err(e) => return Response::json(422, api::error_body(&e.to_string())),
+            }
         };
-        let run = simulate(
-            served,
-            mode,
-            &program.words,
-            program.origin,
-            req.max_cycles,
-            &req.dump,
-            deadline,
-        );
+        let run = {
+            let span = spans.map(|s| s.start(SpanKind::Run));
+            // The simulator's phases (predecode, cycle chunks) nest
+            // under the run span.
+            let run_scope = match (spans, &span) {
+                (Some(s), Some(g)) => Some(s.child(g.id())),
+                _ => None,
+            };
+            simulate(
+                served,
+                mode,
+                &program.words,
+                program.origin,
+                req.max_cycles,
+                &req.dump,
+                deadline,
+                run_scope.as_ref(),
+            )
+        };
         match run {
-            Ok(outcome) => Response::json(200, api::simulate_body(&outcome)),
+            Ok(outcome) => {
+                let _span = spans.map(|s| s.start(SpanKind::Serialize));
+                Response::json(200, api::simulate_body(&outcome))
+            }
             Err(SimulateError::Deadline) => {
                 Response::json(504, api::error_body("deadline exceeded"))
             }
@@ -228,7 +370,7 @@ impl AppState {
         }
     }
 
-    fn handle_batch(&self, body: &[u8]) -> Response {
+    fn handle_batch(&self, body: &[u8], spans: Option<&SpanScope>) -> Response {
         let req = match BatchRequest::from_json(body) {
             Ok(r) => r,
             Err(e) => return Response::json(400, api::error_body(&e)),
@@ -254,7 +396,10 @@ impl AppState {
                     .flat_map(move |k| modes.iter().map(move |&mode| wb.scenario(k, mode)))
             })
             .collect();
-        let observer = BatchObserver::new().with_metrics(&self.registry);
+        let mut observer = BatchObserver::new().with_metrics(&self.registry);
+        if let Some(scope) = spans {
+            observer = observer.with_spans(scope.clone());
+        }
         let report = BatchRunner::new(req.workers).run_observed(&scenarios, &observer);
         let elapsed = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         Response::json(
@@ -292,9 +437,11 @@ fn simulate(
     max_cycles: u64,
     dumps: &[(String, usize)],
     deadline: Instant,
+    spans: Option<&SpanScope>,
 ) -> Result<SimulateOutcome, SimulateError> {
     let sim_err = |e: SimError| SimulateError::Sim(e.to_string());
     let mut sim = Simulator::new(&served.model, mode).map_err(sim_err)?;
+    sim.set_spans(spans.cloned());
     let pmem = served
         .model
         .resource_by_name(served.program_memory)
@@ -499,6 +646,123 @@ mod tests {
         };
         let resp = state.dispatch(&req, Instant::now());
         assert_eq!(resp.status, 504, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn metrics_negotiates_prometheus_and_healthz_stays_plain() {
+        let state = AppState::new();
+        let resp = get(&state, "/metrics");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.headers.get("Content-Type").map(String::as_str),
+            Some("text/plain; version=0.0.4; charset=utf-8")
+        );
+        let text = String::from_utf8(resp.body).unwrap();
+        let build_line = format!("lisa_build_info{{version=\"{}\"}} 1", env!("CARGO_PKG_VERSION"));
+        assert!(text.contains(&build_line), "build info missing from:\n{text}");
+
+        let resp = get(&state, "/healthz");
+        assert_eq!(
+            resp.headers.get("Content-Type").map(String::as_str),
+            Some("text/plain; charset=utf-8")
+        );
+    }
+
+    #[test]
+    fn debug_spans_reports_a_connected_simulate_tree() {
+        use lisa_metrics::json::{self, Value};
+
+        let state = AppState::new();
+        // Stand in for the server front end: a request span with the
+        // handler's phases dispatched beneath it.
+        let recorder = Arc::clone(state.spans());
+        let trace = recorder.new_trace();
+        let request_id = recorder.alloc_id();
+        let scope =
+            SpanScope { recorder: Arc::clone(&recorder), trace, parent: request_id, worker: 1 };
+        let req = Request {
+            method: "POST".to_owned(),
+            target: "/v1/simulate".to_owned(),
+            http11: true,
+            headers: Vec::new(),
+            body: br#"{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n"}"#.to_vec(),
+        };
+        let start = recorder.now_ns();
+        let resp = state.dispatch_spanned(&req, no_deadline(), Some(&scope));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let dur = recorder.now_ns().saturating_sub(start);
+        recorder.record_with_id(request_id, trace, 0, SpanKind::Request, 1, start, dur);
+
+        let resp = get(&state, "/v1/debug/spans?limit=512");
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("valid JSON");
+        let spans: Vec<&Value> = doc
+            .get("spans")
+            .and_then(Value::as_array)
+            .expect("spans array")
+            .iter()
+            .filter(|s| s.get("trace").and_then(Value::as_u64) == Some(trace))
+            .collect();
+        let names: Vec<&str> =
+            spans.iter().filter_map(|s| s.get("name").and_then(Value::as_str)).collect();
+        for expected in ["request", "route", "assemble", "run", "serialize", "cycle_chunk"] {
+            assert!(names.contains(&expected), "missing `{expected}` in {names:?}");
+        }
+        // Single connected tree: exactly one root, every parent resolves.
+        let ids: std::collections::BTreeSet<u64> =
+            spans.iter().filter_map(|s| s.get("span").and_then(Value::as_u64)).collect();
+        assert_eq!(ids.len(), spans.len());
+        let roots =
+            spans.iter().filter(|s| s.get("parent").and_then(Value::as_u64) == Some(0)).count();
+        assert_eq!(roots, 1, "one root in {names:?}");
+        for s in &spans {
+            let parent = s.get("parent").and_then(Value::as_u64).unwrap();
+            assert!(parent == 0 || ids.contains(&parent), "dangling parent {parent}");
+        }
+    }
+
+    #[test]
+    fn debug_spans_chrome_format_is_an_event_array() {
+        use lisa_metrics::json::{self, Value};
+
+        let state = AppState::new();
+        let resp =
+            post(&state, "/v1/simulate", r#"{"model": "tinyrisc", "program": "LDI R1, 1\nHLT\n"}"#);
+        assert_eq!(resp.status, 200);
+        // Unspanned dispatch records nothing; synthesize one span so the
+        // chrome array is non-empty.
+        let trace = state.spans().new_trace();
+        let t0 = state.spans().now_ns();
+        state.spans().record(trace, 0, SpanKind::Request, 0, t0, 10);
+
+        let resp = get(&state, "/v1/debug/spans?format=chrome");
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("valid JSON");
+        let events = doc.as_array().expect("array form");
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.get("ph").and_then(Value::as_str) == Some("X")));
+
+        assert_eq!(get(&state, "/v1/debug/spans?format=nope").status, 400);
+        assert_eq!(get(&state, "/v1/debug/spans?limit=bogus").status, 400);
+        assert_eq!(post(&state, "/v1/debug/spans", "").status, 405);
+    }
+
+    #[test]
+    fn debug_spans_limit_keeps_the_newest() {
+        use lisa_metrics::json::{self, Value};
+
+        let state = AppState::new();
+        for i in 0..10 {
+            let trace = state.spans().new_trace();
+            state.spans().record(trace, 0, SpanKind::Request, 0, i * 100, 10);
+        }
+        let resp = get(&state, "/v1/debug/spans?limit=3");
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let spans = doc.get("spans").and_then(Value::as_array).unwrap();
+        assert_eq!(spans.len(), 3);
+        let starts: Vec<u64> =
+            spans.iter().filter_map(|s| s.get("start_ns").and_then(Value::as_u64)).collect();
+        assert_eq!(starts, [700, 800, 900], "newest three survive the limit");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use lisa_bits::Bits;
 use lisa_core::model::{Model, OpId, PipelineId, ResourceId};
 use lisa_isa::{Decoded, Decoder};
+use lisa_spans::{SpanKind, SpanScope};
 use lisa_trace::{CollectingSink, NameTable, Profile, TraceEvent, TraceSink};
 
 use crate::compiled::CompiledTables;
@@ -119,6 +120,11 @@ pub struct Simulator<'m> {
     /// Stats values already exported by `publish_metrics`, so repeated
     /// publishes add only the delta accumulated in between.
     pub(crate) metrics_published: SimStats,
+    /// Sink-dropped count already exported by `publish_metrics`.
+    pub(crate) trace_dropped_published: u64,
+    /// Wall-clock span context, when a caller attached one. `None` keeps
+    /// the run loops on their unobserved fast path.
+    pub(crate) spans: Option<SpanScope>,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -170,6 +176,8 @@ impl<'m> Simulator<'m> {
             observer: None,
             pc_res,
             metrics_published: SimStats::default(),
+            trace_dropped_published: 0,
+            spans: None,
         })
     }
 
@@ -305,6 +313,20 @@ impl<'m> Simulator<'m> {
         profile
     }
 
+    /// Attaches a wall-clock span context: phase spans (predecode, cycle
+    /// chunks, snapshot/restore) are recorded under `scope`'s parent.
+    /// Pass `None` to detach; with no scope attached the run loops keep
+    /// their unobserved fast path.
+    pub fn set_spans(&mut self, scope: Option<SpanScope>) {
+        self.spans = scope;
+    }
+
+    /// The attached span context, if any.
+    #[must_use]
+    pub fn spans(&self) -> Option<&SpanScope> {
+        self.spans.as_ref()
+    }
+
     /// One branch on the cycle path: anything observing this simulator?
     #[inline]
     pub(crate) fn observing(&self) -> bool {
@@ -364,6 +386,7 @@ impl<'m> Simulator<'m> {
     /// Returns the number of distinct words pre-decoded.
     pub fn predecode_program_memory(&mut self) -> usize {
         use lisa_core::ast::ResourceClass;
+        let _span = self.spans.as_ref().map(|s| s.start(SpanKind::Predecode));
         let Some(decoder) = &self.decoder else { return 0 };
         let mut added = 0;
         for res in self.model.resources() {
@@ -489,12 +512,29 @@ impl<'m> Simulator<'m> {
         Ok(())
     }
 
+    /// Control steps covered by one `cycle_chunk` span when a span
+    /// context is attached — coarse enough that span recording never
+    /// shows up next to per-step work.
+    pub const SPAN_CHUNK_STEPS: u64 = 4096;
+
     /// Runs `steps` control steps.
     ///
     /// # Errors
     ///
     /// Stops at the first failing step.
     pub fn run(&mut self, steps: u64) -> Result<(), SimError> {
+        if let Some(scope) = self.spans.clone() {
+            let mut left = steps;
+            while left > 0 {
+                let chunk = left.min(Self::SPAN_CHUNK_STEPS);
+                let _span = scope.start(SpanKind::CycleChunk);
+                for _ in 0..chunk {
+                    self.step()?;
+                }
+                left -= chunk;
+            }
+            return Ok(());
+        }
         for _ in 0..steps {
             self.step()?;
         }
@@ -513,6 +553,21 @@ impl<'m> Simulator<'m> {
         max_steps: u64,
     ) -> Result<u64, SimError> {
         let start = self.stats.cycles;
+        if let Some(scope) = self.spans.clone() {
+            let mut done = 0;
+            while done < max_steps {
+                let chunk = (max_steps - done).min(Self::SPAN_CHUNK_STEPS);
+                let _span = scope.start(SpanKind::CycleChunk);
+                for _ in 0..chunk {
+                    self.step()?;
+                    done += 1;
+                    if halted(&self.state) {
+                        return Ok(self.stats.cycles - start);
+                    }
+                }
+            }
+            return Err(SimError::StepLimit { limit: max_steps });
+        }
         for _ in 0..max_steps {
             self.step()?;
             if halted(&self.state) {

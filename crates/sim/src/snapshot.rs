@@ -118,6 +118,7 @@ impl<'m> Simulator<'m> {
     /// one map clone, not a re-decode of program memory.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
+        let _span = self.spans.as_ref().map(|s| s.start(lisa_spans::SpanKind::Snapshot));
         Snapshot {
             state: self.state.clone(),
             pipes: self.pipes.clone(),
@@ -147,6 +148,7 @@ impl<'m> Simulator<'m> {
     /// resource layout (count, widths, dimensions) differs from this
     /// simulator's model — e.g. a snapshot taken on another model.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SimError> {
+        let _span = self.spans.as_ref().map(|s| s.start(lisa_spans::SpanKind::Restore));
         if !self.state.same_shape(&snapshot.state) {
             return Err(SimError::SnapshotMismatch);
         }

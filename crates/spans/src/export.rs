@@ -1,0 +1,198 @@
+//! Span exporters: Chrome trace-event JSON and JSONL, plus the JSONL
+//! importer.
+//!
+//! The Chrome format is the JSON *array form* of the trace-event spec —
+//! a bare array of complete (`"ph": "X"`) events with microsecond
+//! timestamps — which both Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing` load directly. JSONL is one span object per line
+//! with raw nanosecond fields; [`from_jsonl`] parses it back so traces
+//! can be saved, merged and re-exported.
+
+use std::fmt::Write as _;
+
+use lisa_metrics::json::{self, Value};
+
+use crate::{SpanKind, SpanRecord};
+
+/// Microseconds with three decimals from a nanosecond count, rendered
+/// deterministically (no float formatting).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders spans as a Chrome trace-event JSON array (Perfetto-loadable).
+///
+/// Each span becomes one complete event: `ts`/`dur` in microseconds,
+/// `pid` fixed at 1, `tid` the worker ordinal (so workers get timeline
+/// lanes), and the trace/span/parent ids carried in `args`.
+#[must_use]
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96 + 2);
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"trace\": {}, \"span\": {}, \"parent\": {}}}}}",
+            s.kind.as_str(),
+            s.kind.category().as_str(),
+            micros(s.start_ns),
+            micros(s.dur_ns),
+            s.worker,
+            s.trace,
+            s.span,
+            s.parent,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders one span as a JSON object (raw nanosecond fields). Used for
+/// both JSONL lines and the `/v1/debug/spans` response.
+#[must_use]
+pub fn span_json(s: &SpanRecord) -> String {
+    format!(
+        "{{\"trace\": {}, \"span\": {}, \"parent\": {}, \"name\": \"{}\", \"cat\": \"{}\", \
+         \"worker\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
+        s.trace,
+        s.span,
+        s.parent,
+        s.kind.as_str(),
+        s.kind.category().as_str(),
+        s.worker,
+        s.start_ns,
+        s.dur_ns,
+    )
+}
+
+/// Renders spans as JSON lines (one object per line, trailing newline
+/// when non-empty). Round-trips through [`from_jsonl`].
+#[must_use]
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for s in spans {
+        out.push_str(&span_json(s));
+        out.push('\n');
+    }
+    out
+}
+
+fn required_u64(obj: &Value, key: &str, line_no: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing or non-integer `{key}`"))
+}
+
+/// Parses a JSONL span document produced by [`to_jsonl`] (blank lines
+/// ignored; the redundant `cat` field is ignored on input — it is
+/// derived from the name).
+///
+/// # Errors
+///
+/// A message naming the first offending line.
+pub fn from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = json::parse(line).map_err(|e| format!("line {line_no}: bad JSON: {e}"))?;
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing or non-string `name`"))?;
+        let kind = SpanKind::from_str(name)
+            .ok_or_else(|| format!("line {line_no}: unknown span name `{name}`"))?;
+        let worker = required_u64(&obj, "worker", line_no)?;
+        let worker =
+            u32::try_from(worker).map_err(|_| format!("line {line_no}: `worker` out of range"))?;
+        out.push(SpanRecord {
+            trace: required_u64(&obj, "trace", line_no)?,
+            span: required_u64(&obj, "span", line_no)?,
+            parent: required_u64(&obj, "parent", line_no)?,
+            kind,
+            worker,
+            start_ns: required_u64(&obj, "start_ns", line_no)?,
+            dur_ns: required_u64(&obj, "dur_ns", line_no)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                trace: 7,
+                span: 1,
+                parent: 0,
+                kind: SpanKind::Accept,
+                worker: 0,
+                start_ns: 1_000,
+                dur_ns: 2_500,
+            },
+            SpanRecord {
+                trace: 7,
+                span: 2,
+                parent: 1,
+                kind: SpanKind::QueueWait,
+                worker: 1,
+                start_ns: 3_500,
+                dur_ns: 123_456_789,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_is_a_valid_json_array() {
+        let text = to_chrome_trace(&sample());
+        let value = json::parse(&text).expect("valid JSON");
+        let events = value.as_array().expect("array form");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(events[0].get("name").and_then(Value::as_str), Some("accept"));
+        assert_eq!(events[1].get("cat").and_then(Value::as_str), Some("queue"));
+        assert_eq!(events[1].get("tid").and_then(Value::as_u64), Some(1));
+        // 123_456_789 ns = 123456.789 us, rendered without float drift.
+        assert_eq!(events[1].get("dur").and_then(Value::as_f64), Some(123_456.789));
+        let args = events[1].get("args").expect("args");
+        assert_eq!(args.get("parent").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn empty_exports_are_well_formed() {
+        assert_eq!(json::parse(&to_chrome_trace(&[])).unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(to_jsonl(&[]), "");
+        assert_eq!(from_jsonl("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let spans = sample();
+        let text = to_jsonl(&spans);
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(from_jsonl(&text).unwrap(), spans);
+        // Blank lines are tolerated.
+        assert_eq!(from_jsonl(&format!("\n{text}\n")).unwrap(), spans);
+    }
+
+    #[test]
+    fn importer_names_the_offending_line() {
+        let good = span_json(&sample()[0]);
+        let err = from_jsonl(&format!("{good}\nnot json\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = from_jsonl("{\"name\": \"zeppelin\"}").unwrap_err();
+        assert!(err.contains("unknown span name"), "{err}");
+        let err = from_jsonl("{\"name\": \"run\"}").unwrap_err();
+        assert!(err.contains("`worker`"), "{err}");
+    }
+}

@@ -1,0 +1,431 @@
+//! The lock-free sharded span recorder.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled is (almost) free.** [`SpanRecorder::start`] loads one
+//!    `AtomicBool` and returns an inert guard — no clock read, no id
+//!    allocation, no allocation at all.
+//! 2. **No global mutex on the hot path.** Each recording thread maps to
+//!    one of a fixed set of shards; within a shard, writers claim ring
+//!    slots with a `fetch_add` ticket and publish with a seqlock-style
+//!    sequence word. Readers ([`SpanRecorder::collect`]) never block a
+//!    writer; they discard any slot caught mid-write.
+//! 3. **Bounded.** Each shard is a fixed ring; overflow overwrites the
+//!    oldest records and is *counted* ([`SpanRecorder::dropped`]) so
+//!    silent loss is observable (and exported as a metric by consumers).
+//!
+//! The one accepted imperfection: when a ring wraps, two writers racing
+//! the *same slot* (tickets exactly one capacity apart, interleaved
+//! within nanoseconds) can leave a mixed record that passes the sequence
+//! check. That record is garbled but harmless — every field is its own
+//! atomic, so there is no torn word and no unsafety. A recorder sized so
+//! collection happens before wrap (the default 16k) never hits this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::{SpanKind, SpanRecord};
+
+/// Words per ring slot: seq, trace, span, parent, kind|worker, start, dur.
+const SLOT_WORDS: usize = 7;
+
+/// Shards available to writer threads. Fixed and modest: the point is to
+/// split unrelated threads, not to scale to hundreds of cores.
+const SHARDS: usize = 8;
+
+type Slot = [AtomicU64; SLOT_WORDS];
+
+fn empty_slot() -> Slot {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+struct Shard {
+    /// Monotonic ticket counter; slot = ticket % capacity.
+    cursor: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard { cursor: AtomicU64::new(0), slots: (0..capacity).map(|_| empty_slot()).collect() }
+    }
+
+    fn write(&self, record: &SpanRecord) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock stamp: odd = writing, even = complete. `fetch_max` on
+        // the closing stamp keeps a lapped writer's stale "complete"
+        // value from masking a newer in-progress write.
+        slot[0].store(2 * ticket + 1, Ordering::SeqCst);
+        slot[1].store(record.trace, Ordering::Relaxed);
+        slot[2].store(record.span, Ordering::Relaxed);
+        slot[3].store(record.parent, Ordering::Relaxed);
+        slot[4].store(
+            u64::from(record.kind as u8) | (u64::from(record.worker) << 8),
+            Ordering::Relaxed,
+        );
+        slot[5].store(record.start_ns, Ordering::Relaxed);
+        slot[6].store(record.dur_ns, Ordering::Relaxed);
+        slot[0].fetch_max(2 * ticket + 2, Ordering::SeqCst);
+    }
+
+    fn read_into(&self, out: &mut Vec<SpanRecord>) {
+        for slot in &self.slots {
+            let before = slot[0].load(Ordering::SeqCst);
+            // 0 = never written, odd = mid-write.
+            if before == 0 || before % 2 == 1 {
+                continue;
+            }
+            let trace = slot[1].load(Ordering::Relaxed);
+            let span = slot[2].load(Ordering::Relaxed);
+            let parent = slot[3].load(Ordering::Relaxed);
+            let packed = slot[4].load(Ordering::Relaxed);
+            let start_ns = slot[5].load(Ordering::Relaxed);
+            let dur_ns = slot[6].load(Ordering::Relaxed);
+            let after = slot[0].load(Ordering::SeqCst);
+            if before != after {
+                continue; // overwritten while reading
+            }
+            let Some(kind) = SpanKind::from_discriminant((packed & 0xff) as u8) else {
+                continue;
+            };
+            out.push(SpanRecord {
+                trace,
+                span,
+                parent,
+                kind,
+                worker: (packed >> 8) as u32,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed).saturating_sub(self.slots.len() as u64)
+    }
+
+    fn clear(&self) {
+        self.cursor.store(0, Ordering::SeqCst);
+        for slot in &self.slots {
+            slot[0].store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Process-wide span-id allocator: ids are unique across every recorder
+/// so merged exports never collide. 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide writer-thread token, cached per thread; `token % SHARDS`
+/// picks the thread's shard without hashing `ThreadId` on every record.
+static NEXT_THREAD_TOKEN: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_TOKEN: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn thread_token() -> usize {
+    THREAD_TOKEN.with(|cell| {
+        let mut token = cell.get();
+        if token == usize::MAX {
+            token = NEXT_THREAD_TOKEN.fetch_add(1, Ordering::Relaxed);
+            cell.set(token);
+        }
+        token
+    })
+}
+
+/// A bounded, lock-free flight recorder for [`SpanRecord`]s.
+///
+/// Construct once per process (or per server), share behind an `Arc`,
+/// and hand [`crate::SpanScope`]s down the layers. Disabled by default —
+/// call [`SpanRecorder::set_enabled`] to start recording.
+pub struct SpanRecorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    shards: Vec<Shard>,
+    next_trace: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanRecorder {
+    /// A recorder retaining at most `capacity` spans (split across
+    /// internal shards; minimum one slot per shard). Starts disabled.
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanRecorder {
+        let per_shard = (capacity / SHARDS).max(1);
+        SpanRecorder {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Shard::new(per_shard)).collect(),
+            next_trace: AtomicU64::new(1),
+        }
+    }
+
+    /// Total spans the rings can retain.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Turns recording on or off. Off is the default; when off,
+    /// [`SpanRecorder::start`] and [`SpanRecorder::record`] are inert.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this recorder was constructed (the shared
+    /// timeline for all of its spans).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Allocates a fresh trace id (monotonic, never 0).
+    #[must_use]
+    pub fn new_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a span id without recording anything — for call sites
+    /// that must hand the id to children before the span's duration is
+    /// known. Returns 0 when disabled.
+    #[must_use]
+    pub fn alloc_id(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a span now; the returned guard records it on drop. When
+    /// the recorder is disabled this is a single branch returning an
+    /// inert guard whose [`SpanGuard::id`] is 0.
+    pub fn start(
+        self: &Arc<SpanRecorder>,
+        trace: u64,
+        parent: u64,
+        kind: SpanKind,
+        worker: u32,
+    ) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some(GuardInner {
+                recorder: Arc::clone(self),
+                trace,
+                parent,
+                id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+                kind,
+                worker,
+                start_ns: self.now_ns(),
+            }),
+        }
+    }
+
+    /// Records a completed span with explicit timing, returning its id
+    /// (0 when disabled — nothing is stored).
+    pub fn record(
+        &self,
+        trace: u64,
+        parent: u64,
+        kind: SpanKind,
+        worker: u32,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> u64 {
+        let id = self.alloc_id();
+        self.record_with_id(id, trace, parent, kind, worker, start_ns, dur_ns);
+        id
+    }
+
+    /// Records a completed span under a pre-allocated id (see
+    /// [`SpanRecorder::alloc_id`]). A 0 id or a disabled recorder is a
+    /// no-op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with_id(
+        &self,
+        id: u64,
+        trace: u64,
+        parent: u64,
+        kind: SpanKind,
+        worker: u32,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if id == 0 || !self.is_enabled() {
+            return;
+        }
+        let shard = &self.shards[thread_token() % self.shards.len()];
+        shard.write(&SpanRecord { trace, span: id, parent, kind, worker, start_ns, dur_ns });
+    }
+
+    /// Non-destructive snapshot of every retained span, ordered by start
+    /// time (ties broken by span id). Slots caught mid-write are skipped.
+    #[must_use]
+    pub fn collect(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.capacity().min(4096));
+        for shard in &self.shards {
+            shard.read_into(&mut out);
+        }
+        out.sort_by_key(|s| (s.start_ns, s.span));
+        out
+    }
+
+    /// Spans overwritten because a ring wrapped (cumulative). Monotonic
+    /// while the recorder lives; reset only by [`SpanRecorder::clear`].
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(Shard::dropped).sum()
+    }
+
+    /// Empties the rings and resets the drop count. Intended for
+    /// benchmarks and tests between measurement windows; concurrent
+    /// writers may leave a handful of fresh spans behind.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.clear();
+        }
+    }
+}
+
+struct GuardInner {
+    recorder: Arc<SpanRecorder>,
+    trace: u64,
+    parent: u64,
+    id: u64,
+    kind: SpanKind,
+    worker: u32,
+    start_ns: u64,
+}
+
+/// An in-flight span; records itself on drop with the elapsed duration.
+///
+/// Inert (and cheap) when obtained from a disabled recorder.
+#[must_use = "dropping the guard ends the span"]
+pub struct SpanGuard {
+    inner: Option<GuardInner>,
+}
+
+impl SpanGuard {
+    /// This span's id, for parenting children under it (0 when inert).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |g| g.id)
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            let dur = g.recorder.now_ns().saturating_sub(g.start_ns);
+            g.recorder.record_with_id(g.id, g.trace, g.parent, g.kind, g.worker, g.start_ns, dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_allocates_nothing() {
+        let rec = Arc::new(SpanRecorder::new(16));
+        assert!(!rec.is_enabled());
+        let guard = rec.start(1, 0, SpanKind::Run, 0);
+        assert_eq!(guard.id(), 0);
+        drop(guard);
+        assert_eq!(rec.record(1, 0, SpanKind::Run, 0, 0, 10), 0);
+        assert_eq!(rec.alloc_id(), 0);
+        assert!(rec.collect().is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn guards_record_on_drop_with_elapsed_duration() {
+        let rec = Arc::new(SpanRecorder::new(16));
+        rec.set_enabled(true);
+        let trace = rec.new_trace();
+        let guard = rec.start(trace, 0, SpanKind::Parse, 2);
+        let id = guard.id();
+        assert_ne!(id, 0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(guard);
+        let spans = rec.collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].span, id);
+        assert_eq!(spans[0].kind, SpanKind::Parse);
+        assert_eq!(spans[0].worker, 2);
+        assert_eq!(spans[0].trace, trace);
+        assert!(spans[0].dur_ns >= 500_000, "slept 1ms, recorded {}ns", spans[0].dur_ns);
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_not_blocking() {
+        let rec = SpanRecorder::new(8); // one slot per shard
+        rec.set_enabled(true);
+        // All from one thread -> one shard -> wraps after 1 record.
+        for i in 0..10 {
+            rec.record(1, 0, SpanKind::Job, 0, i, 1);
+        }
+        assert_eq!(rec.dropped(), 9);
+        let spans = rec.collect();
+        assert_eq!(spans.len(), 1, "one slot retained");
+        assert_eq!(spans[0].start_ns, 9, "the newest record survives");
+        rec.clear();
+        assert_eq!(rec.dropped(), 0);
+        assert!(rec.collect().is_empty());
+    }
+
+    #[test]
+    fn disabling_mid_span_drops_the_record() {
+        let rec = Arc::new(SpanRecorder::new(16));
+        rec.set_enabled(true);
+        let guard = rec.start(1, 0, SpanKind::Run, 0);
+        rec.set_enabled(false);
+        drop(guard);
+        assert!(rec.collect().is_empty());
+    }
+
+    #[test]
+    fn collect_is_sorted_and_non_destructive() {
+        let rec = SpanRecorder::new(64);
+        rec.set_enabled(true);
+        rec.record(1, 0, SpanKind::Run, 0, 30, 1);
+        rec.record(1, 0, SpanKind::Run, 0, 10, 1);
+        rec.record(1, 0, SpanKind::Run, 0, 20, 1);
+        let starts: Vec<u64> = rec.collect().iter().map(|s| s.start_ns).collect();
+        assert_eq!(starts, [10, 20, 30]);
+        assert_eq!(rec.collect().len(), 3, "collect does not drain");
+    }
+
+    #[test]
+    fn trace_ids_are_distinct() {
+        let rec = SpanRecorder::new(8);
+        let a = rec.new_trace();
+        let b = rec.new_trace();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the span recorder's concurrency contract.
+//!
+//! Invariants:
+//!
+//! 1. **Concurrent recording is safe** — any number of threads hammering
+//!    one recorder never panics, and with enough capacity every span
+//!    survives with a unique id.
+//! 2. **Disabled means free and silent** — a disabled recorder allocates
+//!    no ids, records nothing, and drops nothing.
+//! 3. **Nothing is silently lost** — every record either survives to
+//!    `collect()` or is tallied in `dropped()`.
+
+use std::sync::Arc;
+
+use lisa_spans::{SpanKind, SpanRecorder, SpanScope};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1: N threads × M spans with worst-case shard-collision
+    /// headroom: no panics, all ids unique, nothing dropped, every
+    /// worker's spans intact.
+    #[test]
+    fn concurrent_recording_keeps_every_span_distinct(
+        threads in 1usize..6,
+        per_thread in 1usize..40,
+    ) {
+        // Sharding is by thread token, so in the worst case every thread
+        // lands in one shard: give each of the 8 shards room for the
+        // whole volume so the rings cannot wrap mid-test.
+        let capacity = (threads * per_thread).next_power_of_two() * 8;
+        let recorder = Arc::new(SpanRecorder::new(capacity));
+        recorder.set_enabled(true);
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let recorder = Arc::clone(&recorder);
+                scope.spawn(move || {
+                    let trace = recorder.new_trace();
+                    let scope = SpanScope::new(recorder, trace).with_worker(t as u32);
+                    for i in 0..per_thread {
+                        let kind = SpanKind::ALL[(t + i) % SpanKind::ALL.len()];
+                        drop(scope.start(kind));
+                    }
+                });
+            }
+        });
+
+        let collected = recorder.collect();
+        prop_assert_eq!(recorder.dropped(), 0, "capacity was sufficient");
+        prop_assert_eq!(collected.len(), threads * per_thread);
+
+        let mut ids: Vec<u64> = collected.iter().map(|s| s.span).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "span ids must be unique");
+
+        for t in 0..threads {
+            let mine = collected.iter().filter(|s| s.worker == t as u32).count();
+            prop_assert_eq!(mine, per_thread, "worker {}'s spans all present", t);
+        }
+        for span in &collected {
+            prop_assert!(span.span != 0, "live spans never get the sentinel id");
+        }
+    }
+
+    /// Invariant 2: when disabled, the hot path is inert — no ids, no
+    /// records, no drops — even under concurrency.
+    #[test]
+    fn disabled_recorder_stays_empty(threads in 1usize..6, per_thread in 1usize..40) {
+        let recorder = Arc::new(SpanRecorder::new(64));
+        // Never enabled.
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let recorder = Arc::clone(&recorder);
+                scope.spawn(move || {
+                    let scope = SpanScope::new(recorder, 1).with_worker(t as u32);
+                    for i in 0..per_thread {
+                        let kind = SpanKind::ALL[i % SpanKind::ALL.len()];
+                        let guard = scope.start(kind);
+                        assert_eq!(guard.id(), 0, "disabled guards are inert");
+                        drop(guard);
+                        assert_eq!(scope.record(kind, 10, 5), 0, "disabled records nothing");
+                    }
+                });
+            }
+        });
+        prop_assert!(recorder.collect().is_empty());
+        prop_assert_eq!(recorder.dropped(), 0);
+        prop_assert_eq!(recorder.alloc_id(), 0);
+    }
+
+    /// Invariant 3: from a single thread (one shard, no read races),
+    /// survivors plus the drop tally account for every record.
+    #[test]
+    fn every_record_is_kept_or_counted(total in 1u64..400) {
+        let recorder = Arc::new(SpanRecorder::new(64));
+        recorder.set_enabled(true);
+        let scope = SpanScope::new(Arc::clone(&recorder), recorder.new_trace());
+        for i in 0..total {
+            scope.record(SpanKind::CycleChunk, i, 1);
+        }
+        let collected = recorder.collect();
+        prop_assert_eq!(collected.len() as u64 + recorder.dropped(), total);
+        for span in &collected {
+            prop_assert_eq!(span.kind, SpanKind::CycleChunk);
+            prop_assert_eq!(span.dur_ns, 1);
+        }
+        // The flight recorder keeps the newest records.
+        if let Some(last) = collected.last() {
+            prop_assert_eq!(last.start_ns, total - 1);
+        }
+    }
+}

@@ -25,6 +25,14 @@ pub trait TraceSink: Send {
     fn clear(&mut self) {
         let _ = self.drain();
     }
+
+    /// Cumulative events this sink has discarded to stay within its
+    /// bounds. Unbounded sinks lose nothing and report 0 (the default);
+    /// the simulator publishes this through the shared metrics registry
+    /// so silent event loss is observable.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Collects every event in order — the default sink behind the
@@ -100,6 +108,10 @@ impl TraceSink for RingBufferSink {
 
     fn drain(&mut self) -> Vec<TraceEvent> {
         self.buf.drain(..).collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -196,8 +208,20 @@ mod tests {
             sink.record(&ev(c));
         }
         assert_eq!(sink.dropped(), 7);
+        let as_sink: &dyn TraceSink = &sink;
+        assert_eq!(as_sink.dropped(), 7, "loss is visible through the trait object");
         let kept = sink.drain();
         assert_eq!(kept.iter().map(TraceEvent::cycle).collect::<Vec<_>>(), [7, 8, 9]);
+    }
+
+    #[test]
+    fn unbounded_sinks_report_zero_dropped() {
+        let mut sink = CollectingSink::new();
+        for c in 0..100 {
+            sink.record(&ev(c));
+        }
+        let as_sink: &dyn TraceSink = &sink;
+        assert_eq!(as_sink.dropped(), 0);
     }
 
     #[test]

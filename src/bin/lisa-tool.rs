@@ -14,11 +14,13 @@
 //! lisa-tool trace  <model> <prog.s> [options]  run + export the structured trace
 //!     --out FILE                write to FILE instead of stdout
 //!     --vcd                     emit a pipeline-timeline VCD instead of JSON lines
+//!     --spans                   also print runtime spans (JSONL) after the run
 //! lisa-tool profile <model> <prog.s> [options] run + print the execution profile
 //! lisa-tool batch  [options]                   run the builtin models x kernels matrix
 //!     --workers N               worker threads (default: available parallelism)
 //!     --mode interp|compiled|both   backends to include (default both)
 //!     --profile                 collect + print the merged execution profile
+//!     --spans FILE              write a Perfetto-loadable Chrome trace of the run
 //! lisa-tool fuzz   [model] [options]           differential conformance fuzzing
 //!     --model M                 model to fuzz (default: all builtins)
 //!     --seed N                  master seed (default 0)
@@ -127,10 +129,11 @@ fn usage() -> String {
     "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench|serve> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
-     trace options: --out FILE  --vcd  (plus run options)\n\
+     trace options: --out FILE  --vcd  --spans  (plus run options)\n\
      profile options: same as run\n\
      asm/disasm options: -o FILE  --packet N\n\
      batch options: --workers N  --mode interp|compiled|both  --profile  --metrics FILE\n\
+                    --spans FILE\n\
      fuzz options: --model M|all  --seed N  --iters N  --corpus-dir DIR\n\
                    --max-len N  --max-cycles N  --self-check  --metrics FILE\n\
      bench options: --quick  --repeats N  --out DIR  --baseline FILE  --threshold PCT\n\
@@ -276,7 +279,22 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     let run = load_run(args)?;
     let mut sim = boot_sim(&run, sim_mode(args)?)?;
     sim.set_trace(true);
+
+    // With --spans, hang the simulator's spans off a synthetic `run`
+    // root so the exported tree is connected.
+    let spans = has_flag(args, "--spans").then(|| {
+        let recorder = std::sync::Arc::new(lisa::spans::SpanRecorder::new(1 << 16));
+        recorder.set_enabled(true);
+        let scope = lisa::spans::SpanScope::new(std::sync::Arc::clone(&recorder), 1);
+        let root = scope.start(lisa::spans::SpanKind::Run);
+        sim.set_spans(Some(scope.child(root.id())));
+        (recorder, root)
+    });
     let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let span_lines = spans.map(|(recorder, root)| {
+        drop(root);
+        lisa::spans::export::to_jsonl(&recorder.collect())
+    });
 
     let events = sim.take_events();
     let names = sim.name_table();
@@ -294,6 +312,9 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
             println!("wrote {} events over {cycles} control steps to {path}", events.len());
         }
         None => print!("{text}"),
+    }
+    if let Some(lines) = span_lines {
+        print!("{lines}");
     }
     Ok(())
 }
@@ -346,8 +367,26 @@ fn batch(args: &[String]) -> Result<(), CliError> {
             eprintln!("batch: {}", p.line());
         });
     }
+    let spans = flag_value(args, "--spans").map(|path| {
+        let recorder = std::sync::Arc::new(lisa::spans::SpanRecorder::new(1 << 18));
+        recorder.set_enabled(true);
+        (path.to_owned(), recorder)
+    });
+    if let Some((_, recorder)) = &spans {
+        observer =
+            observer.with_spans(lisa::spans::SpanScope::new(std::sync::Arc::clone(recorder), 1));
+    }
     let report = lisa::exec::BatchRunner::new(workers).run_observed(&scenarios, &observer);
     print!("{}", report.table());
+    if let Some((path, recorder)) = &spans {
+        let collected = recorder.collect();
+        let chrome = lisa::spans::export::to_chrome_trace(&collected);
+        fs::write(path, chrome).map_err(|e| format!("cannot write spans to `{path}`: {e}"))?;
+        println!(
+            "{} span(s) written to {path} (Chrome trace; load at https://ui.perfetto.dev)",
+            collected.len()
+        );
+    }
     for job in &report.jobs {
         if let Ok(r) = &job.result {
             lisa::sim::publish_stats(&registry, &r.stats, scenarios[job.index].mode.metric_label());

@@ -17,6 +17,7 @@
 //! | [`trace`] | `lisa-trace` | structured trace events, profiles, JSONL/VCD exporters |
 //! | [`conform`] | `lisa-conform` | ISA-driven differential fuzzing, metamorphic oracles, shrinking |
 //! | [`metrics`] | `lisa-metrics` | always-on runtime metrics: lock-free registry, Prometheus/JSON exposition |
+//! | [`spans`] | `lisa-spans` | cross-layer runtime span tracing with Chrome-trace/JSONL export |
 //! | [`serve`] | `lisa-serve` | dependency-free HTTP/1.1 simulation service: assemble/simulate/batch over the wire |
 //!
 //! # Quickstart
@@ -54,4 +55,5 @@ pub use lisa_metrics as metrics;
 pub use lisa_models as models;
 pub use lisa_serve as serve;
 pub use lisa_sim as sim;
+pub use lisa_spans as spans;
 pub use lisa_trace as trace;
