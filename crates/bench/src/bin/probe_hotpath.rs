@@ -1,19 +1,74 @@
-//! Manual hot-path probe: times engine phases for the vliw62 dot kernel.
+//! Manual hot-path probe: times engine phases for the vliw62 dot kernel
+//! across all three backends, plus micro-models that isolate the fixed
+//! per-step engine overhead from decode and behavior-evaluation cost.
 
+use lisa_core::Model;
 use lisa_models::{kernels, vliw62};
-use lisa_sim::SimMode;
+use lisa_sim::{SimMode, Simulator};
 use std::time::Instant;
 
+fn time_micro(name: &str, source: &str, steps: u64) {
+    let model = Model::from_source(source).expect("micro model builds");
+    for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
+        let mut sim = Simulator::new(&model, mode).expect("sim builds");
+        sim.predecode_program_memory();
+        let t = Instant::now();
+        sim.run(steps).expect("runs");
+        let dt = t.elapsed();
+        println!("{name:<24} {mode:?}: {:.0} ns/cycle", dt.as_secs_f64() * 1e9 / steps as f64);
+    }
+}
+
 fn main() {
+    // Pure step overhead: a main with an empty behavior.
+    time_micro(
+        "empty-main",
+        r#"RESOURCE { PROGRAM_COUNTER int pc; }
+           OPERATION main { BEHAVIOR { } }"#,
+        200_000,
+    );
+    // One statement of behavior.
+    time_micro(
+        "counter-main",
+        r#"RESOURCE { PROGRAM_COUNTER int pc; REGISTER int r0; }
+           OPERATION main { BEHAVIOR { r0 = r0 + 1; pc = pc + 1; } }"#,
+        200_000,
+    );
+    // Fetch + decode of a constant word through the decode path.
+    time_micro(
+        "fetch-decode",
+        r#"RESOURCE {
+               PROGRAM_COUNTER int pc;
+               CONTROL_REGISTER int ir;
+               REGISTER int r0;
+               PROGRAM_MEMORY int prog_mem[16];
+           }
+           OPERATION nopi {
+               CODING { 0b0000000000000000 }
+               SYNTAX { "NOPI" }
+               BEHAVIOR { r0 = r0 + 1; }
+           }
+           OPERATION decode {
+               DECLARE { GROUP insn = { nopi }; }
+               CODING { ir == insn }
+               SYNTAX { insn }
+               BEHAVIOR { insn; }
+           }
+           OPERATION main {
+               BEHAVIOR { ir = prog_mem[pc & 15]; decode; pc = pc + 1; }
+           }"#,
+        200_000,
+    );
+
     let wb = vliw62::workbench().expect("builds");
     let kernel = kernels::vliw_dot_product(64);
-    for mode in [SimMode::Interpretive, SimMode::Compiled] {
+    for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
         let mut sim = kernels::load_kernel(&wb, &kernel, mode).expect("loads");
         let t = Instant::now();
         let cycles = wb.run_to_halt(&mut sim, kernel.max_steps).expect("halts");
         let dt = t.elapsed();
         println!(
-            "{mode:?}: {cycles} cycles in {:?} = {:.2} us/cycle; stats: {}",
+            "vliw_dot {mode:?}: {cycles} cycles in {:?} = {:.2} us/cycle; stats: {}",
             dt,
             dt.as_secs_f64() * 1e6 / cycles as f64,
             sim.stats()

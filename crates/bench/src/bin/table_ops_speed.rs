@@ -1,0 +1,112 @@
+//! Experiment E15: threaded micro-op (ops) backend vs the interpretive
+//! and compiled backends on the DSP kernel suite. The ops backend lowers
+//! every decoded instruction instance to a flat micro-op array at
+//! translate time (labels folded, SWITCH arms resolved, register slots
+//! pre-indexed), so the cycle loop is a tight dispatch over contiguous
+//! ops — this table measures what that buys over both older backends.
+//!
+//! The report is **gated** at two levels. [`FLOOR`] is the hard
+//! regression gate: the geometric-mean ops-over-interpretive speedup
+//! must stay above it or the process exits non-zero, so CI catches a
+//! regressed translator. [`PAPER_TARGET`] is the DAC'99 §3.3
+//! paper-parity goal (>2 orders of magnitude there, scaled here to 20x)
+//! and is reported honestly — the builtin models are small enough that
+//! the shared engine floor (scheduling, pipeline bookkeeping, resource
+//! storage) dominates the cycle budget in every backend, so the
+//! measured headroom over an already-fast Rust tree-walker is ~4x, not
+//! 20x. See EXPERIMENTS.md E15 for the full analysis.
+
+use std::fmt::Write as _;
+
+use lisa_bench::{measure_tri_speed, write_report, TriSpeedRow};
+use lisa_models::{accu16, kernels, scalar2, tinyrisc, vliw62};
+
+/// Hard gate: minimum geometric-mean ops-over-interpretive speedup.
+/// Measured ~4.0x on the 12-kernel suite; 3.0 leaves noise margin while
+/// still catching a translator that stops paying for itself.
+const FLOOR: f64 = 3.0;
+
+/// Aspirational paper-parity target (DAC'99 §3.3 claims >100x against a
+/// naive interpretive simulator). Reported, not gated.
+const PAPER_TARGET: f64 = 20.0;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|s| s.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn main() {
+    let mut out = String::new();
+    writeln!(out, "E15 — threaded micro-op (ops) backend vs interpretive and compiled").unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "kernel", "cycles", "interp c/s", "compiled c/s", "ops c/s", "ops/intp", "ops/comp"
+    )
+    .unwrap();
+    writeln!(out, "{}", "-".repeat(86)).unwrap();
+
+    let mut rows: Vec<TriSpeedRow> = Vec::new();
+    let vliw = vliw62::workbench().expect("vliw62 builds");
+    for kernel in kernels::vliw_suite() {
+        rows.push(measure_tri_speed(&vliw, &kernel, 3));
+    }
+    let accu = accu16::workbench().expect("accu16 builds");
+    for kernel in kernels::accu_suite() {
+        rows.push(measure_tri_speed(&accu, &kernel, 3));
+    }
+    let tiny = tinyrisc::workbench().expect("tinyrisc builds");
+    for kernel in kernels::tiny_suite() {
+        rows.push(measure_tri_speed(&tiny, &kernel, 3));
+    }
+    let scalar = scalar2::workbench().expect("scalar2 builds");
+    for kernel in kernels::scalar_suite() {
+        rows.push(measure_tri_speed(&scalar, &kernel, 3));
+    }
+
+    for row in &rows {
+        writeln!(
+            out,
+            "{:<18} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.1}x {:>8.1}x",
+            row.kernel,
+            row.cycles,
+            row.interp_cps(),
+            row.compiled_cps(),
+            row.ops_cps(),
+            row.ops_speedup(),
+            row.ops_over_compiled()
+        )
+        .unwrap();
+    }
+    writeln!(out, "{}", "-".repeat(86)).unwrap();
+
+    let over_interp = geomean(&rows.iter().map(TriSpeedRow::ops_speedup).collect::<Vec<_>>());
+    let over_compiled =
+        geomean(&rows.iter().map(TriSpeedRow::ops_over_compiled).collect::<Vec<_>>());
+    writeln!(out, "geometric-mean ops speedup over interpretive: {over_interp:.1}x").unwrap();
+    writeln!(out, "geometric-mean ops speedup over compiled:     {over_compiled:.1}x").unwrap();
+    writeln!(out).unwrap();
+    let floor_verdict = if over_interp >= FLOOR { "PASS" } else { "FAIL" };
+    writeln!(out, "regression gate: geomean >= {FLOOR:.1}x — {floor_verdict}").unwrap();
+    let parity = if over_interp >= PAPER_TARGET { "met" } else { "not met" };
+    writeln!(out, "paper-parity target ({PAPER_TARGET:.0}x): {parity} at {over_interp:.1}x")
+        .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "paper claim: compiled simulation > 100x over interpretive (DAC'99 §3.3 / [13]),"
+    )
+    .unwrap();
+    writeln!(out, "measured against a fully naive interpretive simulator. Here the baseline")
+        .unwrap();
+    writeln!(out, "is itself a predecoded Rust tree-walker sharing the engine's scheduler and")
+        .unwrap();
+    writeln!(out, "storage, so the remaining headroom is behavior evaluation only — see").unwrap();
+    writeln!(out, "EXPERIMENTS.md E15 for the breakdown.").unwrap();
+    write_report("e15_ops_speed.txt", &out);
+
+    if over_interp < FLOOR {
+        eprintln!("E15 regression gate failed: {over_interp:.2}x < {FLOOR:.1}x");
+        std::process::exit(1);
+    }
+}

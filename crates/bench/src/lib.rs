@@ -10,7 +10,9 @@
 //! * **E3** — compiled vs interpretive simulation speed
 //!   ([`measure_sim_speed`]);
 //! * **E5** — compile-time `SWITCH`/`CASE` specialisation versus run-time
-//!   operand checks ([`specialization`]).
+//!   operand checks ([`specialization`]);
+//! * **E15** — threaded micro-op (ops) backend vs both older backends
+//!   ([`measure_tri_speed`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -170,6 +172,88 @@ pub fn measure_sim_speed(wb: &Workbench, kernel: &Kernel, repeats: u32) -> Speed
         cycles: cycles[0],
         interpretive: best[0],
         compiled: best[1],
+    }
+}
+
+/// The result of one E15 three-backend speed measurement.
+#[derive(Debug, Clone)]
+pub struct TriSpeedRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Cycles the kernel took (identical across all modes — checked).
+    pub cycles: u64,
+    /// Interpretive wall time.
+    pub interpretive: Duration,
+    /// Compiled wall time.
+    pub compiled: Duration,
+    /// Threaded micro-op wall time.
+    pub ops: Duration,
+}
+
+impl TriSpeedRow {
+    /// Interpretive simulation speed in cycles/second.
+    #[must_use]
+    pub fn interp_cps(&self) -> f64 {
+        self.cycles as f64 / self.interpretive.as_secs_f64()
+    }
+
+    /// Compiled simulation speed in cycles/second.
+    #[must_use]
+    pub fn compiled_cps(&self) -> f64 {
+        self.cycles as f64 / self.compiled.as_secs_f64()
+    }
+
+    /// Ops simulation speed in cycles/second.
+    #[must_use]
+    pub fn ops_cps(&self) -> f64 {
+        self.cycles as f64 / self.ops.as_secs_f64()
+    }
+
+    /// Ops-over-interpretive speedup factor.
+    #[must_use]
+    pub fn ops_speedup(&self) -> f64 {
+        self.interpretive.as_secs_f64() / self.ops.as_secs_f64()
+    }
+
+    /// Ops-over-compiled speedup factor.
+    #[must_use]
+    pub fn ops_over_compiled(&self) -> f64 {
+        self.compiled.as_secs_f64() / self.ops.as_secs_f64()
+    }
+}
+
+/// Measures all three execution backends on one kernel (experiment E15).
+/// Same protocol as [`measure_sim_speed`]: `repeats` runs per mode, best
+/// time kept, results verified and cycle counts cross-checked.
+///
+/// # Panics
+///
+/// Panics if the kernel fails to run or any two modes disagree on the
+/// cycle count (cycle accuracy must not depend on the backend).
+#[must_use]
+pub fn measure_tri_speed(wb: &Workbench, kernel: &Kernel, repeats: u32) -> TriSpeedRow {
+    let mut best = [Duration::MAX; 3];
+    let mut cycles = [0u64; 3];
+    let modes = [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops];
+    for (slot, mode) in modes.into_iter().enumerate() {
+        for _ in 0..repeats {
+            let mut sim = kernels::load_kernel(wb, kernel, mode).expect("kernel loads");
+            let t = Instant::now();
+            let c = wb.run_to_halt(&mut sim, kernel.max_steps).expect("kernel halts");
+            let elapsed = t.elapsed();
+            kernels::verify_kernel(wb, kernel, &sim);
+            cycles[slot] = c;
+            best[slot] = best[slot].min(elapsed);
+        }
+    }
+    assert_eq!(cycles[0], cycles[1], "modes disagree on cycles for {}", kernel.name);
+    assert_eq!(cycles[0], cycles[2], "ops mode disagrees on cycles for {}", kernel.name);
+    TriSpeedRow {
+        kernel: kernel.name.clone(),
+        cycles: cycles[0],
+        interpretive: best[0],
+        compiled: best[1],
+        ops: best[2],
     }
 }
 

@@ -1,7 +1,7 @@
 //! Machine-readable benchmark trajectories and regression gating.
 //!
 //! `lisa-tool bench` runs the standard kernel suites on every builtin
-//! model in both simulation backends and serializes the result as a
+//! model in every simulation backend and serializes the result as a
 //! schema-versioned JSON document (`BENCH_<date>.json`). Checked-in
 //! baselines plus [`compare`] turn those documents into a perf-regression
 //! gate: a run whose simulated-MIPS drops more than a threshold below the
@@ -64,7 +64,7 @@ impl Quantiles {
 pub struct BenchRow {
     /// Builtin model name.
     pub model: String,
-    /// Backend label (`"interpretive"` / `"compiled"`).
+    /// Backend label (`"interpretive"` / `"compiled"` / `"ops"`).
     pub backend: String,
     /// Kernel name.
     pub kernel: String,
@@ -103,7 +103,7 @@ impl BenchRow {
     }
 }
 
-/// A full benchmark run: every builtin model × both backends × its
+/// A full benchmark run: every builtin model × all three backends × its
 /// kernel suite.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchReport {
@@ -171,7 +171,7 @@ fn model_suites(quick: bool) -> Vec<(&'static str, Workbench, Vec<Kernel>)> {
     suites
 }
 
-/// Runs the benchmark matrix: every builtin model × both backends ×
+/// Runs the benchmark matrix: every builtin model × all three backends ×
 /// its kernel suite, `repeats` timed runs per cell.
 ///
 /// When `metrics` is given, each simulator publishes its stats into the
@@ -187,7 +187,7 @@ pub fn measure(quick: bool, repeats: u32, metrics: Option<&Registry>) -> BenchRe
     let repeats = repeats.max(1);
     let mut rows = Vec::new();
     for (model, wb, suite) in model_suites(quick) {
-        for mode in [SimMode::Interpretive, SimMode::Compiled] {
+        for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
             let backend = mode.metric_label();
             for kernel in &suite {
                 let mut durations_us = Vec::with_capacity(repeats as usize);
@@ -504,12 +504,12 @@ mod tests {
     }
 
     #[test]
-    fn quick_measurement_covers_all_models_and_both_backends() {
+    fn quick_measurement_covers_all_models_and_all_backends() {
         let reg = Registry::new();
         let report = measure(true, 1, Some(&reg));
         assert!(report.quick);
         for model in ["vliw62", "accu16", "scalar2", "tinyrisc"] {
-            for backend in ["interpretive", "compiled"] {
+            for backend in ["interpretive", "compiled", "ops"] {
                 assert!(
                     report.rows.iter().any(|r| r.model == model && r.backend == backend),
                     "missing {model}/{backend}"

@@ -1,11 +1,12 @@
 //! Execution oracles: the invariants every synthesized program is
 //! checked against.
 //!
-//! The primary oracle runs the interpretive and compiled backends in
-//! **lockstep**, comparing [`State::digest`](lisa_sim::State::digest)
-//! and the mode-independent [`SimStats`] fields after every control
-//! step — the strictest cross-check the workspace can express, and a
-//! direct generalization of the paper's §4.1 `sim62x` comparison.
+//! The primary oracle runs all three backends — interpretive, compiled
+//! and threaded micro-op (`ops`) — in **lockstep**, comparing
+//! [`State::digest`](lisa_sim::State::digest) and the mode-independent
+//! [`SimStats`] fields after every control step — the strictest
+//! cross-check the workspace can express, and a direct generalization
+//! of the paper's §4.1 `sim62x` comparison.
 //!
 //! Three **metamorphic** oracles then assert that semantics-preserving
 //! transformations of a run do not change its result: snapshotting at a
@@ -25,7 +26,8 @@ use lisa_sim::{SimError, SimMode, SimStats, Simulator};
 /// Which oracle detected a divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleKind {
-    /// Interpretive vs compiled lockstep digest + stats comparison.
+    /// Interpretive vs compiled vs ops lockstep digest + stats
+    /// comparison (all mode pairs, every cycle).
     Lockstep,
     /// Snapshot at a mid-run cycle, resume in both backends.
     SnapshotRestore,
@@ -63,7 +65,7 @@ pub enum Outcome {
     Halted {
         /// Control steps until the halt was observed.
         cycles: u64,
-        /// Final state digest (identical in both backends).
+        /// Final state digest (identical in every backend).
         digest: u64,
     },
     /// The cycle budget ran out before the halt flag rose.
@@ -71,7 +73,7 @@ pub enum Outcome {
         /// State digest at the budget boundary.
         digest: u64,
     },
-    /// Both backends raised the same runtime error.
+    /// Every backend raised the same runtime error.
     Error {
         /// The shared diagnostic text.
         message: String,
@@ -147,7 +149,7 @@ fn halted(sim: &Simulator<'_>, halt: &Resource) -> bool {
 /// Mode-independent stats fields; `decode_cache_hits` is deliberately
 /// excluded (it is the one field the backends legitimately disagree
 /// on).
-fn stats_mismatch(a: &SimStats, b: &SimStats) -> Option<String> {
+fn stats_mismatch(la: &str, a: &SimStats, lb: &str, b: &SimStats) -> Option<String> {
     let fields = [
         ("cycles", a.cycles, b.cycles),
         ("executed_ops", a.executed_ops, b.executed_ops),
@@ -159,12 +161,12 @@ fn stats_mismatch(a: &SimStats, b: &SimStats) -> Option<String> {
     ];
     for (name, x, y) in fields {
         if x != y {
-            return Some(format!("stats.{name}: interpretive={x} compiled={y}"));
+            return Some(format!("stats.{name}: {la}={x} {lb}={y}"));
         }
     }
     if a.stall_by_stage != b.stall_by_stage {
         return Some(format!(
-            "stats.stall_by_stage: interpretive={:?} compiled={:?}",
+            "stats.stall_by_stage: {la}={:?} {lb}={:?}",
             a.stall_by_stage, b.stall_by_stage
         ));
     }
@@ -181,25 +183,34 @@ fn lockstep(
     let fail = |detail: String| Verdict { oracle: OracleKind::Lockstep, detail };
     let halt = halt_resource(wb)?;
 
-    let mut interp = wb.simulator(SimMode::Interpretive).map_err(|e| fail(e.to_string()))?;
-    let mut compiled = wb.simulator(SimMode::Compiled).map_err(|e| fail(e.to_string()))?;
-    let li = interp.load_program(wb.program_memory(), image);
-    let lc = compiled.load_program(wb.program_memory(), image);
-    match (li, lc) {
-        (Ok(()), Ok(())) => {}
-        (Err(a), Err(b)) if a.to_string() == b.to_string() => {
-            return Ok(Outcome::Error { message: a.to_string() });
+    const MODES: [(SimMode, &str); 3] = [
+        (SimMode::Interpretive, "interpretive"),
+        (SimMode::Compiled, "compiled"),
+        (SimMode::Ops, "ops"),
+    ];
+    let mut sims = Vec::with_capacity(MODES.len());
+    for (mode, _) in MODES {
+        sims.push(wb.simulator(mode).map_err(|e| fail(e.to_string()))?);
+    }
+    let loads: Vec<_> =
+        sims.iter_mut().map(|sim| sim.load_program(wb.program_memory(), image)).collect();
+    if loads.iter().all(Result::is_ok) {
+        // fall through to the cycle loop
+    } else if let Some(Err(first)) = loads.first() {
+        let message = first.to_string();
+        if loads.iter().all(|l| matches!(l, Err(e) if e.to_string() == message)) {
+            return Ok(Outcome::Error { message });
         }
-        (a, b) => {
-            return Err(fail(format!("program load disagrees: interpretive={a:?} compiled={b:?}")));
-        }
+        return Err(fail(format!("program load disagrees: {loads:?}")));
+    } else {
+        return Err(fail(format!("program load disagrees: {loads:?}")));
     }
 
     for cycle in 0..max_cycles {
-        let ri = interp.step();
-        let rc = compiled.step();
+        let results: Vec<_> = sims.iter_mut().map(lisa_sim::Simulator::step).collect();
         if let Some(f) = fault {
             if cycle >= f.at_cycle {
+                let compiled = &mut sims[1];
                 let cur = compiled.state().read_int(&halt, &[]).unwrap_or(0);
                 let flipped = i64::from(cur == 0);
                 compiled
@@ -208,38 +219,60 @@ fn lockstep(
                     .map_err(|e| fail(format!("fault injection failed: {e}")))?;
             }
         }
-        match (ri, rc) {
-            (Ok(()), Ok(())) => {}
-            (Err(a), Err(b)) => {
-                let (a, b) = (a.to_string(), b.to_string());
-                if a == b {
-                    return Ok(Outcome::Error { message: a });
+        match &results[0] {
+            Ok(()) => {
+                for ((_, label), r) in MODES.iter().zip(&results).skip(1) {
+                    if let Err(e) = r {
+                        return Err(fail(format!("cycle {cycle}: only {label} failed: `{e}`")));
+                    }
                 }
+            }
+            Err(first) => {
+                let message = first.to_string();
+                for ((_, label), r) in MODES.iter().zip(&results).skip(1) {
+                    match r {
+                        Err(e) if e.to_string() == message => {}
+                        Err(e) => {
+                            return Err(fail(format!(
+                                "cycle {cycle}: backends failed differently:                                  interpretive=`{message}` {label}=`{e}`"
+                            )));
+                        }
+                        Ok(()) => {
+                            return Err(fail(format!(
+                                "cycle {cycle}: interpretive failed but {label} did not:                                  `{message}`"
+                            )));
+                        }
+                    }
+                }
+                return Ok(Outcome::Error { message });
+            }
+        }
+        let da = sims[0].state().digest();
+        for ((_, label), sim) in MODES.iter().zip(&sims).skip(1) {
+            let db = sim.state().digest();
+            if da != db {
                 return Err(fail(format!(
-                    "cycle {cycle}: backends failed differently: interpretive=`{a}` compiled=`{b}`"
+                    "cycle {cycle}: state digest diverged:                      interpretive={da:#018x} {label}={db:#018x}"
                 )));
             }
-            (Ok(()), Err(e)) => {
-                return Err(fail(format!("cycle {cycle}: only compiled failed: `{e}`")));
+        }
+        // Compare all mode pairs, not just against the reference: the
+        // mode-independent stats contract must hold between compiled and
+        // ops as well.
+        for i in 0..MODES.len() {
+            for j in i + 1..MODES.len() {
+                if let Some(detail) =
+                    stats_mismatch(MODES[i].1, sims[i].stats(), MODES[j].1, sims[j].stats())
+                {
+                    return Err(fail(format!("cycle {cycle}: {detail}")));
+                }
             }
-            (Err(e), Ok(())) => {
-                return Err(fail(format!("cycle {cycle}: only interpretive failed: `{e}`")));
-            }
         }
-        let (da, db) = (interp.state().digest(), compiled.state().digest());
-        if da != db {
-            return Err(fail(format!(
-                "cycle {cycle}: state digest diverged: interpretive={da:#018x} compiled={db:#018x}"
-            )));
-        }
-        if let Some(detail) = stats_mismatch(interp.stats(), compiled.stats()) {
-            return Err(fail(format!("cycle {cycle}: {detail}")));
-        }
-        if halted(&interp, &halt) {
-            return Ok(Outcome::Halted { cycles: interp.stats().cycles, digest: da });
+        if halted(&sims[0], &halt) {
+            return Ok(Outcome::Halted { cycles: sims[0].stats().cycles, digest: da });
         }
     }
-    Ok(Outcome::Budget { digest: interp.state().digest() })
+    Ok(Outcome::Budget { digest: sims[0].state().digest() })
 }
 
 /// Runs one backend to completion the same way the lockstep oracle
@@ -281,19 +314,24 @@ fn run_one(
     Outcome::Budget { digest: sim.state().digest() }
 }
 
-/// Metamorphic oracle: tracing and profiling must not change execution.
+/// Metamorphic oracle: tracing and profiling must not change execution,
+/// in either translated backend.
 fn trace_parity(
     wb: &Workbench,
     image: &[u128],
     max_cycles: u64,
     reference: &Outcome,
 ) -> Result<(), Verdict> {
-    let traced = run_one(wb, SimMode::Compiled, image, max_cycles, true);
-    if traced != *reference {
-        return Err(Verdict {
-            oracle: OracleKind::TraceParity,
-            detail: format!("traced run diverged: plain={reference:?} traced={traced:?}"),
-        });
+    for mode in [SimMode::Compiled, SimMode::Ops] {
+        let traced = run_one(wb, mode, image, max_cycles, true);
+        if traced != *reference {
+            return Err(Verdict {
+                oracle: OracleKind::TraceParity,
+                detail: format!(
+                    "traced {mode:?} run diverged: plain={reference:?} traced={traced:?}"
+                ),
+            });
+        }
     }
     Ok(())
 }
@@ -321,7 +359,7 @@ fn snapshot_restore(
         .map_err(|e| fail(format!("uninterrupted continuation: {e}")))?;
     let want = (rest, base.state().digest());
 
-    for mode in [SimMode::Interpretive, SimMode::Compiled] {
+    for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
         let mut resumed = wb.simulator(mode).map_err(|e| fail(e.to_string()))?;
         resumed.restore(&snap).map_err(|e| fail(format!("restore into {mode:?}: {e}")))?;
         if resumed.state().digest() != snap.state().digest() {
@@ -337,6 +375,28 @@ fn snapshot_restore(
                  (cycles, digest) = {got:?}, uninterrupted = {want:?}"
             )));
         }
+    }
+
+    // The reverse direction: a snapshot *taken* in ops mode must restore
+    // into the interpreter and continue identically.
+    let mut ops = wb.simulator(SimMode::Ops).map_err(|e| fail(e.to_string()))?;
+    ops.load_program(wb.program_memory(), image).map_err(|e| fail(e.to_string()))?;
+    ops.run(mid).map_err(|e| fail(format!("ops run to midpoint: {e}")))?;
+    let ops_snap = ops.snapshot();
+    if ops_snap.state().digest() != snap.state().digest() {
+        return Err(fail("ops-mode midpoint digest differs from interpretive".to_string()));
+    }
+    let mut resumed = wb.simulator(SimMode::Interpretive).map_err(|e| fail(e.to_string()))?;
+    resumed.restore(&ops_snap).map_err(|e| fail(format!("restore ops snapshot: {e}")))?;
+    let rest = resumed
+        .run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, rest_budget)
+        .map_err(|e| fail(format!("continuation from ops snapshot: {e}")))?;
+    if (rest, resumed.state().digest()) != want {
+        return Err(fail(format!(
+            "continuation from an ops-mode snapshot diverged after cycle {mid}: \
+             (cycles, digest) = {:?}, uninterrupted = {want:?}",
+            (rest, resumed.state().digest())
+        )));
     }
     Ok(())
 }

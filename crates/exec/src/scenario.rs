@@ -248,7 +248,7 @@ pub fn run_scenario_with(
         let indices: &[i64] = if res.is_array() { std::slice::from_ref(index) } else { &[] };
         sim.state_mut().write_int(&res, indices, *value).map_err(setup)?;
     }
-    if sc.mode == SimMode::Compiled {
+    if sc.mode != SimMode::Interpretive {
         sim.predecode_program_memory();
     }
     if sc.profile {

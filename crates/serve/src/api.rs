@@ -26,7 +26,7 @@ pub struct SimulateRequest {
     pub model: String,
     /// Assembly source text.
     pub program: String,
-    /// Backend: `"interp"` or `"compiled"` (default).
+    /// Backend: `"interp"`, `"ops"` or `"compiled"` (default).
     pub mode: String,
     /// Control-step budget (default 100 000).
     pub max_cycles: u64,
@@ -37,7 +37,8 @@ pub struct SimulateRequest {
 /// `POST /v1/batch` body (all fields optional on the wire).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchRequest {
-    /// Backends: `"interp"`, `"compiled"` or `"both"` (default).
+    /// Backends: `"interp"`, `"compiled"`, `"ops"`, `"all"` or `"both"`
+    /// (default).
     pub mode: String,
     /// Worker threads for the batch pool (default 2, capped at 16).
     pub workers: usize,

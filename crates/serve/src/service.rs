@@ -327,8 +327,14 @@ impl AppState {
         let mode = match req.mode.as_str() {
             "interp" | "interpretive" => SimMode::Interpretive,
             "compiled" => SimMode::Compiled,
+            "ops" => SimMode::Ops,
             other => {
-                return Response::json(400, api::error_body(&format!("unknown mode `{other}`")))
+                // 422, not 400: the request is well-formed JSON with a
+                // semantically invalid field value.
+                return Response::json(
+                    422,
+                    api::error_body(&format!("unknown mode `{other}` (interp|compiled|ops)")),
+                );
             }
         };
 
@@ -378,9 +384,16 @@ impl AppState {
         let modes: &[SimMode] = match req.mode.as_str() {
             "interp" | "interpretive" => &[SimMode::Interpretive],
             "compiled" => &[SimMode::Compiled],
+            "ops" => &[SimMode::Ops],
             "both" => &[SimMode::Interpretive, SimMode::Compiled],
+            "all" => &[SimMode::Interpretive, SimMode::Compiled, SimMode::Ops],
             other => {
-                return Response::json(400, api::error_body(&format!("unknown mode `{other}`")))
+                return Response::json(
+                    422,
+                    api::error_body(&format!(
+                        "unknown mode `{other}` (interp|compiled|ops|both|all)"
+                    )),
+                );
             }
         };
         let started = Instant::now();
@@ -451,7 +464,7 @@ fn simulate(
         let value = lisa_bits::Bits::from_u128_wrapped(pmem.ty.width(), word);
         sim.state_mut().write(&pmem, &[origin as i64 + i as i64], value).map_err(sim_err)?;
     }
-    if mode == SimMode::Compiled {
+    if mode != SimMode::Interpretive {
         sim.predecode_program_memory();
     }
     let halt = served

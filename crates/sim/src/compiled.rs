@@ -112,10 +112,10 @@ pub(crate) struct LBlock {
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledTables {
     variant_base: Vec<usize>,
-    behaviors: Vec<Option<LBlock>>,
-    expressions: Vec<Option<LExpr>>,
-    expr_places: Vec<Option<LPlace>>,
-    locals_count: Vec<u16>,
+    pub(crate) behaviors: Vec<Option<LBlock>>,
+    pub(crate) expressions: Vec<Option<LExpr>>,
+    pub(crate) expr_places: Vec<Option<LPlace>>,
+    pub(crate) locals_count: Vec<u16>,
 }
 
 impl CompiledTables {
@@ -156,6 +156,14 @@ impl CompiledTables {
         }
         Ok(tables)
     }
+}
+
+/// Lowers one ACTIVATION condition expression. Conditions evaluate in a
+/// fresh frame (no behavior locals in scope), so a bare `LowerCtx` gives
+/// the same name resolution the interpretive `eval_condition` performs at
+/// run time.
+pub(crate) fn lower_act_expr(model: &Model, op: OpId, expr: &Expr) -> Result<LExpr, SimError> {
+    LowerCtx::new(model, op).lower_expr(expr)
 }
 
 /// Name-resolution context while lowering one operation.
@@ -453,14 +461,14 @@ fn width_of(ty: DataType) -> u32 {
 
 /// Local-variable slots: behaviors with up to 16 locals (all bundled
 /// models) run allocation-free.
-enum LocalSlots {
+pub(crate) enum LocalSlots {
     Inline([i64; 16]),
     Heap(Vec<i64>),
 }
 
 impl LocalSlots {
     #[inline]
-    fn new(n: usize) -> LocalSlots {
+    pub(crate) fn new(n: usize) -> LocalSlots {
         if n <= 16 {
             LocalSlots::Inline([0; 16])
         } else {
@@ -469,7 +477,7 @@ impl LocalSlots {
     }
 
     #[inline]
-    fn get(&self, slot: u16) -> i64 {
+    pub(crate) fn get(&self, slot: u16) -> i64 {
         match self {
             LocalSlots::Inline(a) => a[slot as usize],
             LocalSlots::Heap(v) => v[slot as usize],
@@ -477,7 +485,7 @@ impl LocalSlots {
     }
 
     #[inline]
-    fn set(&mut self, slot: u16, value: i64) {
+    pub(crate) fn set(&mut self, slot: u16, value: i64) {
         match self {
             LocalSlots::Inline(a) => a[slot as usize] = value,
             LocalSlots::Heap(v) => v[slot as usize] = value,
@@ -516,6 +524,9 @@ impl Simulator<'_> {
         variant: usize,
         decoded: Option<&Decoded>,
     ) -> Result<(), SimError> {
+        // One `Arc` bump per behavior call decouples the tables' lifetime
+        // from `&mut self`; everything below threads a plain reference, so
+        // operand and child-expression accesses stay clone-free.
         let tables =
             std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode has tables"));
         let idx = tables.slot(op, variant);
@@ -524,13 +535,18 @@ impl Simulator<'_> {
         };
         let n_locals = tables.locals_count[idx] as usize;
         let mut frame = LFrame { decoded, op, variant, locals: LocalSlots::new(n_locals) };
-        self.run_lblock(block, &mut frame)?;
+        self.run_lblock(&tables, block, &mut frame)?;
         Ok(())
     }
 
-    fn run_lblock(&mut self, block: &LBlock, frame: &mut LFrame<'_>) -> Result<Flow, SimError> {
+    fn run_lblock(
+        &mut self,
+        tables: &CompiledTables,
+        block: &LBlock,
+        frame: &mut LFrame<'_>,
+    ) -> Result<Flow, SimError> {
         for stmt in &block.stmts {
-            match self.run_lstmt(stmt, frame)? {
+            match self.run_lstmt(tables, stmt, frame)? {
                 Flow::Normal => {}
                 other => return Ok(other),
             }
@@ -538,11 +554,16 @@ impl Simulator<'_> {
         Ok(Flow::Normal)
     }
 
-    fn run_lstmt(&mut self, stmt: &LStmt, frame: &mut LFrame<'_>) -> Result<Flow, SimError> {
+    fn run_lstmt(
+        &mut self,
+        tables: &CompiledTables,
+        stmt: &LStmt,
+        frame: &mut LFrame<'_>,
+    ) -> Result<Flow, SimError> {
         match stmt {
             LStmt::DeclLocal { slot, init, width, signed } => {
                 let mut value = match init {
-                    Some(e) => self.eval_lexpr(e, frame)?,
+                    Some(e) => self.eval_lexpr(tables, e, frame)?,
                     None => 0,
                 };
                 if *width < 64 {
@@ -554,8 +575,8 @@ impl Simulator<'_> {
                 Ok(Flow::Normal)
             }
             LStmt::Assign { place, op, value } => {
-                let rhs = self.eval_lexpr(value, frame)?;
-                let rplace = self.resolve_place(place, frame)?;
+                let rhs = self.eval_lexpr(tables, value, frame)?;
+                let rplace = self.resolve_place(tables, place, frame)?;
                 let new = match op {
                     AssignOp::Set => rhs,
                     _ => {
@@ -569,7 +590,7 @@ impl Simulator<'_> {
                 Ok(Flow::Normal)
             }
             LStmt::IncDec { place, delta } => {
-                let rplace = self.resolve_place(place, frame)?;
+                let rplace = self.resolve_place(tables, place, frame)?;
                 let old = self.read_rplace(rplace, frame)?;
                 self.write_rplace(rplace, old.wrapping_add(*delta), frame)?;
                 Ok(Flow::Normal)
@@ -608,19 +629,19 @@ impl Simulator<'_> {
                 Ok(Flow::Normal)
             }
             LStmt::EvalDrop(e) => {
-                self.eval_lexpr(e, frame)?;
+                self.eval_lexpr(tables, e, frame)?;
                 Ok(Flow::Normal)
             }
             LStmt::If { cond, then_block, else_block } => {
-                if self.eval_lexpr(cond, frame)? != 0 {
-                    self.run_lblock(then_block, frame)
+                if self.eval_lexpr(tables, cond, frame)? != 0 {
+                    self.run_lblock(tables, then_block, frame)
                 } else {
-                    self.run_lblock(else_block, frame)
+                    self.run_lblock(tables, else_block, frame)
                 }
             }
             LStmt::While { cond, body } => {
-                while self.eval_lexpr(cond, frame)? != 0 {
-                    if self.run_lblock(body, frame)? == Flow::Break {
+                while self.eval_lexpr(tables, cond, frame)? != 0 {
+                    if self.run_lblock(tables, body, frame)? == Flow::Break {
                         break;
                     }
                 }
@@ -628,10 +649,10 @@ impl Simulator<'_> {
             }
             LStmt::DoWhile { body, cond } => {
                 loop {
-                    if self.run_lblock(body, frame)? == Flow::Break {
+                    if self.run_lblock(tables, body, frame)? == Flow::Break {
                         break;
                     }
-                    if self.eval_lexpr(cond, frame)? == 0 {
+                    if self.eval_lexpr(tables, cond, frame)? == 0 {
                         break;
                     }
                 }
@@ -639,29 +660,29 @@ impl Simulator<'_> {
             }
             LStmt::For { init, cond, step, body } => {
                 if let Some(init) = init {
-                    self.run_lstmt(init, frame)?;
+                    self.run_lstmt(tables, init, frame)?;
                 }
                 loop {
                     if let Some(cond) = cond {
-                        if self.eval_lexpr(cond, frame)? == 0 {
+                        if self.eval_lexpr(tables, cond, frame)? == 0 {
                             break;
                         }
                     }
-                    if self.run_lblock(body, frame)? == Flow::Break {
+                    if self.run_lblock(tables, body, frame)? == Flow::Break {
                         break;
                     }
                     if let Some(step) = step {
-                        self.run_lstmt(step, frame)?;
+                        self.run_lstmt(tables, step, frame)?;
                     }
                 }
                 Ok(Flow::Normal)
             }
             LStmt::Switch { scrutinee, cases, default } => {
-                let value = self.eval_lexpr(scrutinee, frame)?;
+                let value = self.eval_lexpr(tables, scrutinee, frame)?;
                 let body =
                     cases.iter().find(|(v, _)| *v == value).map(|(_, b)| b).or(default.as_ref());
                 match body {
-                    Some(block) => match self.run_lblock(block, frame)? {
+                    Some(block) => match self.run_lblock(tables, block, frame)? {
                         Flow::Break => Ok(Flow::Normal),
                         other => Ok(other),
                     },
@@ -670,11 +691,11 @@ impl Simulator<'_> {
             }
             LStmt::Break => Ok(Flow::Break),
             LStmt::Continue => Ok(Flow::Continue),
-            LStmt::Block(b) => self.run_lblock(b, frame),
+            LStmt::Block(b) => self.run_lblock(tables, b, frame),
         }
     }
 
-    fn apply_pipe_op(&mut self, op: PipeOp) {
+    pub(crate) fn apply_pipe_op(&mut self, op: PipeOp) {
         // Same control logic (and same trace events / stall accounting)
         // as the interpretive intrinsic path — lowering only resolves
         // the names earlier.
@@ -685,7 +706,12 @@ impl Simulator<'_> {
         }
     }
 
-    fn eval_lexpr(&mut self, expr: &LExpr, frame: &mut LFrame<'_>) -> Result<i64, SimError> {
+    fn eval_lexpr(
+        &mut self,
+        tables: &CompiledTables,
+        expr: &LExpr,
+        frame: &mut LFrame<'_>,
+    ) -> Result<i64, SimError> {
         Ok(match expr {
             LExpr::Const(v) => *v,
             LExpr::Local(slot) => frame.locals.get(*slot),
@@ -695,7 +721,7 @@ impl Simulator<'_> {
             }
             LExpr::ResScalar(res) => self.state.read_flat(*res, 0).unwrap_or(0),
             LExpr::ResElem { res, indices } => {
-                let flat = self.flat_of(*res, indices, frame)?;
+                let flat = self.flat_of(tables, *res, indices, frame)?;
                 self.state.read_flat(*res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
                     resource: self.model.resource(*res).name.clone(),
                     index: flat as i64,
@@ -713,7 +739,7 @@ impl Simulator<'_> {
                             operation: operation.name.clone(),
                         }
                     })?;
-                self.eval_child_expression(child)?
+                self.eval_child_expression(tables, child)?
             }
             LExpr::OpRefValue(target) => {
                 let child = frame
@@ -737,10 +763,10 @@ impl Simulator<'_> {
                         group: self.model.operation(*target).name.clone(),
                         operation: self.model.operation(frame.op).name.clone(),
                     })?;
-                self.eval_child_expression(child)?
+                self.eval_child_expression(tables, child)?
             }
             LExpr::Unary { op, expr } => {
-                let v = self.eval_lexpr(expr, frame)?;
+                let v = self.eval_lexpr(tables, expr, frame)?;
                 match op {
                     UnOp::Neg => v.wrapping_neg(),
                     UnOp::Not => i64::from(v == 0),
@@ -750,38 +776,38 @@ impl Simulator<'_> {
             LExpr::Binary { op, lhs, rhs } => {
                 match op {
                     BinOp::LogAnd => {
-                        let l = self.eval_lexpr(lhs, frame)?;
+                        let l = self.eval_lexpr(tables, lhs, frame)?;
                         if l == 0 {
                             return Ok(0);
                         }
-                        return Ok(i64::from(self.eval_lexpr(rhs, frame)? != 0));
+                        return Ok(i64::from(self.eval_lexpr(tables, rhs, frame)? != 0));
                     }
                     BinOp::LogOr => {
-                        let l = self.eval_lexpr(lhs, frame)?;
+                        let l = self.eval_lexpr(tables, lhs, frame)?;
                         if l != 0 {
                             return Ok(1);
                         }
-                        return Ok(i64::from(self.eval_lexpr(rhs, frame)? != 0));
+                        return Ok(i64::from(self.eval_lexpr(tables, rhs, frame)? != 0));
                     }
                     _ => {}
                 }
-                let l = self.eval_lexpr(lhs, frame)?;
-                let r = self.eval_lexpr(rhs, frame)?;
+                let l = self.eval_lexpr(tables, lhs, frame)?;
+                let r = self.eval_lexpr(tables, rhs, frame)?;
                 apply_binop(*op, l, r).map_err(|_| SimError::DivisionByZero {
                     operation: self.model.operation(frame.op).name.clone(),
                 })?
             }
             LExpr::Ternary { cond, then_expr, else_expr } => {
-                if self.eval_lexpr(cond, frame)? != 0 {
-                    self.eval_lexpr(then_expr, frame)?
+                if self.eval_lexpr(tables, cond, frame)? != 0 {
+                    self.eval_lexpr(tables, then_expr, frame)?
                 } else {
-                    self.eval_lexpr(else_expr, frame)?
+                    self.eval_lexpr(tables, else_expr, frame)?
                 }
             }
             LExpr::Builtin { f, args } => {
                 let mut vals = [0i64; 2];
                 for (i, a) in args.iter().enumerate().take(2) {
-                    vals[i] = self.eval_lexpr(a, frame)?;
+                    vals[i] = self.eval_lexpr(tables, a, frame)?;
                 }
                 match f {
                     Builtin::Sext => {
@@ -820,8 +846,11 @@ impl Simulator<'_> {
 
     /// Evaluates an operand child's lowered EXPRESSION (falling back to
     /// its sole label for immediates).
-    fn eval_child_expression(&mut self, child: &Decoded) -> Result<i64, SimError> {
-        let tables = std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode"));
+    fn eval_child_expression(
+        &mut self,
+        tables: &CompiledTables,
+        child: &Decoded,
+    ) -> Result<i64, SimError> {
         let idx = tables.slot(child.op, child.variant);
         match tables.expressions[idx].as_ref() {
             Some(expr) => {
@@ -832,7 +861,7 @@ impl Simulator<'_> {
                     variant: child.variant,
                     locals: LocalSlots::new(n_locals),
                 };
-                self.eval_lexpr(expr, &mut child_frame)
+                self.eval_lexpr(tables, expr, &mut child_frame)
             }
             None => {
                 let operation = self.model.operation(child.op);
@@ -850,6 +879,7 @@ impl Simulator<'_> {
 
     fn flat_of(
         &mut self,
+        tables: &CompiledTables,
         res: ResourceId,
         indices: &[LExpr],
         frame: &mut LFrame<'_>,
@@ -859,26 +889,27 @@ impl Simulator<'_> {
         let mut buf = [0i64; 4];
         if indices.len() <= 4 {
             for (i, e) in indices.iter().enumerate() {
-                buf[i] = self.eval_lexpr(e, frame)?;
+                buf[i] = self.eval_lexpr(tables, e, frame)?;
             }
             return self.state.flatten_indices(self.model.resource(res), &buf[..indices.len()]);
         }
         let mut vals = Vec::with_capacity(indices.len());
         for e in indices {
-            vals.push(self.eval_lexpr(e, frame)?);
+            vals.push(self.eval_lexpr(tables, e, frame)?);
         }
         self.state.flatten_indices(self.model.resource(res), &vals)
     }
 
     fn resolve_place(
         &mut self,
+        tables: &CompiledTables,
         place: &LPlace,
         frame: &mut LFrame<'_>,
     ) -> Result<RPlace, SimError> {
         Ok(match place {
             LPlace::Local(slot) => RPlace::Local(*slot),
             LPlace::Res { res, indices } => {
-                let flat = self.flat_of(*res, indices, frame)?;
+                let flat = self.flat_of(tables, *res, indices, frame)?;
                 RPlace::Flat { res: *res, flat }
             }
             LPlace::Group(g) => {
@@ -892,7 +923,7 @@ impl Simulator<'_> {
                             operation: operation.name.clone(),
                         }
                     })?;
-                self.child_place(child)?
+                self.child_place(tables, child)?
             }
             LPlace::OpRef(target) => {
                 let child = frame
@@ -915,14 +946,17 @@ impl Simulator<'_> {
                     .ok_or_else(|| SimError::NotAnLvalue {
                         operation: self.model.operation(frame.op).name.clone(),
                     })?;
-                self.child_place(child)?
+                self.child_place(tables, child)?
             }
         })
     }
 
     /// Resolves an operand child's lowered EXPRESSION as a place.
-    fn child_place(&mut self, child: &Decoded) -> Result<RPlace, SimError> {
-        let tables = std::sync::Arc::clone(self.compiled.as_ref().expect("compiled mode"));
+    fn child_place(
+        &mut self,
+        tables: &CompiledTables,
+        child: &Decoded,
+    ) -> Result<RPlace, SimError> {
         let idx = tables.slot(child.op, child.variant);
         let place = tables.expr_places[idx].as_ref().ok_or_else(|| SimError::NotAnLvalue {
             operation: self.model.operation(child.op).name.clone(),
@@ -934,7 +968,7 @@ impl Simulator<'_> {
             variant: child.variant,
             locals: LocalSlots::new(n_locals),
         };
-        match self.resolve_place(place, &mut child_frame)? {
+        match self.resolve_place(tables, place, &mut child_frame)? {
             RPlace::Flat { res, flat } => Ok(RPlace::Flat { res, flat }),
             RPlace::Local(_) => Err(SimError::NotAnLvalue {
                 operation: self.model.operation(child.op).name.clone(),

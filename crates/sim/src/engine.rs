@@ -16,7 +16,6 @@
 //! *spatial distance* in the pipeline (stage index difference) plus one
 //! per `;` separator in the `ACTIVATION` list.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use lisa_bits::Bits;
@@ -26,6 +25,7 @@ use lisa_spans::{SpanKind, SpanScope};
 use lisa_trace::{CollectingSink, NameTable, Profile, TraceEvent, TraceSink};
 
 use crate::compiled::CompiledTables;
+use crate::fasthash::FastMap;
 use crate::{SimError, SimStats, State};
 
 /// An operation instance scheduled for execution: the operation plus its
@@ -34,6 +34,10 @@ use crate::{SimError, SimStats, State};
 pub(crate) struct ExecItem {
     pub op: OpId,
     pub decoded: Option<Arc<Decoded>>,
+    /// Pre-translated routine for ops-mode activation targets — skips
+    /// the instance-cache probe when the item matures. Always `None` in
+    /// the tree-walking modes.
+    pub routine: Option<Arc<crate::ops::OpsRoutine>>,
 }
 
 /// A delayed activation waiting in the schedule.
@@ -79,6 +83,12 @@ pub enum SimMode {
     /// most once (pre-decoded from program memory or memoised) and
     /// behaviors run as pre-lowered, slot-resolved code.
     Compiled,
+    /// Threaded micro-op simulation: on top of compiled mode's decode
+    /// caching, every decoded instruction instance is translated at
+    /// predecode time into flat, label-specialized micro-op code, so the
+    /// cycle loop dispatches over a contiguous op array with zero name
+    /// resolution or tree traversal.
+    Ops,
 }
 
 /// A cycle-accurate simulator generated from a LISA model.
@@ -112,8 +122,10 @@ pub struct Simulator<'m> {
     pub(crate) pending: Vec<Pending>,
     pub(crate) stats: SimStats,
     pub(crate) mode: SimMode,
-    pub(crate) decode_cache: HashMap<u128, Arc<Decoded>>,
+    pub(crate) decode_cache: FastMap<u128, Arc<Decoded>>,
     pub(crate) compiled: Option<std::sync::Arc<CompiledTables>>,
+    /// Translation caches for [`SimMode::Ops`] (`None` in other modes).
+    pub(crate) ops: Option<Box<crate::ops::OpsTables>>,
     pub(crate) seq: u64,
     pub(crate) observer: Option<Box<Observer>>,
     pub(crate) pc_res: Option<ResourceId>,
@@ -125,6 +137,12 @@ pub struct Simulator<'m> {
     /// Wall-clock span context, when a caller attached one. `None` keeps
     /// the run loops on their unobserved fast path.
     pub(crate) spans: Option<SpanScope>,
+    /// Reusable per-step ready list (capacity persists across steps).
+    step_ready: Vec<ExecItem>,
+    /// Reusable per-step matured-activation buffer.
+    step_matured: Vec<Pending>,
+    /// Reusable still-waiting buffer for the maturation partition.
+    step_keep: Vec<Pending>,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -155,7 +173,16 @@ impl<'m> Simulator<'m> {
         let decoder = Decoder::new(model).ok();
         let compiled = match mode {
             SimMode::Interpretive => None,
-            SimMode::Compiled => Some(std::sync::Arc::new(CompiledTables::lower(model)?)),
+            SimMode::Compiled | SimMode::Ops => {
+                Some(std::sync::Arc::new(CompiledTables::lower(model)?))
+            }
+        };
+        let state = State::new(model);
+        let ops = match (mode, compiled.as_deref()) {
+            (SimMode::Ops, Some(tables)) => {
+                Some(Box::new(crate::ops::OpsTables::build(model, &state, tables)))
+            }
+            _ => None,
         };
         let pc_res = model
             .resources()
@@ -165,19 +192,23 @@ impl<'m> Simulator<'m> {
         Ok(Simulator {
             model,
             decoder,
-            state: State::new(model),
+            state,
             pipes: vec![PipeState::default(); model.pipelines().len()],
             pending: Vec::new(),
             stats: SimStats::default(),
             mode,
-            decode_cache: HashMap::new(),
+            decode_cache: FastMap::default(),
             compiled,
+            ops,
             seq: 0,
             observer: None,
             pc_res,
             metrics_published: SimStats::default(),
             trace_dropped_published: 0,
             spans: None,
+            step_ready: Vec::new(),
+            step_matured: Vec::new(),
+            step_keep: Vec::new(),
         })
     }
 
@@ -405,6 +436,9 @@ impl<'m> Simulator<'m> {
                 }
             }
         }
+        // Ops mode pays the translate cost here too, so the cycle loop
+        // starts with every program word lowered to micro-op code.
+        self.ops_translate_decode_cache();
         added
     }
 
@@ -413,7 +447,7 @@ impl<'m> Simulator<'m> {
         self.stats.decodes += 1;
         let mut cache_hit = false;
         let decoded = match self.mode {
-            SimMode::Compiled => {
+            SimMode::Compiled | SimMode::Ops => {
                 if let Some(hit) = self.decode_cache.get(&word) {
                     self.stats.decode_cache_hits += 1;
                     cache_hit = true;
@@ -461,26 +495,41 @@ impl<'m> Simulator<'m> {
         }
 
         // Ready list: `main` first (the cycle driver), then matured
-        // pendings in FIFO order.
-        let mut ready: Vec<ExecItem> = Vec::new();
+        // pendings in FIFO order. The buffers are owned by the simulator
+        // so the steady-state cycle loop performs no allocation.
+        let mut ready = std::mem::take(&mut self.step_ready);
+        ready.clear();
         if let Some(main) = self.model.main_op() {
-            ready.push(ExecItem { op: main, decoded: None });
+            ready.push(ExecItem { op: main, decoded: None, routine: None });
         }
-        let mut matured: Vec<Pending> = Vec::new();
-        self.pending.retain_mut(|p| {
+        let mut matured = std::mem::take(&mut self.step_matured);
+        matured.clear();
+        // Partition by moving (no clones): matured items out, waiting
+        // items back into `pending` in their original order.
+        std::mem::swap(&mut self.pending, &mut self.step_keep);
+        for p in self.step_keep.drain(..) {
             if p.remaining == 0 {
-                matured.push(p.clone());
-                false
+                matured.push(p);
             } else {
-                true
+                self.pending.push(p);
             }
-        });
+        }
         matured.sort_by_key(|p| p.seq);
-        ready.extend(matured.into_iter().map(|p| p.item));
+        ready.extend(matured.drain(..).map(|p| p.item));
+        self.step_matured = matured;
 
         let mut i = 0;
-        while i < ready.len() {
-            let item = ready[i].clone();
+        let result = loop {
+            if i >= ready.len() {
+                break Ok(());
+            }
+            // Move the item out (Copy op id, `take` the binding) instead
+            // of cloning: nothing re-reads a consumed slot.
+            let item = ExecItem {
+                op: ready[i].op,
+                decoded: ready[i].decoded.take(),
+                routine: ready[i].routine.take(),
+            };
             i += 1;
             // A stalled stage holds its operation: re-queue for the next
             // control step instead of executing (`pipe.stage.stall()`
@@ -497,8 +546,12 @@ impl<'m> Simulator<'m> {
                     continue;
                 }
             }
-            self.execute_item(&item, &mut ready)?;
-        }
+            if let Err(e) = self.execute_item(&item, &mut ready) {
+                break Err(e);
+            }
+        };
+        self.step_ready = ready;
+        result?;
 
         // Advance non-pipelined delayed activations; pipelined ones only
         // advance on `shift()`.
@@ -580,6 +633,9 @@ impl<'m> Simulator<'m> {
     /// Executes one scheduled item: behavior, then activation.
     fn execute_item(&mut self, item: &ExecItem, ready: &mut Vec<ExecItem>) -> Result<(), SimError> {
         self.stats.executed_ops += 1;
+        if self.mode == SimMode::Ops {
+            return self.execute_item_ops(item, ready);
+        }
         let operation = self.model.operation(item.op);
 
         // Decode-root operations fetch their binding from the compared
@@ -625,9 +681,72 @@ impl<'m> Simulator<'m> {
             SimMode::Compiled => {
                 self.exec_behavior_compiled(item.op, variant, decoded.as_deref())?;
             }
+            SimMode::Ops => unreachable!("ops items route through execute_item_ops"),
         }
 
         self.run_activation(item.op, variant, decoded.as_deref(), ready)?;
+        if operation.decode_root.is_some() {
+            self.stats.instructions_retired += 1;
+        }
+        Ok(())
+    }
+
+    /// [`SimMode::Ops`] twin of `execute_item`: identical fetch/decode
+    /// bookkeeping and event order, but the behavior runs as translated
+    /// micro-op code resolved through the routine caches.
+    fn execute_item_ops(
+        &mut self,
+        item: &ExecItem,
+        ready: &mut Vec<ExecItem>,
+    ) -> Result<(), SimError> {
+        let operation = self.model.operation(item.op);
+        let default_variant = || {
+            let choices = vec![None; operation.groups.len()];
+            operation.variants.iter().position(|v| v.matches(&choices)).unwrap_or(0)
+        };
+        let routine = match (&item.routine, &item.decoded, operation.decode_root) {
+            // Activation targets resolved at translate time carry their
+            // routine — no cache probe.
+            (Some(r), _, _) => Arc::clone(r),
+            (None, Some(d), _) => {
+                if d.op == item.op {
+                    self.ops_instance_routine(d)
+                } else {
+                    self.ops_uncached_routine(item.op, default_variant(), Some(d))
+                }
+            }
+            (None, None, Some(root_res)) => {
+                let word = self.state.scalar(root_res).to_u128();
+                if self.observing() {
+                    let event =
+                        TraceEvent::Fetch { cycle: self.stats.cycles, pc: self.current_pc(), word };
+                    self.emit(event);
+                }
+                let (d, routine) = self.ops_decode_word(word)?;
+                if d.op == item.op {
+                    routine
+                } else {
+                    self.ops_uncached_routine(item.op, default_variant(), Some(&d))
+                }
+            }
+            (None, None, None) => self.ops_unbound_routine(item.op),
+        };
+
+        if self.observing() {
+            let event = TraceEvent::Exec {
+                cycle: self.stats.cycles,
+                op: item.op,
+                stage: operation.stage.map(|(p, s)| (p, s as u16)),
+                pc: self.current_pc(),
+            };
+            self.emit(event);
+        }
+
+        self.run_ops(&routine)?;
+
+        if let Some(plan) = routine.act.as_ref() {
+            self.run_act_steps(plan, &plan.steps, &mut crate::ops::ActSink::Sched(ready))?;
+        }
         if operation.decode_root.is_some() {
             self.stats.instructions_retired += 1;
         }
@@ -710,7 +829,7 @@ impl<'m> Simulator<'m> {
                         operation: operation.name.clone(),
                     }
                 })?;
-            ExecItem { op: child.op, decoded: Some(child) }
+            ExecItem { op: child.op, decoded: Some(child), routine: None }
         } else if let Some(target) = self.model.operation_by_name(name) {
             // Direct operation activation; if the current binding has a
             // matching op-reference child, pass it along.
@@ -724,7 +843,7 @@ impl<'m> Simulator<'m> {
                     _ => None,
                 })
             });
-            ExecItem { op: target.id, decoded: child }
+            ExecItem { op: target.id, decoded: child, routine: None }
         } else {
             return Err(SimError::UnknownActivation {
                 name: name.to_owned(),
@@ -873,7 +992,11 @@ impl<'m> Simulator<'m> {
     /// Directly injects a decoded instruction for execution this step —
     /// used by tests and by front-ends that bypass fetch modelling.
     pub fn execute_decoded(&mut self, decoded: &Decoded) -> Result<(), SimError> {
-        let mut ready = vec![ExecItem { op: decoded.op, decoded: Some(Arc::new(decoded.clone())) }];
+        let mut ready = vec![ExecItem {
+            op: decoded.op,
+            decoded: Some(Arc::new(decoded.clone())),
+            routine: None,
+        }];
         let mut i = 0;
         while i < ready.len() {
             let item = ready[i].clone();
@@ -911,7 +1034,7 @@ impl<'m> Simulator<'m> {
             let value = Bits::from_u128_wrapped(res.ty.width(), word);
             self.state.write(&res, &[base + i as i64], value)?;
         }
-        if self.mode == SimMode::Compiled {
+        if self.mode != SimMode::Interpretive {
             self.predecode_program_memory();
         }
         Ok(())

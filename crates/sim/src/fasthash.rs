@@ -1,0 +1,83 @@
+//! A tiny multiply-xor hasher for the simulator's hot caches.
+//!
+//! The decode/word/instance caches are probed once or more per simulated
+//! control step with small integer keys (`u128` instruction words,
+//! pointer-derived `usize`s). SipHash's per-probe cost is measurable at
+//! that rate, and none of these maps hold attacker-controlled keys, so a
+//! fast non-cryptographic mix is the right trade.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-xor state.
+#[derive(Default)]
+pub(crate) struct FastHasher(u64);
+
+const K: u64 = 0xf135_7aea_2e62_a9c5;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold high entropy (where the multiply puts it) into the low
+        // bits the table indexes with.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.write_u64(n as u64);
+        self.write_u64((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+/// A `HashMap` using [`FastHasher`].
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_small_keys_hash_distinctly() {
+        let mut map: FastMap<u128, u32> = FastMap::default();
+        for w in 0u128..4096 {
+            map.insert(w, w as u32);
+        }
+        assert_eq!(map.len(), 4096);
+        for w in 0u128..4096 {
+            assert_eq!(map.get(&w), Some(&(w as u32)));
+        }
+    }
+}

@@ -23,7 +23,9 @@ mod compiled;
 mod engine;
 mod error;
 mod eval;
+mod fasthash;
 mod metrics;
+mod ops;
 mod snapshot;
 mod state;
 mod stats;

@@ -15,12 +15,13 @@ use crate::stats::SimStats;
 
 impl SimMode {
     /// The backend label used in exported metric series
-    /// (`"interpretive"` / `"compiled"`).
+    /// (`"interpretive"` / `"compiled"` / `"ops"`).
     #[must_use]
     pub fn metric_label(self) -> &'static str {
         match self {
             SimMode::Interpretive => "interpretive",
             SimMode::Compiled => "compiled",
+            SimMode::Ops => "ops",
         }
     }
 }

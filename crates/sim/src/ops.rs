@@ -1,0 +1,2171 @@
+//! Threaded micro-op simulation: behaviors flattened to linear code.
+//!
+//! The third execution backend. Compiled mode (see `compiled.rs`) lowers
+//! behaviors once per model but still *walks a tree* per executed
+//! operation. This module goes one step further, in the spirit of the
+//! paper's §3.3 claim that compiled simulation can beat interpretation by
+//! orders of magnitude: at predecode time every decoded instruction
+//! *instance* is translated into a flat `Vec<MicroOp>` — a stack-machine
+//! program in which
+//!
+//! * LABEL references are constant-folded against the decoded fields,
+//! * operand (group / op-ref) expressions are inlined into the parent,
+//! * SWITCH/CASE arms with constant scrutinees keep only the taken arm,
+//! * constant resource indices are pre-flattened to direct element slots,
+//! * every translate-time-detectable error becomes a positioned `Fail`
+//!   op so runtime error behavior matches the tree-walking backends
+//!   exactly.
+//!
+//! The cycle loop then dispatches over a contiguous op array with zero
+//! name resolution and zero tree traversal. Activation scheduling,
+//! pipeline intrinsics, tracing and statistics all reuse the shared
+//! engine paths, so `State::digest` and mode-independent `SimStats`
+//! stay byte-identical across all three modes (enforced by
+//! `lisa-conform`'s three-way lockstep oracle).
+
+use std::sync::Arc;
+
+use lisa_bits::Bits;
+use lisa_core::ast::{ActNode, AssignOp, BinOp, UnOp};
+use lisa_core::model::{CodingTarget, Model, OpId, PipelineId, ResourceId};
+use lisa_isa::Decoded;
+
+use crate::compiled::{
+    lower_act_expr, Builtin, CompiledTables, LBlock, LExpr, LPlace, LStmt, PipeOp,
+};
+use crate::engine::{ExecItem, Pending};
+use crate::eval::{apply_binop, apply_compound, saturate};
+use crate::fasthash::FastMap;
+use crate::{SimError, Simulator, State};
+
+/// One flat micro-operation. Value-producing ops push onto an operand
+/// stack; jump targets are absolute indices into the routine's code.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MicroOp {
+    /// Push a constant (also the result of all translate-time folding).
+    Const(i64),
+    /// Push a local slot's value.
+    ReadLocal(u16),
+    /// Push element 0 of a resource (scalar read; missing reads as 0).
+    ReadScalar(ResourceId),
+    /// Push a resource element at a pre-flattened index.
+    ReadFlat {
+        res: ResourceId,
+        flat: u32,
+    },
+    /// Pop `n` indices (pushed in source order), flatten, push element.
+    ReadDyn {
+        res: ResourceId,
+        n: u8,
+    },
+    /// Pop one index, push the element — the translate-time-specialized
+    /// single-dimension base-0 case of `ReadDyn` (no flatten walk).
+    ReadIdx(ResourceId),
+    /// Transform the top of stack.
+    Unary(UnOp),
+    /// Pop rhs then lhs, push the result. `ctx` names the operation for
+    /// division-by-zero diagnostics.
+    Binary {
+        op: BinOp,
+        ctx: OpId,
+    },
+    /// Normalize the top of stack to 0/1 (logical-op tail).
+    NormBool,
+    /// Builtin call; operand arity is implied by `f`.
+    Builtin {
+        f: Builtin,
+        ctx: OpId,
+    },
+    /// Pop into a local slot.
+    StoreLocal(u16),
+    /// Pop, wrap to a declared width, store into a local slot.
+    StoreLocalWrapped {
+        slot: u16,
+        width: u32,
+        signed: bool,
+    },
+    /// Discard the top of stack.
+    Pop,
+    Jump(u32),
+    /// Pop; jump when zero.
+    JumpIfZero(u32),
+    /// Pop; jump when non-zero.
+    JumpIfNonZero(u32),
+    /// Peek; when equal to `value`, pop and jump (SWITCH dispatch).
+    CaseJump {
+        value: i64,
+        target: u32,
+    },
+    /// Pop a value into a pre-flattened resource element.
+    WriteFlat {
+        res: ResourceId,
+        flat: u32,
+    },
+    /// Pop `n` indices then the value; write the element.
+    WriteDyn {
+        res: ResourceId,
+        n: u8,
+    },
+    /// Pop one index then the value; write the element (single-dimension
+    /// base-0 specialization of `WriteDyn`).
+    WriteIdx(ResourceId),
+    /// Compound assignment into a local (rhs on stack).
+    RmwLocal {
+        slot: u16,
+        op: AssignOp,
+        ctx: OpId,
+    },
+    /// Compound assignment into a pre-flattened element (rhs on stack).
+    RmwFlat {
+        res: ResourceId,
+        flat: u32,
+        op: AssignOp,
+        ctx: OpId,
+    },
+    /// Compound assignment with dynamic indices (rhs below indices).
+    RmwDyn {
+        res: ResourceId,
+        n: u8,
+        op: AssignOp,
+        ctx: OpId,
+    },
+    /// `++`/`--` on a local slot.
+    IncDecLocal {
+        slot: u16,
+        delta: i64,
+    },
+    /// `++`/`--` on a pre-flattened element.
+    IncDecFlat {
+        res: ResourceId,
+        flat: u32,
+        delta: i64,
+    },
+    /// `++`/`--` with dynamic indices on the stack.
+    IncDecDyn {
+        res: ResourceId,
+        n: u8,
+        delta: i64,
+    },
+    /// Pipeline intrinsic (shift / stall / flush), shared engine path.
+    Pipe(PipeOp),
+    /// Invoke an embedded child instance routine (behavior+activation).
+    InvokeChild(u16),
+    /// Invoke an operation with no operand binding via the engine.
+    InvokeUnbound(OpId),
+    /// Entry marker for an inlined child instance: the per-operation
+    /// statistics bump and Exec trace event the out-of-line invocation
+    /// would have produced.
+    Enter(OpId),
+    /// Zero an inlined child's local-slot block — fresh locals per
+    /// invocation, exactly as if the child ran in its own frame.
+    ZeroLocals {
+        base: u16,
+        n: u16,
+    },
+    /// Raise a translate-time-detected error at its exact runtime
+    /// position (index into the routine's error table).
+    Fail(u16),
+}
+
+/// A translated routine: flat code plus the tables it references.
+#[derive(Debug)]
+pub(crate) struct OpsRoutine {
+    pub(crate) code: Vec<MicroOp>,
+    pub(crate) n_locals: u16,
+    pub(crate) max_stack: usize,
+    /// Child instances invoked by `InvokeChild`, in emission order.
+    pub(crate) children: Vec<ChildInvoke>,
+    /// Errors referenced by `Fail` ops.
+    pub(crate) errors: Vec<SimError>,
+    /// Pre-resolved ACTIVATION plan, when this variant has one.
+    pub(crate) act: Option<ActPlan>,
+}
+
+/// A pre-lowered ACTIVATION section: target names resolved to operation
+/// ids (with their decoded bindings and translated routines), delays
+/// precomputed from static stage assignments, pipeline intrinsics parsed,
+/// and conditions lowered to micro-op code — the string matching the
+/// interpretive scheduler performs per cycle all happens once here.
+#[derive(Debug)]
+pub(crate) struct ActPlan {
+    pub(crate) steps: Vec<ActStep>,
+    pub(crate) targets: Vec<ActTarget>,
+    /// Condition routines referenced by `If`/`Switch` steps.
+    pub(crate) conds: Vec<OpsRoutine>,
+    /// Errors referenced by `Fail` steps.
+    pub(crate) errors: Vec<SimError>,
+}
+
+/// One pre-resolved ACTIVATION item.
+#[derive(Debug)]
+pub(crate) enum ActStep {
+    /// Schedule `targets[i]`.
+    Activate(u16),
+    /// Pipeline intrinsic: acts immediately through the shared engine
+    /// path (identical control logic / events / stall accounting).
+    Pipe(PipeOp),
+    /// Conditional activation; the condition runs as a micro-op routine.
+    If { cond: u16, then_steps: Vec<ActStep>, else_steps: Vec<ActStep> },
+    /// Switch over a resource value.
+    Switch { cond: u16, cases: Vec<(i64, Vec<ActStep>)>, default: Vec<ActStep> },
+    /// Raise a translate-time-detected error at its runtime position.
+    Fail(u16),
+}
+
+/// A resolved activation target with its precomputed schedule slot.
+#[derive(Debug)]
+pub(crate) struct ActTarget {
+    /// The activating operation (event attribution).
+    pub(crate) from: OpId,
+    pub(crate) op: OpId,
+    /// Operand binding carried to the scheduled item, if any.
+    pub(crate) decoded: Option<Arc<Decoded>>,
+    /// Pre-translated routine for bound zero-delay targets (the
+    /// behavior-context drain runs it without a cache probe).
+    pub(crate) routine: Option<Arc<OpsRoutine>>,
+    /// Spatial distance plus explicit `;` delay, both static.
+    pub(crate) delay: u32,
+    /// Target pipeline stage when the operation is pipelined.
+    pub(crate) stage: Option<(PipelineId, usize)>,
+}
+
+/// A bound child operand: the decoded instance and its routine.
+#[derive(Debug)]
+pub(crate) struct ChildInvoke {
+    pub(crate) decoded: Arc<Decoded>,
+    pub(crate) routine: Arc<OpsRoutine>,
+}
+
+/// Per-simulator translation caches for ops mode.
+#[derive(Debug, Default)]
+pub(crate) struct OpsTables {
+    /// Default-variant routine per operation id (no operand binding).
+    pub(crate) unbound: Vec<Arc<OpsRoutine>>,
+    /// Instance routines keyed by `Arc<Decoded>` pointer identity. The
+    /// held `Arc` pins the allocation so keys can never be reused while
+    /// an entry is live.
+    pub(crate) instances: FastMap<usize, (Arc<Decoded>, Arc<OpsRoutine>)>,
+    /// Fused decode+translate cache for decode-root fetches: one lookup
+    /// replaces the word-cache probe plus the instance-cache probe.
+    pub(crate) words: FastMap<u128, (Arc<Decoded>, Arc<OpsRoutine>)>,
+    /// Recycled execution frames (locals + operand stack), so nested
+    /// routine invocations allocate nothing in the steady state.
+    pub(crate) frames: Vec<OpsFrame>,
+    /// Recycled target-index buffers for behavior-context plan drains.
+    pub(crate) act_scratch: Vec<Vec<u16>>,
+}
+
+/// One pooled execution frame: the capacity persists across invocations.
+#[derive(Debug, Default)]
+pub(crate) struct OpsFrame {
+    locals: Vec<i64>,
+    stack: Vec<i64>,
+}
+
+/// Safety valve for callers that mint transient `Arc<Decoded>` values
+/// (e.g. repeated `execute_decoded`): beyond this the caches reset.
+const OPS_CACHE_MAX: usize = 1 << 16;
+
+impl OpsTables {
+    /// Translates the default-variant routine of every operation.
+    pub(crate) fn build(model: &Model, state: &State, tables: &CompiledTables) -> OpsTables {
+        let unbound = model
+            .operations()
+            .iter()
+            .map(|op| {
+                let choices = vec![None; op.groups.len()];
+                let variant = op.variants.iter().position(|v| v.matches(&choices)).unwrap_or(0);
+                Arc::new(translate_routine(model, state, tables, op.id, variant, None))
+            })
+            .collect();
+        OpsTables { unbound, ..OpsTables::default() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Translation
+// ---------------------------------------------------------------------------
+
+/// Translation context: which operation's code we are inlining and the
+/// decoded instance (if any) its labels/operands resolve against.
+#[derive(Clone, Copy)]
+struct Ctx<'d> {
+    op: OpId,
+    decoded: Option<&'d Decoded>,
+}
+
+/// A place resolved as far as translate time allows.
+enum PlaceKind<'e, 'd> {
+    Local(u16),
+    Flat { res: ResourceId, flat: u32 },
+    Dyn { res: ResourceId, indices: &'e [LExpr], ctx: Ctx<'d> },
+    Err(SimError),
+}
+
+/// Break/continue patch collection for one enclosing loop or switch.
+struct CtlFrame {
+    is_loop: bool,
+    breaks: Vec<usize>,
+    continues: Vec<usize>,
+}
+
+struct Emitter<'m, 'e> {
+    model: &'m Model,
+    state: &'e State,
+    tables: &'e CompiledTables,
+    code: Vec<MicroOp>,
+    children: Vec<ChildInvoke>,
+    errors: Vec<SimError>,
+    frames: Vec<CtlFrame>,
+    /// Break/continue with no enclosing construct: ends the behavior
+    /// (tree-walk semantics: the flow propagates out and is discarded).
+    end_patches: Vec<usize>,
+    depth: usize,
+    max_stack: usize,
+}
+
+/// Translates one `(operation, variant)` behavior, specialized against
+/// `decoded` when a binding exists. Infallible: anything that would
+/// error at run time in the tree-walking backends becomes a positioned
+/// `Fail` op.
+pub(crate) fn translate_routine(
+    model: &Model,
+    state: &State,
+    tables: &CompiledTables,
+    op: OpId,
+    variant: usize,
+    decoded: Option<&Decoded>,
+) -> OpsRoutine {
+    let idx = tables.slot(op, variant);
+    let mut e = Emitter {
+        model,
+        state,
+        tables,
+        code: Vec::new(),
+        children: Vec::new(),
+        errors: Vec::new(),
+        frames: Vec::new(),
+        end_patches: Vec::new(),
+        depth: 0,
+        max_stack: 0,
+    };
+    if let Some(block) = tables.behaviors[idx].as_ref() {
+        e.block(block, Ctx { op, decoded });
+    }
+    let end = e.here();
+    for j in std::mem::take(&mut e.end_patches) {
+        e.patch_to(j, end);
+    }
+    inline_children(OpsRoutine {
+        code: e.code,
+        n_locals: tables.locals_count[idx],
+        max_stack: e.max_stack,
+        children: e.children,
+        errors: e.errors,
+        act: translate_act_plan(model, state, tables, op, variant, decoded),
+    })
+}
+
+/// Flattened-size cap: beyond this, child invocations stay as calls
+/// (blow-up guard for pathologically deep operand trees).
+const INLINE_CODE_MAX: usize = 1 << 14;
+
+/// Splices activation-free child routines into the parent's code — the
+/// "threaded code" flattening step. An out-of-line `InvokeChild` costs a
+/// frame acquire/release, a nested dispatch entry and an activation-plan
+/// check per execution; after flattening the child contributes one
+/// `Enter` marker (statistics + Exec event, identical to the call) plus
+/// its own micro-ops run in the parent's frame. The child's locals move
+/// to a fresh slot block and are re-zeroed at each invocation site, so
+/// loop-carried behavior is unchanged. Children with an ACTIVATION plan
+/// keep the call — their plan must run after the behavior. The pass runs
+/// bottom-up for free: children are fully translated (and themselves
+/// flattened) before the parent routine is assembled.
+fn inline_children(r: OpsRoutine) -> OpsRoutine {
+    let mut new_len = 0usize;
+    let mut total_locals = r.n_locals as usize;
+    let mut any = false;
+    for op in &r.code {
+        new_len += 1;
+        if let MicroOp::InvokeChild(k) = op {
+            let child = &r.children[*k as usize].routine;
+            if child.act.is_none() {
+                any = true;
+                new_len += child.code.len() + usize::from(child.n_locals > 0);
+                total_locals += child.n_locals as usize;
+            }
+        }
+    }
+    if !any || new_len > INLINE_CODE_MAX || total_locals > u16::MAX as usize {
+        return r;
+    }
+
+    // Pass 1: the new index of every old instruction (plus one-past-end,
+    // a valid jump target for loop exits).
+    let mut new_pos: Vec<u32> = Vec::with_capacity(r.code.len() + 1);
+    let mut at = 0u32;
+    for op in &r.code {
+        new_pos.push(at);
+        at += 1;
+        if let MicroOp::InvokeChild(k) = op {
+            let child = &r.children[*k as usize].routine;
+            if child.act.is_none() {
+                at += u32::from(child.n_locals > 0) + child.code.len() as u32;
+            }
+        }
+    }
+    new_pos.push(at);
+
+    // Pass 2: emit, relocating parent jumps through `new_pos` and child
+    // jumps/slots/tables by their splice bases.
+    let mut code: Vec<MicroOp> = Vec::with_capacity(new_len);
+    let mut children: Vec<ChildInvoke> = Vec::new();
+    let mut errors = r.errors;
+    let mut local_base = r.n_locals;
+    let mut max_child_stack = 0usize;
+    for op in &r.code {
+        match op {
+            MicroOp::Jump(t) => code.push(MicroOp::Jump(new_pos[*t as usize])),
+            MicroOp::JumpIfZero(t) => code.push(MicroOp::JumpIfZero(new_pos[*t as usize])),
+            MicroOp::JumpIfNonZero(t) => {
+                code.push(MicroOp::JumpIfNonZero(new_pos[*t as usize]));
+            }
+            MicroOp::CaseJump { value, target } => {
+                code.push(MicroOp::CaseJump { value: *value, target: new_pos[*target as usize] });
+            }
+            MicroOp::InvokeChild(k) => {
+                let site = &r.children[*k as usize];
+                if site.routine.act.is_some() {
+                    let nk = children.len() as u16;
+                    children.push(ChildInvoke {
+                        decoded: Arc::clone(&site.decoded),
+                        routine: Arc::clone(&site.routine),
+                    });
+                    code.push(MicroOp::InvokeChild(nk));
+                    continue;
+                }
+                let child = &site.routine;
+                code.push(MicroOp::Enter(site.decoded.op));
+                if child.n_locals > 0 {
+                    code.push(MicroOp::ZeroLocals { base: local_base, n: child.n_locals });
+                }
+                let base = code.len() as u32;
+                let err_base = errors.len() as u16;
+                let child_base = children.len() as u16;
+                errors.extend(child.errors.iter().cloned());
+                children.extend(child.children.iter().map(|c| ChildInvoke {
+                    decoded: Arc::clone(&c.decoded),
+                    routine: Arc::clone(&c.routine),
+                }));
+                max_child_stack = max_child_stack.max(child.max_stack);
+                for cop in &child.code {
+                    code.push(match cop {
+                        MicroOp::ReadLocal(s) => MicroOp::ReadLocal(s + local_base),
+                        MicroOp::StoreLocal(s) => MicroOp::StoreLocal(s + local_base),
+                        MicroOp::StoreLocalWrapped { slot, width, signed } => {
+                            MicroOp::StoreLocalWrapped {
+                                slot: slot + local_base,
+                                width: *width,
+                                signed: *signed,
+                            }
+                        }
+                        MicroOp::RmwLocal { slot, op, ctx } => {
+                            MicroOp::RmwLocal { slot: slot + local_base, op: *op, ctx: *ctx }
+                        }
+                        MicroOp::IncDecLocal { slot, delta } => {
+                            MicroOp::IncDecLocal { slot: slot + local_base, delta: *delta }
+                        }
+                        MicroOp::ZeroLocals { base: b, n } => {
+                            MicroOp::ZeroLocals { base: b + local_base, n: *n }
+                        }
+                        MicroOp::Jump(t) => MicroOp::Jump(t + base),
+                        MicroOp::JumpIfZero(t) => MicroOp::JumpIfZero(t + base),
+                        MicroOp::JumpIfNonZero(t) => MicroOp::JumpIfNonZero(t + base),
+                        MicroOp::CaseJump { value, target } => {
+                            MicroOp::CaseJump { value: *value, target: target + base }
+                        }
+                        MicroOp::InvokeChild(ck) => MicroOp::InvokeChild(ck + child_base),
+                        MicroOp::Fail(fk) => MicroOp::Fail(fk + err_base),
+                        other => other.clone(),
+                    });
+                }
+                local_base += child.n_locals;
+            }
+            other => code.push(other.clone()),
+        }
+    }
+    OpsRoutine {
+        code,
+        n_locals: local_base,
+        max_stack: r.max_stack + max_child_stack,
+        children,
+        errors,
+        act: r.act,
+    }
+}
+
+/// Lowers the `(operation, variant)` ACTIVATION section to a plan, when
+/// one exists. Resolution order matches the interpretive scheduler
+/// exactly: group of the activating operation first, then operation by
+/// name; pipeline intrinsics are recognised by their first path segment.
+fn translate_act_plan(
+    model: &Model,
+    state: &State,
+    tables: &CompiledTables,
+    op: OpId,
+    variant: usize,
+    decoded: Option<&Decoded>,
+) -> Option<ActPlan> {
+    let activation =
+        model.operation(op).variants.get(variant).and_then(|v| v.activation.as_ref())?;
+    let mut b = PlanBuilder {
+        model,
+        state,
+        tables,
+        op,
+        decoded,
+        targets: Vec::new(),
+        conds: Vec::new(),
+        errors: Vec::new(),
+    };
+    let steps = b.steps(activation);
+    Some(ActPlan { steps, targets: b.targets, conds: b.conds, errors: b.errors })
+}
+
+struct PlanBuilder<'m, 'e> {
+    model: &'m Model,
+    state: &'e State,
+    tables: &'e CompiledTables,
+    op: OpId,
+    decoded: Option<&'e Decoded>,
+    targets: Vec<ActTarget>,
+    conds: Vec<OpsRoutine>,
+    errors: Vec<SimError>,
+}
+
+impl PlanBuilder<'_, '_> {
+    fn steps(&mut self, nodes: &[ActNode]) -> Vec<ActStep> {
+        nodes.iter().map(|n| self.node(n)).collect()
+    }
+
+    fn node(&mut self, node: &ActNode) -> ActStep {
+        match node {
+            ActNode::Activate { name, delay } => self.activate(&name.name, *delay),
+            ActNode::Call { call, delay } => {
+                // Pipeline intrinsics act immediately regardless of delay
+                // (stall/flush/shift are control operations); operation
+                // calls schedule like activations.
+                match self.pipe_intrinsic(call) {
+                    Some(step) => step,
+                    None => {
+                        let target = call.path.first().map(|p| p.name.as_str()).unwrap_or_default();
+                        self.activate(target, *delay)
+                    }
+                }
+            }
+            ActNode::If { cond, then_items, else_items, .. } => {
+                match self.cond(cond) {
+                    CondKind::Const(v) => {
+                        let branch = if v != 0 { then_items } else { else_items };
+                        ActStep::If {
+                            cond: u16::MAX, // unused: branch resolved at translate time
+                            then_steps: self.steps(branch),
+                            else_steps: Vec::new(),
+                        }
+                    }
+                    CondKind::Routine(c) => ActStep::If {
+                        cond: c,
+                        then_steps: self.steps(then_items),
+                        else_steps: self.steps(else_items),
+                    },
+                    CondKind::Err(k) => ActStep::Fail(k),
+                }
+            }
+            ActNode::Switch { scrutinee, cases, default, .. } => match self.cond(scrutinee) {
+                CondKind::Const(v) => {
+                    let body =
+                        cases.iter().find(|(cv, _)| *cv == v).map(|(_, b)| b).unwrap_or(default);
+                    ActStep::If {
+                        cond: u16::MAX,
+                        then_steps: self.steps(body),
+                        else_steps: Vec::new(),
+                    }
+                }
+                CondKind::Routine(c) => ActStep::Switch {
+                    cond: c,
+                    cases: cases.iter().map(|(v, b)| (*v, self.steps(b))).collect(),
+                    default: self.steps(default),
+                },
+                CondKind::Err(k) => ActStep::Fail(k),
+            },
+        }
+    }
+
+    fn fail(&mut self, err: SimError) -> ActStep {
+        let k = self.errors.len() as u16;
+        self.errors.push(err);
+        ActStep::Fail(k)
+    }
+
+    /// Resolves one activation target (group first, then operation by
+    /// name — the interpretive `activate_name` order) and precomputes
+    /// its delay from the static stage assignments.
+    fn activate(&mut self, name: &str, extra_delay: u32) -> ActStep {
+        let operation = self.model.operation(self.op);
+        let (target_op, child) = if let Some(gidx) = operation.group_index(name) {
+            match self.decoded.and_then(|d| d.group_child_rc(self.model, gidx)) {
+                Some(child) => (child.op, Some(child)),
+                None => {
+                    return self.fail(SimError::UnboundGroup {
+                        group: name.to_owned(),
+                        operation: operation.name.clone(),
+                    });
+                }
+            }
+        } else if let Some(target) = self.model.operation_by_name(name) {
+            let target = target.id;
+            // Direct operation activation; if the current binding has a
+            // matching op-reference child, pass it along.
+            let child = self.decoded.and_then(|d| {
+                let coding = operation.variants.get(d.variant)?.coding.as_ref()?;
+                coding.fields.iter().zip(&d.children).find_map(|(f, c)| match (&f.target, c) {
+                    (CodingTarget::Op(o), Some(c)) if *o == target => Some(Arc::clone(c)),
+                    _ => None,
+                })
+            });
+            (target, child)
+        } else {
+            return self.fail(SimError::UnknownActivation {
+                name: name.to_owned(),
+                operation: operation.name.clone(),
+            });
+        };
+
+        let target_stage = self.model.operation(target_op).stage;
+        let spatial = match (operation.stage, target_stage) {
+            (_, None) => 0,
+            (None, Some((_, s))) => s as u32,
+            (Some((p0, s0)), Some((p1, s1))) if p0 == p1 => s1.saturating_sub(s0) as u32,
+            (Some(_), Some((_, s1))) => s1 as u32,
+        };
+        let routine = child
+            .as_ref()
+            .map(|c| Arc::new(translate_instance(self.model, self.state, self.tables, c)));
+        let k = self.targets.len() as u16;
+        self.targets.push(ActTarget {
+            from: self.op,
+            op: target_op,
+            decoded: child,
+            routine,
+            delay: spatial + extra_delay,
+            stage: target_stage,
+        });
+        ActStep::Activate(k)
+    }
+
+    /// Parses `pipe.shift()` / `pipe.stall()` / `pipe.flush()` and the
+    /// per-stage forms. `None` when the call's first segment names no
+    /// pipeline (it then resolves as an activation).
+    fn pipe_intrinsic(&mut self, call: &lisa_core::ast::Call) -> Option<ActStep> {
+        let first = call.path.first()?;
+        let pipeline = self.model.pipelines().iter().find(|p| p.name == first.name)?;
+        let pid = pipeline.id;
+        let path_str = || call.path.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(".");
+        let step = match call.path.len() {
+            2 => match call.path[1].name.as_str() {
+                "shift" => ActStep::Pipe(PipeOp::Shift(pid)),
+                "stall" => ActStep::Pipe(PipeOp::Stall(pid, pipeline.depth().saturating_sub(1))),
+                "flush" => ActStep::Pipe(PipeOp::Flush(pid, None)),
+                _ => self.fail(SimError::UnknownPipeline { path: path_str() }),
+            },
+            3 => {
+                let Some(sidx) = pipeline.stage_index(&call.path[1].name) else {
+                    return Some(self.fail(SimError::UnknownPipeline { path: path_str() }));
+                };
+                match call.path[2].name.as_str() {
+                    "stall" => ActStep::Pipe(PipeOp::Stall(pid, sidx)),
+                    "flush" => ActStep::Pipe(PipeOp::Flush(pid, Some(sidx))),
+                    _ => self.fail(SimError::UnknownPipeline { path: path_str() }),
+                }
+            }
+            _ => self.fail(SimError::UnknownPipeline { path: path_str() }),
+        };
+        Some(step)
+    }
+
+    /// Lowers a condition expression. Constant-foldable conditions are
+    /// pure, so resolving the branch at translate time is observably
+    /// identical to re-evaluating every cycle.
+    fn cond(&mut self, expr: &lisa_core::ast::Expr) -> CondKind {
+        let lexpr = match lower_act_expr(self.model, self.op, expr) {
+            Ok(l) => l,
+            Err(e) => {
+                let k = self.errors.len() as u16;
+                self.errors.push(e);
+                return CondKind::Err(k);
+            }
+        };
+        let mut e = Emitter {
+            model: self.model,
+            state: self.state,
+            tables: self.tables,
+            code: Vec::new(),
+            children: Vec::new(),
+            errors: Vec::new(),
+            frames: Vec::new(),
+            end_patches: Vec::new(),
+            depth: 0,
+            max_stack: 0,
+        };
+        let ctx = Ctx { op: self.op, decoded: self.decoded };
+        if let Some(v) = e.const_eval(&lexpr, ctx) {
+            return CondKind::Const(v);
+        }
+        e.expr(&lexpr, ctx);
+        let routine = OpsRoutine {
+            code: e.code,
+            n_locals: 0,
+            max_stack: e.max_stack,
+            children: e.children,
+            errors: e.errors,
+            act: None,
+        };
+        let k = self.conds.len() as u16;
+        self.conds.push(routine);
+        CondKind::Routine(k)
+    }
+}
+
+enum CondKind {
+    Const(i64),
+    Routine(u16),
+    Err(u16),
+}
+
+/// Translates a decoded instance (its own op/variant, labels bound).
+pub(crate) fn translate_instance(
+    model: &Model,
+    state: &State,
+    tables: &CompiledTables,
+    decoded: &Decoded,
+) -> OpsRoutine {
+    translate_routine(model, state, tables, decoded.op, decoded.variant, Some(decoded))
+}
+
+/// Pure builtin evaluation shared by the translator's constant folder
+/// and the runtime dispatcher (`Print`/`Nop` are handled by callers).
+fn eval_builtin_pure(f: Builtin, vals: [i64; 2]) -> i64 {
+    match f {
+        Builtin::Sext => {
+            let w = vals[1].clamp(1, 64) as u32;
+            Bits::from_i128_wrapped(w, i128::from(vals[0])).to_i128() as i64
+        }
+        Builtin::Zext => {
+            let w = vals[1].clamp(1, 64) as u32;
+            Bits::from_i128_wrapped(w, i128::from(vals[0])).to_u128() as i64
+        }
+        Builtin::Saturate => saturate(vals[0], vals[1].clamp(1, 64) as u32),
+        Builtin::Abs => vals[0].wrapping_abs(),
+        Builtin::Min => vals[0].min(vals[1]),
+        Builtin::Max => vals[0].max(vals[1]),
+        Builtin::Norm => {
+            let w = vals[1].clamp(1, 64) as u32;
+            i64::from(Bits::from_i128_wrapped(w, i128::from(vals[0])).norm())
+        }
+        Builtin::Print | Builtin::Nop => vals[0],
+    }
+}
+
+impl<'m, 'e> Emitter<'m, 'e> {
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit(&mut self, op: MicroOp, delta: isize) -> usize {
+        self.code.push(op);
+        self.depth = (self.depth as isize + delta).max(0) as usize;
+        self.max_stack = self.max_stack.max(self.depth);
+        self.code.len() - 1
+    }
+
+    fn set_depth(&mut self, d: usize) {
+        self.depth = d;
+    }
+
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        self.patch_to(at, target);
+    }
+
+    fn patch_to(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            MicroOp::Jump(t) | MicroOp::JumpIfZero(t) | MicroOp::JumpIfNonZero(t) => *t = target,
+            MicroOp::CaseJump { target: t, .. } => *t = target,
+            _ => {}
+        }
+    }
+
+    /// Emits a `Fail` op. `pretend` keeps linear depth tracking aligned
+    /// with the value/effect the failing construct would have produced.
+    fn fail(&mut self, err: SimError, pretend: isize) {
+        let k = self.errors.len() as u16;
+        self.errors.push(err);
+        self.emit(MicroOp::Fail(k), pretend);
+    }
+
+    fn unbound_group_err(&self, op: OpId, g: u16) -> SimError {
+        let operation = self.model.operation(op);
+        SimError::UnboundGroup {
+            group: operation.groups[g as usize].name.clone(),
+            operation: operation.name.clone(),
+        }
+    }
+
+    /// The decoded child bound to an op-reference through the current
+    /// variant's coding, mirroring the tree-walk lookup.
+    fn op_ref_child<'d>(&self, ctx: Ctx<'d>, target: OpId) -> Option<&'d Decoded> {
+        let d = ctx.decoded?;
+        let coding = self.model.operation(ctx.op).variants.get(d.variant)?.coding.as_ref()?;
+        coding.fields.iter().zip(&d.children).find_map(|(f, c)| match (&f.target, c) {
+            (CodingTarget::Op(o), Some(c)) if *o == target => Some(&**c),
+            _ => None,
+        })
+    }
+
+    fn op_ref_child_arc(&self, ctx: Ctx<'_>, target: OpId) -> Option<Arc<Decoded>> {
+        let d = ctx.decoded?;
+        let coding = self.model.operation(ctx.op).variants.get(d.variant)?.coding.as_ref()?;
+        coding.fields.iter().zip(&d.children).find_map(|(f, c)| match (&f.target, c) {
+            (CodingTarget::Op(o), Some(c)) if *o == target => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    // -- constant folding ---------------------------------------------------
+
+    /// Evaluates an expression at translate time when every input is
+    /// known and side-effect-free. LABELs fold against the decoded
+    /// fields; operand expressions fold through the child instance.
+    fn const_eval(&self, expr: &LExpr, ctx: Ctx<'_>) -> Option<i64> {
+        match expr {
+            LExpr::Const(v) => Some(*v),
+            LExpr::Label(l) => Some(
+                ctx.decoded.map(|d| d.labels.get(*l as usize).copied().unwrap_or(0)).unwrap_or(0)
+                    as i64,
+            ),
+            LExpr::Unary { op, expr } => {
+                let v = self.const_eval(expr, ctx)?;
+                Some(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                    UnOp::BitNot => !v,
+                })
+            }
+            LExpr::Binary { op, lhs, rhs } => {
+                let l = self.const_eval(lhs, ctx)?;
+                match op {
+                    // Short-circuit folding matches runtime order: a
+                    // constant-false lhs never evaluates the rhs.
+                    BinOp::LogAnd => {
+                        if l == 0 {
+                            return Some(0);
+                        }
+                        Some(i64::from(self.const_eval(rhs, ctx)? != 0))
+                    }
+                    BinOp::LogOr => {
+                        if l != 0 {
+                            return Some(1);
+                        }
+                        Some(i64::from(self.const_eval(rhs, ctx)? != 0))
+                    }
+                    // Folding a constant division by zero would erase a
+                    // runtime error; `apply_binop` rejects it here too.
+                    _ => apply_binop(*op, l, self.const_eval(rhs, ctx)?).ok(),
+                }
+            }
+            LExpr::Ternary { cond, then_expr, else_expr } => {
+                let c = self.const_eval(cond, ctx)?;
+                self.const_eval(if c != 0 { then_expr } else { else_expr }, ctx)
+            }
+            LExpr::GroupValue(g) => {
+                let child = ctx.decoded?.group_child(self.model, *g as usize)?;
+                self.child_expr_const(child)
+            }
+            LExpr::OpRefValue(target) => {
+                let child = self.op_ref_child(ctx, *target)?;
+                self.child_expr_const(child)
+            }
+            LExpr::Builtin { f, args } => {
+                if matches!(f, Builtin::Print) {
+                    return None; // side effect: trace event
+                }
+                if matches!(f, Builtin::Nop) {
+                    return Some(0);
+                }
+                let mut vals = [0i64; 2];
+                for (i, a) in args.iter().enumerate().take(2) {
+                    vals[i] = self.const_eval(a, ctx)?;
+                }
+                Some(eval_builtin_pure(*f, vals))
+            }
+            LExpr::Local(_) | LExpr::ResScalar(_) | LExpr::ResElem { .. } => None,
+        }
+    }
+
+    /// Folds an operand child's EXPRESSION (or sole label) to a value.
+    fn child_expr_const(&self, child: &Decoded) -> Option<i64> {
+        let tables = self.tables;
+        let idx = tables.slot(child.op, child.variant);
+        match tables.expressions[idx].as_ref() {
+            Some(expr) => self.const_eval(expr, Ctx { op: child.op, decoded: Some(child) }),
+            None => {
+                let operation = self.model.operation(child.op);
+                if operation.labels.len() == 1 {
+                    Some(child.labels[0] as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl<'m, 'e> Emitter<'m, 'e> {
+    // -- expressions --------------------------------------------------------
+
+    fn expr<'d>(&mut self, e: &'e LExpr, ctx: Ctx<'d>) {
+        if let Some(v) = self.const_eval(e, ctx) {
+            self.emit(MicroOp::Const(v), 1);
+            return;
+        }
+        match e {
+            // Const/Label always fold; these arms keep the match total.
+            LExpr::Const(v) => {
+                self.emit(MicroOp::Const(*v), 1);
+            }
+            LExpr::Label(_) => {
+                self.emit(MicroOp::Const(0), 1);
+            }
+            LExpr::Local(slot) => {
+                self.emit(MicroOp::ReadLocal(*slot), 1);
+            }
+            LExpr::ResScalar(res) => {
+                self.emit(MicroOp::ReadScalar(*res), 1);
+            }
+            LExpr::ResElem { res, indices } => {
+                let kind = self.res_place(*res, indices, ctx);
+                self.read_place_kind(kind);
+            }
+            LExpr::GroupValue(g) => {
+                match ctx.decoded.and_then(|d| d.group_child(self.model, *g as usize)) {
+                    Some(child) => self.child_expr(child),
+                    None => {
+                        let err = self.unbound_group_err(ctx.op, *g);
+                        self.fail(err, 1);
+                    }
+                }
+            }
+            LExpr::OpRefValue(target) => match self.op_ref_child(ctx, *target) {
+                Some(child) => self.child_expr(child),
+                None => {
+                    let err = SimError::UnboundGroup {
+                        group: self.model.operation(*target).name.clone(),
+                        operation: self.model.operation(ctx.op).name.clone(),
+                    };
+                    self.fail(err, 1);
+                }
+            },
+            LExpr::Unary { op, expr } => {
+                self.expr(expr, ctx);
+                self.emit(MicroOp::Unary(*op), 0);
+            }
+            LExpr::Binary { op, lhs, rhs } => match op {
+                BinOp::LogAnd => {
+                    let d0 = self.depth;
+                    self.expr(lhs, ctx);
+                    let j_false = self.emit(MicroOp::JumpIfZero(0), -1);
+                    self.expr(rhs, ctx);
+                    self.emit(MicroOp::NormBool, 0);
+                    let j_end = self.emit(MicroOp::Jump(0), 0);
+                    self.set_depth(d0);
+                    self.patch(j_false);
+                    self.emit(MicroOp::Const(0), 1);
+                    self.patch(j_end);
+                }
+                BinOp::LogOr => {
+                    let d0 = self.depth;
+                    self.expr(lhs, ctx);
+                    let j_true = self.emit(MicroOp::JumpIfNonZero(0), -1);
+                    self.expr(rhs, ctx);
+                    self.emit(MicroOp::NormBool, 0);
+                    let j_end = self.emit(MicroOp::Jump(0), 0);
+                    self.set_depth(d0);
+                    self.patch(j_true);
+                    self.emit(MicroOp::Const(1), 1);
+                    self.patch(j_end);
+                }
+                _ => {
+                    self.expr(lhs, ctx);
+                    self.expr(rhs, ctx);
+                    self.emit(MicroOp::Binary { op: *op, ctx: ctx.op }, -1);
+                }
+            },
+            LExpr::Ternary { cond, then_expr, else_expr } => {
+                if let Some(c) = self.const_eval(cond, ctx) {
+                    // Constant condition is pure, so evaluating only the
+                    // taken branch is observably identical.
+                    self.expr(if c != 0 { then_expr } else { else_expr }, ctx);
+                    return;
+                }
+                let d0 = self.depth;
+                self.expr(cond, ctx);
+                let j_else = self.emit(MicroOp::JumpIfZero(0), -1);
+                self.expr(then_expr, ctx);
+                let j_end = self.emit(MicroOp::Jump(0), 0);
+                self.set_depth(d0);
+                self.patch(j_else);
+                self.expr(else_expr, ctx);
+                self.patch(j_end);
+            }
+            LExpr::Builtin { f, args } => match f {
+                Builtin::Nop => {
+                    self.emit(MicroOp::Const(0), 1);
+                }
+                _ => {
+                    for a in args.iter().take(2) {
+                        self.expr(a, ctx);
+                    }
+                    let delta = 1 - args.len().min(2) as isize;
+                    self.emit(MicroOp::Builtin { f: *f, ctx: ctx.op }, delta);
+                }
+            },
+        }
+    }
+
+    /// Inlines an operand child's EXPRESSION (or sole label) so operand
+    /// reads cost nothing beyond the ops they lower to.
+    fn child_expr(&mut self, child: &Decoded) {
+        let tables = self.tables;
+        let idx = tables.slot(child.op, child.variant);
+        match tables.expressions[idx].as_ref() {
+            Some(expr) => {
+                // Operand EXPRESSIONs never declare locals, so inlining
+                // into the parent's frame is safe.
+                self.expr(expr, Ctx { op: child.op, decoded: Some(child) });
+            }
+            None => {
+                let operation = self.model.operation(child.op);
+                if operation.labels.len() == 1 {
+                    self.emit(MicroOp::Const(child.labels[0] as i64), 1);
+                } else {
+                    let err = SimError::UnknownName {
+                        name: format!("<expression of {}>", operation.name),
+                        operation: operation.name.clone(),
+                    };
+                    self.fail(err, 1);
+                }
+            }
+        }
+    }
+
+    // -- places -------------------------------------------------------------
+
+    /// Resolves a place as far as translate time allows: constant
+    /// indices become direct element slots; operand places chase the
+    /// decoded child exactly as the tree-walk does.
+    fn place_kind<'d>(&self, place: &'e LPlace, ctx: Ctx<'d>) -> PlaceKind<'e, 'd> {
+        match place {
+            LPlace::Local(slot) => PlaceKind::Local(*slot),
+            LPlace::Res { res, indices } => self.res_place(*res, indices, ctx),
+            LPlace::Group(g) => {
+                match ctx.decoded.and_then(|d| d.group_child(self.model, *g as usize)) {
+                    Some(child) => self.child_place_kind(child),
+                    None => PlaceKind::Err(self.unbound_group_err(ctx.op, *g)),
+                }
+            }
+            LPlace::OpRef(target) => match self.op_ref_child(ctx, *target) {
+                Some(child) => self.child_place_kind(child),
+                None => PlaceKind::Err(SimError::NotAnLvalue {
+                    operation: self.model.operation(ctx.op).name.clone(),
+                }),
+            },
+        }
+    }
+
+    fn res_place<'d>(
+        &self,
+        res: ResourceId,
+        indices: &'e [LExpr],
+        ctx: Ctx<'d>,
+    ) -> PlaceKind<'e, 'd> {
+        let consts: Option<Vec<i64>> = indices.iter().map(|e| self.const_eval(e, ctx)).collect();
+        match consts {
+            Some(vals) => match self.state.flatten_indices(self.model.resource(res), &vals) {
+                Ok(flat) => PlaceKind::Flat { res, flat: flat as u32 },
+                Err(e) => PlaceKind::Err(e),
+            },
+            None => PlaceKind::Dyn { res, indices, ctx },
+        }
+    }
+
+    /// Resolves an operand child's EXPRESSION as a place (locals are not
+    /// assignable through operands, matching the tree-walk).
+    fn child_place_kind<'d>(&self, child: &'d Decoded) -> PlaceKind<'e, 'd> {
+        let tables = self.tables;
+        let idx = tables.slot(child.op, child.variant);
+        let Some(place) = tables.expr_places[idx].as_ref() else {
+            return PlaceKind::Err(SimError::NotAnLvalue {
+                operation: self.model.operation(child.op).name.clone(),
+            });
+        };
+        match self.place_kind(place, Ctx { op: child.op, decoded: Some(child) }) {
+            PlaceKind::Local(_) => PlaceKind::Err(SimError::NotAnLvalue {
+                operation: self.model.operation(child.op).name.clone(),
+            }),
+            other => other,
+        }
+    }
+
+    fn read_place_kind(&mut self, kind: PlaceKind<'e, '_>) {
+        match kind {
+            PlaceKind::Local(slot) => {
+                self.emit(MicroOp::ReadLocal(slot), 1);
+            }
+            PlaceKind::Flat { res, flat } => {
+                self.emit(MicroOp::ReadFlat { res, flat }, 1);
+            }
+            PlaceKind::Dyn { res, indices, ctx } => {
+                for e in indices {
+                    self.expr(e, ctx);
+                }
+                let n = indices.len() as u8;
+                if n == 1 && self.linear_1d(res) {
+                    self.emit(MicroOp::ReadIdx(res), 0);
+                } else {
+                    self.emit(MicroOp::ReadDyn { res, n }, 1 - indices.len() as isize);
+                }
+            }
+            PlaceKind::Err(e) => self.fail(e, 1),
+        }
+    }
+
+    /// Whether a resource is a one-dimensional base-0 array — eligible
+    /// for the specialized indexed micro-ops.
+    fn linear_1d(&self, res: ResourceId) -> bool {
+        let dims = &self.model.resource(res).dims;
+        dims.len() == 1 && dims[0].base() == 0
+    }
+
+    /// Emits the store for an assignment whose rhs is already on the
+    /// stack. `ctx` is the frame the assignment executes in (compound
+    /// division-by-zero diagnostics name the outer operation even when
+    /// writing through an operand).
+    fn assign_place<'d>(&mut self, place: &'e LPlace, op: AssignOp, ctx: Ctx<'d>) {
+        match self.place_kind(place, ctx) {
+            PlaceKind::Local(slot) => match op {
+                AssignOp::Set => {
+                    self.emit(MicroOp::StoreLocal(slot), -1);
+                }
+                _ => {
+                    self.emit(MicroOp::RmwLocal { slot, op, ctx: ctx.op }, -1);
+                }
+            },
+            PlaceKind::Flat { res, flat } => match op {
+                AssignOp::Set => {
+                    self.emit(MicroOp::WriteFlat { res, flat }, -1);
+                }
+                _ => {
+                    self.emit(MicroOp::RmwFlat { res, flat, op, ctx: ctx.op }, -1);
+                }
+            },
+            PlaceKind::Dyn { res, indices, ctx: ictx } => {
+                for e in indices {
+                    self.expr(e, ictx);
+                }
+                let n = indices.len() as u8;
+                let delta = -(indices.len() as isize) - 1;
+                match op {
+                    AssignOp::Set if n == 1 && self.linear_1d(res) => {
+                        self.emit(MicroOp::WriteIdx(res), delta);
+                    }
+                    AssignOp::Set => {
+                        self.emit(MicroOp::WriteDyn { res, n }, delta);
+                    }
+                    _ => {
+                        self.emit(MicroOp::RmwDyn { res, n, op, ctx: ctx.op }, delta);
+                    }
+                }
+            }
+            PlaceKind::Err(e) => self.fail(e, -1),
+        }
+    }
+
+    fn incdec_place<'d>(&mut self, place: &'e LPlace, delta: i64, ctx: Ctx<'d>) {
+        match self.place_kind(place, ctx) {
+            PlaceKind::Local(slot) => {
+                self.emit(MicroOp::IncDecLocal { slot, delta }, 0);
+            }
+            PlaceKind::Flat { res, flat } => {
+                self.emit(MicroOp::IncDecFlat { res, flat, delta }, 0);
+            }
+            PlaceKind::Dyn { res, indices, ctx: ictx } => {
+                for e in indices {
+                    self.expr(e, ictx);
+                }
+                let n = indices.len() as u8;
+                self.emit(MicroOp::IncDecDyn { res, n, delta }, -(indices.len() as isize));
+            }
+            PlaceKind::Err(e) => self.fail(e, 0),
+        }
+    }
+
+    /// Embeds a bound child instance and emits its invocation.
+    fn invoke_child(&mut self, child: Arc<Decoded>) {
+        let routine = Arc::new(translate_instance(self.model, self.state, self.tables, &child));
+        let k = self.children.len() as u16;
+        self.children.push(ChildInvoke { decoded: child, routine });
+        self.emit(MicroOp::InvokeChild(k), 0);
+    }
+}
+
+impl<'m, 'e> Emitter<'m, 'e> {
+    // -- statements ---------------------------------------------------------
+
+    fn block<'d>(&mut self, b: &'e LBlock, ctx: Ctx<'d>) {
+        for s in &b.stmts {
+            self.stmt(s, ctx);
+        }
+    }
+
+    fn stmt<'d>(&mut self, s: &'e LStmt, ctx: Ctx<'d>) {
+        match s {
+            LStmt::DeclLocal { slot, init, width, signed } => {
+                match init {
+                    Some(e) => self.expr(e, ctx),
+                    None => {
+                        self.emit(MicroOp::Const(0), 1);
+                    }
+                }
+                if *width < 64 {
+                    self.emit(
+                        MicroOp::StoreLocalWrapped { slot: *slot, width: *width, signed: *signed },
+                        -1,
+                    );
+                } else {
+                    self.emit(MicroOp::StoreLocal(*slot), -1);
+                }
+            }
+            LStmt::Assign { place, op, value } => {
+                // rhs first, then place resolution — tree-walk order.
+                self.expr(value, ctx);
+                self.assign_place(place, *op, ctx);
+            }
+            LStmt::IncDec { place, delta } => self.incdec_place(place, *delta, ctx),
+            LStmt::InvokeGroup(g) => {
+                match ctx.decoded.and_then(|d| d.group_child_rc(self.model, *g as usize)) {
+                    Some(child) => self.invoke_child(child),
+                    None => {
+                        let err = self.unbound_group_err(ctx.op, *g);
+                        self.fail(err, 0);
+                    }
+                }
+            }
+            LStmt::InvokeOp(target) => match self.op_ref_child_arc(ctx, *target) {
+                Some(child) => self.invoke_child(child),
+                None => {
+                    self.emit(MicroOp::InvokeUnbound(*target), 0);
+                }
+            },
+            LStmt::Intrinsic(p) => {
+                self.emit(MicroOp::Pipe(*p), 0);
+            }
+            LStmt::EvalDrop(e) => {
+                // A foldable expression is pure; discarding it emits
+                // nothing at all.
+                if self.const_eval(e, ctx).is_some() {
+                    return;
+                }
+                self.expr(e, ctx);
+                self.emit(MicroOp::Pop, -1);
+            }
+            LStmt::If { cond, then_block, else_block } => {
+                if let Some(c) = self.const_eval(cond, ctx) {
+                    self.block(if c != 0 { then_block } else { else_block }, ctx);
+                    return;
+                }
+                self.expr(cond, ctx);
+                let j_else = self.emit(MicroOp::JumpIfZero(0), -1);
+                self.block(then_block, ctx);
+                if else_block.stmts.is_empty() {
+                    self.patch(j_else);
+                } else {
+                    let j_end = self.emit(MicroOp::Jump(0), 0);
+                    self.patch(j_else);
+                    self.block(else_block, ctx);
+                    self.patch(j_end);
+                }
+            }
+            LStmt::While { cond, body } => {
+                if let Some(0) = self.const_eval(cond, ctx) {
+                    return;
+                }
+                let start = self.here();
+                let exit_jump = if self.const_eval(cond, ctx).is_some() {
+                    None // constant-true: no test on the back edge
+                } else {
+                    self.expr(cond, ctx);
+                    Some(self.emit(MicroOp::JumpIfZero(0), -1))
+                };
+                self.frames.push(CtlFrame {
+                    is_loop: true,
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.block(body, ctx);
+                self.emit(MicroOp::Jump(start), 0);
+                let frame = self.frames.pop().expect("loop frame");
+                if let Some(j) = exit_jump {
+                    self.patch(j);
+                }
+                for b in frame.breaks {
+                    self.patch(b);
+                }
+                for c in frame.continues {
+                    self.patch_to(c, start);
+                }
+            }
+            LStmt::DoWhile { body, cond } => {
+                let start = self.here();
+                self.frames.push(CtlFrame {
+                    is_loop: true,
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.block(body, ctx);
+                let frame = self.frames.pop().expect("loop frame");
+                let cond_at = self.here();
+                for c in frame.continues {
+                    self.patch_to(c, cond_at);
+                }
+                match self.const_eval(cond, ctx) {
+                    Some(0) => {}
+                    Some(_) => {
+                        self.emit(MicroOp::Jump(start), 0);
+                    }
+                    None => {
+                        self.expr(cond, ctx);
+                        self.emit(MicroOp::JumpIfNonZero(start), -1);
+                    }
+                }
+                for b in frame.breaks {
+                    self.patch(b);
+                }
+            }
+            LStmt::For { init, cond, step, body } => {
+                if let Some(init) = init {
+                    self.stmt(init, ctx);
+                }
+                if let Some(c) = cond {
+                    // A constant-false condition still runs init (above),
+                    // then the loop never starts.
+                    if let Some(0) = self.const_eval(c, ctx) {
+                        return;
+                    }
+                }
+                let start = self.here();
+                let exit_jump = match cond {
+                    Some(c) if self.const_eval(c, ctx).is_none() => {
+                        self.expr(c, ctx);
+                        Some(self.emit(MicroOp::JumpIfZero(0), -1))
+                    }
+                    _ => None,
+                };
+                self.frames.push(CtlFrame {
+                    is_loop: true,
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                self.block(body, ctx);
+                let frame = self.frames.pop().expect("loop frame");
+                let step_at = self.here();
+                for c in frame.continues {
+                    self.patch_to(c, step_at);
+                }
+                if let Some(step) = step {
+                    self.stmt(step, ctx);
+                }
+                self.emit(MicroOp::Jump(start), 0);
+                if let Some(j) = exit_jump {
+                    self.patch(j);
+                }
+                for b in frame.breaks {
+                    self.patch(b);
+                }
+            }
+            LStmt::Switch { scrutinee, cases, default } => {
+                if let Some(v) = self.const_eval(scrutinee, ctx) {
+                    // Constant scrutinee: only the taken arm is emitted
+                    // (the decode-specialization the paper calls out).
+                    let body =
+                        cases.iter().find(|(cv, _)| *cv == v).map(|(_, b)| b).or(default.as_ref());
+                    if let Some(b) = body {
+                        self.frames.push(CtlFrame {
+                            is_loop: false,
+                            breaks: Vec::new(),
+                            continues: Vec::new(),
+                        });
+                        self.block(b, ctx);
+                        let frame = self.frames.pop().expect("switch frame");
+                        for br in frame.breaks {
+                            self.patch(br);
+                        }
+                    }
+                    return;
+                }
+                let d0 = self.depth;
+                self.expr(scrutinee, ctx);
+                let case_jumps: Vec<usize> = cases
+                    .iter()
+                    .map(|(v, _)| self.emit(MicroOp::CaseJump { value: *v, target: 0 }, 0))
+                    .collect();
+                self.emit(MicroOp::Pop, -1);
+                self.frames.push(CtlFrame {
+                    is_loop: false,
+                    breaks: Vec::new(),
+                    continues: Vec::new(),
+                });
+                let mut end_jumps = Vec::new();
+                if let Some(def) = default {
+                    self.block(def, ctx);
+                }
+                end_jumps.push(self.emit(MicroOp::Jump(0), 0));
+                for (i, (_, body)) in cases.iter().enumerate() {
+                    self.set_depth(d0); // CaseJump popped the scrutinee
+                    self.patch(case_jumps[i]);
+                    self.block(body, ctx);
+                    end_jumps.push(self.emit(MicroOp::Jump(0), 0));
+                }
+                let frame = self.frames.pop().expect("switch frame");
+                for j in end_jumps {
+                    self.patch(j);
+                }
+                for b in frame.breaks {
+                    self.patch(b);
+                }
+                self.set_depth(d0);
+            }
+            LStmt::Break => {
+                let j = self.emit(MicroOp::Jump(0), 0);
+                match self.frames.last_mut() {
+                    Some(f) => f.breaks.push(j),
+                    None => self.end_patches.push(j),
+                }
+            }
+            LStmt::Continue => {
+                let j = self.emit(MicroOp::Jump(0), 0);
+                match self.frames.iter_mut().rev().find(|f| f.is_loop) {
+                    Some(f) => f.continues.push(j),
+                    None => self.end_patches.push(j),
+                }
+            }
+            LStmt::Block(b) => self.block(b, ctx),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Where activation targets land while a plan runs: the scheduler's
+/// ready list (control-step context) or a local drain buffer of target
+/// indices (behavior context, executed immediately afterwards).
+pub(crate) enum ActSink<'a> {
+    Sched(&'a mut Vec<ExecItem>),
+    Local(&'a mut Vec<u16>),
+}
+
+impl Simulator<'_> {
+    fn ops_oob(&self, res: ResourceId, index: i64) -> SimError {
+        SimError::IndexOutOfBounds {
+            resource: self.model.resource(res).name.clone(),
+            index,
+            dim: 0,
+        }
+    }
+
+    fn ops_div0(&self, ctx: OpId) -> SimError {
+        SimError::DivisionByZero { operation: self.model.operation(ctx).name.clone() }
+    }
+
+    /// Pops `n` indices (pushed in source order) and flattens them.
+    fn ops_pop_flatten(
+        &self,
+        stack: &mut Vec<i64>,
+        res: ResourceId,
+        n: u8,
+    ) -> Result<usize, SimError> {
+        let n = n as usize;
+        if n <= 8 {
+            let mut buf = [0i64; 8];
+            for i in (0..n).rev() {
+                buf[i] = stack.pop().unwrap_or(0);
+            }
+            self.state.flatten_indices(self.model.resource(res), &buf[..n])
+        } else {
+            let mut vals = vec![0i64; n];
+            for i in (0..n).rev() {
+                vals[i] = stack.pop().unwrap_or(0);
+            }
+            self.state.flatten_indices(self.model.resource(res), &vals)
+        }
+    }
+
+    /// Pops a recycled frame off the pool, sized for `routine`.
+    fn ops_frame(&mut self, routine: &OpsRoutine) -> OpsFrame {
+        let mut f = self.ops.as_mut().and_then(|o| o.frames.pop()).unwrap_or_default();
+        f.locals.clear();
+        f.locals.resize(routine.n_locals as usize, 0);
+        f.stack.clear();
+        if f.stack.capacity() < routine.max_stack {
+            f.stack.reserve(routine.max_stack);
+        }
+        f
+    }
+
+    /// Returns a frame to the pool, keeping its capacity.
+    fn ops_frame_put(&mut self, frame: OpsFrame) {
+        if let Some(o) = self.ops.as_mut() {
+            if o.frames.len() < 64 {
+                o.frames.push(frame);
+            }
+        }
+    }
+
+    /// Writes one element, emitting the write event first — identical
+    /// order to the tree-walking backends.
+    fn ops_write(&mut self, res: ResourceId, flat: usize, value: i64) -> Result<(), SimError> {
+        if self.observing() {
+            self.emit_write(res, flat, value);
+        }
+        if self.state.write_flat(res, flat, value) {
+            Ok(())
+        } else {
+            Err(self.ops_oob(res, flat as i64))
+        }
+    }
+
+    /// Executes one translated routine: a tight dispatch loop over the
+    /// flat op array, running in a pooled frame.
+    pub(crate) fn run_ops(&mut self, routine: &OpsRoutine) -> Result<(), SimError> {
+        let mut frame = self.ops_frame(routine);
+        let res = self.run_ops_in(routine, &mut frame);
+        self.ops_frame_put(frame);
+        res
+    }
+
+    /// Like [`Self::run_ops`] but returns the value left on the operand
+    /// stack — the ACTIVATION-condition entry point.
+    pub(crate) fn run_ops_value(&mut self, routine: &OpsRoutine) -> Result<i64, SimError> {
+        let mut frame = self.ops_frame(routine);
+        let res = self.run_ops_in(routine, &mut frame);
+        let value = frame.stack.pop().unwrap_or(0);
+        self.ops_frame_put(frame);
+        res.map(|()| value)
+    }
+
+    fn run_ops_in(&mut self, routine: &OpsRoutine, frame: &mut OpsFrame) -> Result<(), SimError> {
+        let code = &routine.code;
+        let OpsFrame { locals, stack } = frame;
+        let mut pc = 0usize;
+        while let Some(op) = code.get(pc) {
+            pc += 1;
+            match op {
+                MicroOp::Const(v) => stack.push(*v),
+                MicroOp::ReadLocal(slot) => stack.push(locals[*slot as usize]),
+                MicroOp::ReadScalar(res) => {
+                    stack.push(self.state.read_flat(*res, 0).unwrap_or(0));
+                }
+                MicroOp::ReadFlat { res, flat } => {
+                    let flat = *flat as usize;
+                    let v = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    stack.push(v);
+                }
+                MicroOp::ReadDyn { res, n } => {
+                    let flat = self.ops_pop_flatten(stack, *res, *n)?;
+                    let v = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    stack.push(v);
+                }
+                MicroOp::ReadIdx(res) => {
+                    let idx = stack.pop().unwrap_or(0);
+                    let v = self
+                        .state
+                        .read_flat(*res, idx as usize)
+                        .ok_or_else(|| self.ops_oob(*res, idx))?;
+                    stack.push(v);
+                }
+                MicroOp::Unary(op) => {
+                    let v = stack.pop().unwrap_or(0);
+                    stack.push(match op {
+                        UnOp::Neg => v.wrapping_neg(),
+                        UnOp::Not => i64::from(v == 0),
+                        UnOp::BitNot => !v,
+                    });
+                }
+                MicroOp::Binary { op, ctx } => {
+                    let r = stack.pop().unwrap_or(0);
+                    let l = stack.pop().unwrap_or(0);
+                    let v = apply_binop(*op, l, r).map_err(|()| self.ops_div0(*ctx))?;
+                    stack.push(v);
+                }
+                MicroOp::NormBool => {
+                    let v = stack.pop().unwrap_or(0);
+                    stack.push(i64::from(v != 0));
+                }
+                MicroOp::Builtin { f, ctx } => match f {
+                    Builtin::Abs => {
+                        let v = stack.pop().unwrap_or(0);
+                        stack.push(v.wrapping_abs());
+                    }
+                    Builtin::Print => {
+                        let v = *stack.last().unwrap_or(&0);
+                        if self.observing() {
+                            let event = lisa_trace::TraceEvent::Print {
+                                cycle: self.stats.cycles,
+                                op: *ctx,
+                                value: v,
+                            };
+                            self.emit(event);
+                        }
+                    }
+                    Builtin::Nop => stack.push(0),
+                    _ => {
+                        let b = stack.pop().unwrap_or(0);
+                        let a = stack.pop().unwrap_or(0);
+                        stack.push(eval_builtin_pure(*f, [a, b]));
+                    }
+                },
+                MicroOp::StoreLocal(slot) => {
+                    let v = stack.pop().unwrap_or(0);
+                    locals[*slot as usize] = v;
+                }
+                MicroOp::StoreLocalWrapped { slot, width, signed } => {
+                    let raw = stack.pop().unwrap_or(0);
+                    let wrapped = Bits::from_i128_wrapped(*width, i128::from(raw));
+                    let v =
+                        if *signed { wrapped.to_i128() as i64 } else { wrapped.to_u128() as i64 };
+                    locals[*slot as usize] = v;
+                }
+                MicroOp::Pop => {
+                    stack.pop();
+                }
+                MicroOp::Jump(t) => pc = *t as usize,
+                MicroOp::JumpIfZero(t) => {
+                    if stack.pop().unwrap_or(0) == 0 {
+                        pc = *t as usize;
+                    }
+                }
+                MicroOp::JumpIfNonZero(t) => {
+                    if stack.pop().unwrap_or(0) != 0 {
+                        pc = *t as usize;
+                    }
+                }
+                MicroOp::CaseJump { value, target } => {
+                    if stack.last().copied().unwrap_or(0) == *value {
+                        stack.pop();
+                        pc = *target as usize;
+                    }
+                }
+                MicroOp::WriteFlat { res, flat } => {
+                    let v = stack.pop().unwrap_or(0);
+                    self.ops_write(*res, *flat as usize, v)?;
+                }
+                MicroOp::WriteDyn { res, n } => {
+                    let flat = self.ops_pop_flatten(stack, *res, *n)?;
+                    let v = stack.pop().unwrap_or(0);
+                    self.ops_write(*res, flat, v)?;
+                }
+                MicroOp::WriteIdx(res) => {
+                    let idx = stack.pop().unwrap_or(0);
+                    let v = stack.pop().unwrap_or(0);
+                    // Bounds first, so no Write event fires for an
+                    // out-of-range index (matching the flatten path).
+                    let flat = idx as usize;
+                    if flat >= self.state.element_count(*res) {
+                        return Err(self.ops_oob(*res, idx));
+                    }
+                    self.ops_write(*res, flat, v)?;
+                }
+                MicroOp::RmwLocal { slot, op, ctx } => {
+                    let rhs = stack.pop().unwrap_or(0);
+                    let old = locals[*slot as usize];
+                    let new = apply_compound(*op, old, rhs).map_err(|()| self.ops_div0(*ctx))?;
+                    locals[*slot as usize] = new;
+                }
+                MicroOp::RmwFlat { res, flat, op, ctx } => {
+                    let rhs = stack.pop().unwrap_or(0);
+                    let flat = *flat as usize;
+                    let old = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    let new = apply_compound(*op, old, rhs).map_err(|()| self.ops_div0(*ctx))?;
+                    self.ops_write(*res, flat, new)?;
+                }
+                MicroOp::RmwDyn { res, n, op, ctx } => {
+                    let flat = self.ops_pop_flatten(stack, *res, *n)?;
+                    let rhs = stack.pop().unwrap_or(0);
+                    let old = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    let new = apply_compound(*op, old, rhs).map_err(|()| self.ops_div0(*ctx))?;
+                    self.ops_write(*res, flat, new)?;
+                }
+                MicroOp::IncDecLocal { slot, delta } => {
+                    locals[*slot as usize] = locals[*slot as usize].wrapping_add(*delta);
+                }
+                MicroOp::IncDecFlat { res, flat, delta } => {
+                    let flat = *flat as usize;
+                    let old = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.ops_write(*res, flat, old.wrapping_add(*delta))?;
+                }
+                MicroOp::IncDecDyn { res, n, delta } => {
+                    let flat = self.ops_pop_flatten(stack, *res, *n)?;
+                    let old = self
+                        .state
+                        .read_flat(*res, flat)
+                        .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.ops_write(*res, flat, old.wrapping_add(*delta))?;
+                }
+                MicroOp::Pipe(p) => self.apply_pipe_op(*p),
+                MicroOp::InvokeChild(k) => {
+                    let child = &routine.children[*k as usize];
+                    self.stats.executed_ops += 1;
+                    if self.observing() {
+                        self.emit_exec(child.decoded.op);
+                    }
+                    self.run_ops(&child.routine)?;
+                    self.invoke_plan(&child.routine)?;
+                }
+                MicroOp::InvokeUnbound(op) => self.invoke_unbound(*op)?,
+                MicroOp::Enter(op) => {
+                    self.stats.executed_ops += 1;
+                    if self.observing() {
+                        self.emit_exec(*op);
+                    }
+                }
+                MicroOp::ZeroLocals { base, n } => {
+                    let base = *base as usize;
+                    locals[base..base + *n as usize].fill(0);
+                }
+                MicroOp::Fail(k) => return Err(routine.errors[*k as usize].clone()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a routine's ACTIVATION plan in behavior context: targets are
+    /// collected, then zero-delay ones execute immediately (behavior,
+    /// then their own plan) in activation order — the ops-mode twin of
+    /// `invoke_activation`.
+    pub(crate) fn invoke_plan(&mut self, routine: &OpsRoutine) -> Result<(), SimError> {
+        let Some(plan) = routine.act.as_ref() else { return Ok(()) };
+        let mut out = self.ops.as_mut().and_then(|o| o.act_scratch.pop()).unwrap_or_default();
+        out.clear();
+        let res =
+            self.run_act_steps(plan, &plan.steps, &mut ActSink::Local(&mut out)).and_then(|()| {
+                for &k in out.iter() {
+                    let t = &plan.targets[k as usize];
+                    match &t.routine {
+                        Some(r) => {
+                            self.stats.executed_ops += 1;
+                            if self.observing() {
+                                self.emit_exec(t.op);
+                            }
+                            self.run_ops(r)?;
+                            self.invoke_plan(r)?;
+                        }
+                        None => self.invoke_unbound(t.op)?,
+                    }
+                }
+                Ok(())
+            });
+        if let Some(o) = self.ops.as_mut() {
+            if o.act_scratch.len() < 16 {
+                o.act_scratch.push(out);
+            }
+        }
+        res
+    }
+
+    /// Walks a plan's steps, scheduling targets into `sink`. Statistics,
+    /// trace events, delayed-activation bookkeeping and intrinsic
+    /// handling are identical to the interpretive `run_act_nodes` /
+    /// `activate_name` pair.
+    pub(crate) fn run_act_steps(
+        &mut self,
+        plan: &ActPlan,
+        steps: &[ActStep],
+        sink: &mut ActSink<'_>,
+    ) -> Result<(), SimError> {
+        for step in steps {
+            match step {
+                ActStep::Activate(k) => {
+                    let t = &plan.targets[*k as usize];
+                    self.stats.activations += 1;
+                    if self.observing() {
+                        let event = lisa_trace::TraceEvent::Activation {
+                            cycle: self.stats.cycles,
+                            from: t.from,
+                            to: t.op,
+                            delay: t.delay,
+                        };
+                        self.emit(event);
+                    }
+                    if t.delay == 0 {
+                        match sink {
+                            ActSink::Sched(ready) => {
+                                ready.push(ExecItem {
+                                    op: t.op,
+                                    decoded: t.decoded.clone(),
+                                    routine: t.routine.clone(),
+                                });
+                            }
+                            ActSink::Local(out) => out.push(*k),
+                        }
+                    } else {
+                        self.seq += 1;
+                        self.pending.push(Pending {
+                            item: ExecItem {
+                                op: t.op,
+                                decoded: t.decoded.clone(),
+                                routine: t.routine.clone(),
+                            },
+                            pipe: t.stage,
+                            remaining: t.delay,
+                            seq: self.seq,
+                        });
+                    }
+                }
+                ActStep::Pipe(p) => self.apply_pipe_op(*p),
+                ActStep::If { cond, then_steps, else_steps } => {
+                    let taken = if *cond == u16::MAX {
+                        true // branch was resolved at translate time
+                    } else {
+                        self.run_ops_value(&plan.conds[*cond as usize])? != 0
+                    };
+                    let branch = if taken { then_steps } else { else_steps };
+                    self.run_act_steps(plan, branch, sink)?;
+                }
+                ActStep::Switch { cond, cases, default } => {
+                    let value = self.run_ops_value(&plan.conds[*cond as usize])?;
+                    let body =
+                        cases.iter().find(|(v, _)| *v == value).map(|(_, b)| b).unwrap_or(default);
+                    self.run_act_steps(plan, body, sink)?;
+                }
+                ActStep::Fail(k) => return Err(plan.errors[*k as usize].clone()),
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Caches and engine glue
+// ---------------------------------------------------------------------------
+
+impl Simulator<'_> {
+    /// The cached routine for a decoded instance, translating on miss.
+    pub(crate) fn ops_instance_routine(&mut self, decoded: &Arc<Decoded>) -> Arc<OpsRoutine> {
+        let key = Arc::as_ptr(decoded) as usize;
+        if let Some((_, routine)) = self.ops.as_ref().and_then(|o| o.instances.get(&key)) {
+            return Arc::clone(routine);
+        }
+        let tables = Arc::clone(self.compiled.as_ref().expect("ops mode has tables"));
+        let routine = Arc::new(translate_instance(self.model, &self.state, &tables, decoded));
+        if let Some(ops) = self.ops.as_mut() {
+            if ops.instances.len() >= OPS_CACHE_MAX {
+                ops.instances.clear();
+            }
+            ops.instances.insert(key, (Arc::clone(decoded), Arc::clone(&routine)));
+        }
+        routine
+    }
+
+    /// The pre-translated default-variant routine for an operation.
+    pub(crate) fn ops_unbound_routine(&self, op: OpId) -> Arc<OpsRoutine> {
+        Arc::clone(&self.ops.as_ref().expect("ops mode has tables").unbound[op.0])
+    }
+
+    /// A one-off routine for bindings outside both caches (e.g. a
+    /// decoded operand executed under a different operation).
+    pub(crate) fn ops_uncached_routine(
+        &self,
+        op: OpId,
+        variant: usize,
+        decoded: Option<&Decoded>,
+    ) -> Arc<OpsRoutine> {
+        let tables = self.compiled.as_ref().expect("ops mode has tables");
+        Arc::new(translate_routine(self.model, &self.state, tables, op, variant, decoded))
+    }
+
+    /// Fused decode+translate for decode-root fetches: bookkeeping
+    /// (decode count, cache-hit count, Decode event) matches
+    /// `decode_word` exactly, but a hit costs a single map probe.
+    pub(crate) fn ops_decode_word(
+        &mut self,
+        word: u128,
+    ) -> Result<(Arc<Decoded>, Arc<OpsRoutine>), SimError> {
+        self.stats.decodes += 1;
+        let hit = self
+            .ops
+            .as_ref()
+            .and_then(|o| o.words.get(&word))
+            .map(|(d, r)| (Arc::clone(d), Arc::clone(r)));
+        let (decoded, routine, cache_hit) = match hit {
+            Some((d, r)) => {
+                self.stats.decode_cache_hits += 1;
+                (d, r, true)
+            }
+            None => {
+                let (decoded, was_hit) = if let Some(d) = self.decode_cache.get(&word) {
+                    (Arc::clone(d), true)
+                } else {
+                    let decoder = self
+                        .decoder
+                        .as_ref()
+                        .ok_or(SimError::Decode(lisa_isa::IsaError::NoDecodeRoot))?;
+                    let decoded = Arc::new(decoder.decode(word)?);
+                    self.decode_cache.insert(word, Arc::clone(&decoded));
+                    (decoded, false)
+                };
+                if was_hit {
+                    self.stats.decode_cache_hits += 1;
+                }
+                let routine = self.ops_instance_routine(&decoded);
+                if let Some(ops) = self.ops.as_mut() {
+                    if ops.words.len() >= OPS_CACHE_MAX {
+                        ops.words.clear();
+                    }
+                    ops.words.insert(word, (Arc::clone(&decoded), Arc::clone(&routine)));
+                }
+                (decoded, routine, was_hit)
+            }
+        };
+        if self.observing() {
+            let event = lisa_trace::TraceEvent::Decode {
+                cycle: self.stats.cycles,
+                pc: self.current_pc(),
+                word,
+                op: decoded.op,
+                cache_hit,
+            };
+            self.emit(event);
+        }
+        Ok((decoded, routine))
+    }
+
+    /// Eagerly translates every cached decode (called after predecode so
+    /// `load_program` pays all translation cost up front).
+    pub(crate) fn ops_translate_decode_cache(&mut self) {
+        if self.ops.is_none() {
+            return;
+        }
+        let entries: Vec<(u128, Arc<Decoded>)> =
+            self.decode_cache.iter().map(|(w, d)| (*w, Arc::clone(d))).collect();
+        for (word, d) in entries {
+            let routine = self.ops_instance_routine(&d);
+            if let Some(ops) = self.ops.as_mut() {
+                ops.words.entry(word).or_insert((d, routine));
+            }
+        }
+    }
+
+    /// Drops instance/word routines (snapshot restore replaces the
+    /// decode cache, invalidating pointer-keyed entries).
+    pub(crate) fn ops_invalidate(&mut self) {
+        if let Some(ops) = self.ops.as_mut() {
+            ops.instances.clear();
+            ops.words.clear();
+        }
+    }
+
+    /// Renders the translated micro-op listing: the default-variant
+    /// routine of every operation with a behavior, then one routine per
+    /// pre-decoded program word (sorted by word), with child-operand
+    /// routines nested. Returns an empty string outside ops mode.
+    ///
+    /// This is the surface the golden/determinism tests pin down: two
+    /// simulators over the same model and program must render
+    /// byte-identical listings.
+    pub fn ops_listing(&mut self) -> String {
+        let mut out = String::new();
+        if self.ops.is_none() {
+            return out;
+        }
+        for op in self.model.operations() {
+            let routine = self.ops_unbound_routine(op.id);
+            if routine.code.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("== op {} (unbound)\n", op.name));
+            render_routine(&routine, self.model, 1, &mut out);
+        }
+        let mut words: Vec<u128> = self.decode_cache.keys().copied().collect();
+        words.sort_unstable();
+        for word in words {
+            let d = Arc::clone(&self.decode_cache[&word]);
+            let routine = self.ops_instance_routine(&d);
+            out.push_str(&format!(
+                "== word {:#x} op {} variant {}\n",
+                word,
+                self.model.operation(d.op).name,
+                d.variant
+            ));
+            render_routine(&routine, self.model, 1, &mut out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listing (goldens / debugging)
+// ---------------------------------------------------------------------------
+
+fn render_routine(routine: &OpsRoutine, model: &Model, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for (i, op) in routine.code.iter().enumerate() {
+        out.push_str(&format!("{pad}{i:04}  {}\n", render_micro(op, model, routine)));
+    }
+    for (k, child) in routine.children.iter().enumerate() {
+        out.push_str(&format!(
+            "{pad}child {k}: op {} variant {}\n",
+            model.operation(child.decoded.op).name,
+            child.decoded.variant
+        ));
+        render_routine(&child.routine, model, indent + 1, out);
+    }
+    if let Some(plan) = routine.act.as_ref() {
+        render_act_steps(plan, &plan.steps, model, indent, out);
+        for (c, cond) in plan.conds.iter().enumerate() {
+            out.push_str(&format!("{pad}act cond {c}:\n"));
+            render_routine(cond, model, indent + 1, out);
+        }
+        for (k, t) in plan.targets.iter().enumerate() {
+            if let Some(r) = t.routine.as_ref() {
+                out.push_str(&format!(
+                    "{pad}act target {k}: op {} variant {}\n",
+                    model.operation(t.op).name,
+                    t.decoded.as_ref().map_or(0, |d| d.variant)
+                ));
+                render_routine(r, model, indent + 1, out);
+            }
+        }
+    }
+}
+
+fn render_act_steps(
+    plan: &ActPlan,
+    steps: &[ActStep],
+    model: &Model,
+    indent: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    for step in steps {
+        match step {
+            ActStep::Activate(k) => {
+                let t = &plan.targets[*k as usize];
+                out.push_str(&format!(
+                    "{pad}act activate {} delay={} [{k}]\n",
+                    model.operation(t.op).name,
+                    t.delay
+                ));
+            }
+            ActStep::Pipe(p) => out.push_str(&format!("{pad}act pipe {p:?}\n")),
+            ActStep::If { cond, then_steps, else_steps } => {
+                if *cond == u16::MAX {
+                    out.push_str(&format!("{pad}act taken-branch\n"));
+                } else {
+                    out.push_str(&format!("{pad}act if cond {cond}\n"));
+                }
+                render_act_steps(plan, then_steps, model, indent + 1, out);
+                if !else_steps.is_empty() {
+                    out.push_str(&format!("{pad}act else\n"));
+                    render_act_steps(plan, else_steps, model, indent + 1, out);
+                }
+            }
+            ActStep::Switch { cond, cases, default } => {
+                out.push_str(&format!("{pad}act switch cond {cond}\n"));
+                for (v, body) in cases {
+                    out.push_str(&format!("{pad}act case {v}\n"));
+                    render_act_steps(plan, body, model, indent + 1, out);
+                }
+                if !default.is_empty() {
+                    out.push_str(&format!("{pad}act default\n"));
+                    render_act_steps(plan, default, model, indent + 1, out);
+                }
+            }
+            ActStep::Fail(k) => {
+                out.push_str(&format!("{pad}act fail {:?}\n", plan.errors[*k as usize]));
+            }
+        }
+    }
+}
+
+fn render_micro(op: &MicroOp, model: &Model, routine: &OpsRoutine) -> String {
+    let res_name = |r: &ResourceId| model.resource(*r).name.clone();
+    let op_name = |o: &OpId| model.operation(*o).name.clone();
+    match op {
+        MicroOp::Const(v) => format!("const {v}"),
+        MicroOp::ReadLocal(s) => format!("read_local {s}"),
+        MicroOp::ReadScalar(r) => format!("read {}", res_name(r)),
+        MicroOp::ReadFlat { res, flat } => format!("read {}[{flat}]", res_name(res)),
+        MicroOp::ReadDyn { res, n } => format!("read {}[dyn x{n}]", res_name(res)),
+        MicroOp::ReadIdx(res) => format!("read {}[idx]", res_name(res)),
+        MicroOp::Unary(u) => format!("unary {u:?}"),
+        MicroOp::Binary { op, .. } => format!("binop {op:?}"),
+        MicroOp::NormBool => "normbool".to_owned(),
+        MicroOp::Builtin { f, .. } => format!("builtin {f:?}"),
+        MicroOp::StoreLocal(s) => format!("store_local {s}"),
+        MicroOp::StoreLocalWrapped { slot, width, signed } => {
+            format!("store_local {slot} wrap{width}{}", if *signed { "s" } else { "u" })
+        }
+        MicroOp::Pop => "pop".to_owned(),
+        MicroOp::Jump(t) => format!("jump {t:04}"),
+        MicroOp::JumpIfZero(t) => format!("jz {t:04}"),
+        MicroOp::JumpIfNonZero(t) => format!("jnz {t:04}"),
+        MicroOp::CaseJump { value, target } => format!("case {value} -> {target:04}"),
+        MicroOp::WriteFlat { res, flat } => format!("write {}[{flat}]", res_name(res)),
+        MicroOp::WriteDyn { res, n } => format!("write {}[dyn x{n}]", res_name(res)),
+        MicroOp::WriteIdx(res) => format!("write {}[idx]", res_name(res)),
+        MicroOp::RmwLocal { slot, op, .. } => format!("rmw_local {slot} {op:?}"),
+        MicroOp::RmwFlat { res, flat, op, .. } => {
+            format!("rmw {}[{flat}] {op:?}", res_name(res))
+        }
+        MicroOp::RmwDyn { res, n, op, .. } => format!("rmw {}[dyn x{n}] {op:?}", res_name(res)),
+        MicroOp::IncDecLocal { slot, delta } => format!("incdec_local {slot} {delta:+}"),
+        MicroOp::IncDecFlat { res, flat, delta } => {
+            format!("incdec {}[{flat}] {delta:+}", res_name(res))
+        }
+        MicroOp::IncDecDyn { res, n, delta } => {
+            format!("incdec {}[dyn x{n}] {delta:+}", res_name(res))
+        }
+        MicroOp::Pipe(p) => format!("pipe {p:?}"),
+        MicroOp::InvokeChild(k) => format!("invoke child {k}"),
+        MicroOp::InvokeUnbound(o) => format!("invoke {}", op_name(o)),
+        MicroOp::Enter(o) => format!("enter {}", op_name(o)),
+        MicroOp::ZeroLocals { base, n } => format!("zero-locals {base}..{}", base + n),
+        MicroOp::Fail(k) => format!("fail {:?}", routine.errors[*k as usize]),
+    }
+}

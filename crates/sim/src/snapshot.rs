@@ -13,12 +13,12 @@
 //! model borrow, so they can be stored, cloned, and shared across
 //! worker threads.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use lisa_isa::Decoded;
 
 use crate::engine::{Pending, PipeState, SimMode, Simulator};
+use crate::fasthash::FastMap;
 use crate::{SimError, SimStats, State};
 
 /// A point-in-time capture of a simulator's complete dynamic state.
@@ -60,7 +60,7 @@ pub struct Snapshot {
     pub(crate) stats: SimStats,
     pub(crate) seq: u64,
     pub(crate) mode: SimMode,
-    pub(crate) decode_cache: HashMap<u128, Arc<Decoded>>,
+    pub(crate) decode_cache: FastMap<u128, Arc<Decoded>>,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -158,6 +158,9 @@ impl<'m> Simulator<'m> {
         self.stats = snapshot.stats;
         self.seq = snapshot.seq;
         self.decode_cache = snapshot.decode_cache.clone();
+        // Instance routines are keyed by decode-cache pointer identity;
+        // the restored cache invalidates them (retranslated on demand).
+        self.ops_invalidate();
         if let Some(obs) = self.observer.as_mut() {
             if let Some(sink) = obs.sink.as_mut() {
                 sink.clear();

@@ -92,10 +92,27 @@ fn compiled_snapshot_restores_into_interpretive_bit_exactly() {
 }
 
 #[test]
+fn ops_snapshot_restores_into_either_other_mode_bit_exactly() {
+    for (name, wb) in all_workbenches() {
+        check_cross(&wb, name, SimMode::Ops, SimMode::Interpretive);
+        check_cross(&wb, name, SimMode::Ops, SimMode::Compiled);
+    }
+}
+
+#[test]
+fn either_other_mode_snapshot_restores_into_ops_bit_exactly() {
+    for (name, wb) in all_workbenches() {
+        check_cross(&wb, name, SimMode::Interpretive, SimMode::Ops);
+        check_cross(&wb, name, SimMode::Compiled, SimMode::Ops);
+    }
+}
+
+#[test]
 fn same_mode_restores_stay_bit_exact_too() {
     for (name, wb) in all_workbenches() {
         check_cross(&wb, name, SimMode::Interpretive, SimMode::Interpretive);
         check_cross(&wb, name, SimMode::Compiled, SimMode::Compiled);
+        check_cross(&wb, name, SimMode::Ops, SimMode::Ops);
     }
 }
 
@@ -121,7 +138,7 @@ fn foreign_model_snapshot_fails_with_the_typed_error() {
     let scalar2 = lisa_models::scalar2::workbench().unwrap();
     let donor = tinyrisc.simulator(SimMode::Interpretive).unwrap();
     let snap = donor.snapshot();
-    for mode in [SimMode::Interpretive, SimMode::Compiled] {
+    for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
         let mut sim = scalar2.simulator(mode).unwrap();
         match sim.restore(&snap) {
             Err(SimError::SnapshotMismatch) => {}

@@ -73,10 +73,10 @@ proptest! {
     fn tinyrisc_snapshot_restore_resume_matches_uninterrupted_run(
         n in 1usize..=20,
         split_seed in any::<u64>(),
-        compiled in any::<bool>(),
+        mode_seed in 0usize..3,
     ) {
         let wb = tinyrisc::workbench().expect("tinyrisc builds");
-        let mode = if compiled { SimMode::Compiled } else { SimMode::Interpretive };
+        let mode = [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops][mode_seed];
         assert_split_is_unobservable(&wb, &tiny_fib(n), mode, split_seed);
     }
 
@@ -84,10 +84,10 @@ proptest! {
     fn accu16_snapshot_restore_resume_matches_uninterrupted_run(
         n in 1usize..=16,
         split_seed in any::<u64>(),
-        compiled in any::<bool>(),
+        mode_seed in 0usize..3,
     ) {
         let wb = accu16::workbench().expect("accu16 builds");
-        let mode = if compiled { SimMode::Compiled } else { SimMode::Interpretive };
+        let mode = [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops][mode_seed];
         assert_split_is_unobservable(&wb, &accu_dot_product(n), mode, split_seed);
     }
 

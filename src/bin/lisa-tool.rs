@@ -7,7 +7,7 @@
 //! lisa-tool asm    <model> <prog.s> [-o FILE]  assemble a program (listing to stdout)
 //! lisa-tool disasm <model> <image.hex>         disassemble an image
 //! lisa-tool run    <model> <prog.s> [options]  assemble + simulate to halt
-//!     --mode interp|compiled    backend (default compiled)
+//!     --mode interp|compiled|ops    backend (default compiled)
 //!     --max-steps N             step budget (default 1000000)
 //!     --trace                   print the execution trace
 //!     --dump RES[:N]            print a resource (first N elements) after the run
@@ -18,7 +18,7 @@
 //! lisa-tool profile <model> <prog.s> [options] run + print the execution profile
 //! lisa-tool batch  [options]                   run the builtin models x kernels matrix
 //!     --workers N               worker threads (default: available parallelism)
-//!     --mode interp|compiled|both   backends to include (default both)
+//!     --mode interp|compiled|ops|both|all   backends to include (default both)
 //!     --profile                 collect + print the merged execution profile
 //!     --spans FILE              write a Perfetto-loadable Chrome trace of the run
 //! lisa-tool fuzz   [model] [options]           differential conformance fuzzing
@@ -128,11 +128,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
 fn usage() -> String {
     "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench|serve> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
-     run options: --mode interp|compiled  --max-steps N  --trace  --dump RES[:N]\n\
+     run options: --mode interp|compiled|ops  --max-steps N  --trace  --dump RES[:N]\n\
      trace options: --out FILE  --vcd  --spans  (plus run options)\n\
      profile options: same as run\n\
      asm/disasm options: -o FILE  --packet N\n\
-     batch options: --workers N  --mode interp|compiled|both  --profile  --metrics FILE\n\
+     batch options: --workers N  --mode interp|compiled|ops|both|all  --profile\n\
+                    --metrics FILE\n\
                     --spans FILE\n\
      fuzz options: --model M|all  --seed N  --iters N  --corpus-dir DIR\n\
                    --max-len N  --max-cycles N  --self-check  --metrics FILE\n\
@@ -343,8 +344,14 @@ fn batch(args: &[String]) -> Result<(), CliError> {
     let modes: &[SimMode] = match flag_value(args, "--mode") {
         Some("interp" | "interpretive") => &[SimMode::Interpretive],
         Some("compiled") => &[SimMode::Compiled],
+        Some("ops") => &[SimMode::Ops],
         Some("both") | None => &[SimMode::Interpretive, SimMode::Compiled],
-        Some(other) => return Err(format!("unknown mode `{other}`").into()),
+        Some("all") => &[SimMode::Interpretive, SimMode::Compiled, SimMode::Ops],
+        Some(other) => {
+            return Err(
+                format!("unknown mode `{other}` (expected interp|compiled|ops|both|all)").into()
+            )
+        }
     };
 
     let profile = has_flag(args, "--profile");
@@ -673,7 +680,8 @@ fn sim_mode(args: &[String]) -> Result<SimMode, String> {
     match flag_value(args, "--mode") {
         Some("interp" | "interpretive") => Ok(SimMode::Interpretive),
         Some("compiled") | None => Ok(SimMode::Compiled),
-        Some(other) => Err(format!("unknown mode `{other}`")),
+        Some("ops") => Ok(SimMode::Ops),
+        Some(other) => Err(format!("unknown mode `{other}` (expected interp|compiled|ops)")),
     }
 }
 
@@ -685,7 +693,7 @@ fn max_steps(args: &[String]) -> Result<u64, String> {
 }
 
 /// Builds a simulator from a loaded run: program memory filled
-/// (honouring the program origin), pre-decoded in compiled mode.
+/// (honouring the program origin), pre-decoded in compiled/ops mode.
 fn boot_sim<'m>(run: &'m LoadedRun, mode: SimMode) -> Result<lisa::sim::Simulator<'m>, String> {
     let mut sim = lisa::sim::Simulator::new(&run.model, mode).map_err(|e| e.to_string())?;
     let pmem = run
@@ -699,7 +707,7 @@ fn boot_sim<'m>(run: &'m LoadedRun, mode: SimMode) -> Result<lisa::sim::Simulato
             .write(&pmem, &[addr], lisa::bits::Bits::from_u128_wrapped(pmem.ty.width(), word))
             .map_err(|e| e.to_string())?;
     }
-    if mode == SimMode::Compiled {
+    if mode != SimMode::Interpretive {
         sim.predecode_program_memory();
     }
     Ok(sim)

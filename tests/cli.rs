@@ -146,6 +146,39 @@ fn batch_runs_the_kernel_matrix() {
 }
 
 #[test]
+fn unknown_simulation_mode_is_a_usage_error() {
+    // `run` (sim_mode) and `batch` (mode list) both reject unknown
+    // backends with exit 2 and a diagnostic naming the valid set.
+    let dir = std::env::temp_dir().join("lisa_cli_badmode_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("mode.s");
+    fs::write(&src, "HLT\n").unwrap();
+    let output = lisa_tool()
+        .args(["run", "@tinyrisc", src.to_str().unwrap(), "--mode", "sideways"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("unknown mode `sideways`"), "{err}");
+    assert!(err.contains("interp|compiled|ops"), "{err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ops_mode_runs_and_reports_like_the_others() {
+    let dir = std::env::temp_dir().join("lisa_cli_opsmode_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("ops.s");
+    fs::write(&src, "LDI R1, 7\nLDI R2, 5\nADD R3, R1, R2\nHLT\n").unwrap();
+    let out =
+        run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--mode", "ops", "--dump", "R:4"]);
+    assert!(out.contains("halted after 4 control steps"), "{out}");
+    assert!(out.contains("Ops"), "{out}");
+    assert!(out.contains("12"), "R3 should hold 12: {out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn usage_and_model_errors_exit_2() {
     let output = lisa_tool().args(["check", "/nonexistent.lisa"]).output().unwrap();
     assert_eq!(output.status.code(), Some(2));

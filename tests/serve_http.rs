@@ -244,6 +244,31 @@ fn simulate_budget_and_bad_requests_map_to_statuses() {
     );
     assert_eq!(parse_response(&raw).0, 422);
 
+    // Unknown simulation mode: 422 (well-formed JSON, invalid value),
+    // with a diagnostic naming the valid set.
+    let raw = send_raw(
+        addr,
+        &request(
+            "POST",
+            "/v1/simulate",
+            r#"{"model": "tinyrisc", "program": "HLT\n", "mode": "sideways"}"#,
+        ),
+    );
+    assert_eq!(parse_response(&raw).0, 422);
+    let err = body_json(&raw);
+    let msg = err.get("error").and_then(json::Value::as_str).unwrap_or("");
+    assert!(msg.contains("unknown mode `sideways`"), "{msg}");
+    let raw =
+        send_raw(addr, &request("POST", "/v1/batch", r#"{"mode": "sideways", "workers": 1}"#));
+    assert_eq!(parse_response(&raw).0, 422);
+
+    // The ops backend is a first-class mode over the wire.
+    let ops = r#"{"model": "tinyrisc", "program": "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n", "mode": "ops", "dump": [["R", 4]]}"#;
+    let raw = send_raw(addr, &request("POST", "/v1/simulate", ops));
+    assert_eq!(parse_response(&raw).0, 200);
+    let outcome = body_json(&raw);
+    assert_eq!(outcome.get("halted").and_then(json::Value::as_bool), Some(true));
+
     // Malformed JSON: 400.
     let raw = send_raw(addr, &request("POST", "/v1/simulate", "{not json"));
     assert_eq!(parse_response(&raw).0, 400);
