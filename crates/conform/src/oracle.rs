@@ -8,20 +8,22 @@
 //! cross-check the workspace can express, and a direct generalization
 //! of the paper's §4.1 `sim62x` comparison.
 //!
-//! Three **metamorphic** oracles then assert that semantics-preserving
+//! Four **metamorphic** oracles then assert that semantics-preserving
 //! transformations of a run do not change its result: snapshotting at a
 //! mid-run cycle and resuming (in either backend), enabling tracing and
-//! profiling, and running through `lisa-exec`'s batch scheduler instead
-//! of a plain loop.
+//! profiling, arming probes and the architectural profile (whose hit
+//! streams and aggregates must also be mode-independent), and running
+//! through `lisa-exec`'s batch scheduler instead of a plain loop.
 //!
 //! A [`Fault`] can be injected into the compiled backend to prove the
 //! harness end-to-end: a flipped halt flag must be detected by the
 //! lockstep oracle and shrink to a trivial program.
 
+use lisa_core::ast::ResourceClass;
 use lisa_core::model::Resource;
 use lisa_exec::{run_scenario, BatchRunner, JobError, Scenario};
 use lisa_models::Workbench;
-use lisa_sim::{SimError, SimMode, SimStats, Simulator};
+use lisa_sim::{ArchProfile, ProbeSpec, SimError, SimMode, SimStats, Simulator, TraceEvent};
 
 /// Which oracle detected a divergence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,9 @@ pub enum OracleKind {
     TraceParity,
     /// `lisa-exec` batch execution vs sequential execution.
     BatchParity,
+    /// Probe hit streams and architectural profile across all three
+    /// backends.
+    ProbeParity,
 }
 
 impl OracleKind {
@@ -46,6 +51,7 @@ impl OracleKind {
             OracleKind::SnapshotRestore => "snapshot-restore",
             OracleKind::TraceParity => "trace-parity",
             OracleKind::BatchParity => "batch-parity",
+            OracleKind::ProbeParity => "probe-parity",
         }
     }
 }
@@ -131,6 +137,7 @@ pub fn check_all(
             }
         }
         batch_parity(wb, image, max_cycles, &reference)?;
+        probe_parity(wb, image, max_cycles, &reference)?;
     }
     Ok(reference)
 }
@@ -397,6 +404,142 @@ fn snapshot_restore(
              (cycles, digest) = {:?}, uninterrupted = {want:?}",
             (rest, resumed.state().digest())
         )));
+    }
+    Ok(())
+}
+
+/// Derives a probe spec that exercises every watchable surface the
+/// model offers: a full-range watch on each data memory plus a register
+/// trace probe on the first register file.
+fn derived_probe_spec(wb: &Workbench) -> Option<ProbeSpec> {
+    let mut clauses = Vec::new();
+    let mut reg_done = false;
+    for res in wb.model().resources() {
+        match res.class {
+            ResourceClass::DataMemory => clauses.push(format!("watch {}", res.name)),
+            ResourceClass::Register if res.is_array() && !reg_done => {
+                clauses.push(format!("reg {}", res.name));
+                reg_done = true;
+            }
+            _ => {}
+        }
+    }
+    ProbeSpec::parse(&clauses.join("; ")).ok()
+}
+
+/// What one probed run observed: the outcome plus everything the
+/// probe layer produced. All of it must be mode-independent.
+#[derive(Debug, PartialEq)]
+struct ProbedRun {
+    outcome: Outcome,
+    hits: Vec<TraceEvent>,
+    report: Vec<(String, u64)>,
+    profile: Option<ArchProfile>,
+}
+
+/// Runs one backend with the derived probes armed and the architectural
+/// profile on, collecting the full probe hit stream.
+fn run_probed(
+    wb: &Workbench,
+    mode: SimMode,
+    image: &[u128],
+    max_cycles: u64,
+    spec: Option<&ProbeSpec>,
+) -> Result<ProbedRun, String> {
+    let mut sim = wb.simulator(mode).map_err(|e| e.to_string())?;
+    let halt = halt_resource(wb).map_err(|v| v.detail)?;
+    sim.set_trace(true);
+    if let Some(spec) = spec {
+        sim.set_probes(spec.compile(wb.model()).map_err(|e| e.to_string())?);
+    }
+    sim.enable_arch_profile();
+    sim.load_program(wb.program_memory(), image).map_err(|e| e.to_string())?;
+
+    let mut hits = Vec::new();
+    let mut drain = |sim: &mut Simulator<'_>| {
+        hits.extend(
+            sim.take_events().into_iter().filter(|e| matches!(e, TraceEvent::ProbeHit { .. })),
+        );
+    };
+    let mut outcome = None;
+    for cycle in 0..max_cycles {
+        if let Err(e) = sim.step() {
+            outcome = Some(Outcome::Error { message: e.to_string() });
+            break;
+        }
+        if cycle % 256 == 255 {
+            // Keep the event buffer bounded on long runs.
+            drain(&mut sim);
+        }
+        if halted(&sim, &halt) {
+            outcome =
+                Some(Outcome::Halted { cycles: sim.stats().cycles, digest: sim.state().digest() });
+            break;
+        }
+    }
+    drain(&mut sim);
+    Ok(ProbedRun {
+        outcome: outcome.unwrap_or(Outcome::Budget { digest: sim.state().digest() }),
+        hits,
+        report: sim.probe_report(),
+        profile: sim.arch_profile(),
+    })
+}
+
+/// Metamorphic oracle: arming probes must not change execution, and the
+/// probe hit stream, hit counts and architectural profile must be
+/// identical in every backend.
+fn probe_parity(
+    wb: &Workbench,
+    image: &[u128],
+    max_cycles: u64,
+    reference: &Outcome,
+) -> Result<(), Verdict> {
+    let fail = |detail: String| Verdict { oracle: OracleKind::ProbeParity, detail };
+    let spec = derived_probe_spec(wb);
+
+    let mut runs = Vec::new();
+    for mode in [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops] {
+        let run = run_probed(wb, mode, image, max_cycles, spec.as_ref())
+            .map_err(|e| fail(format!("probed {mode:?} run failed to start: {e}")))?;
+        if run.outcome != *reference {
+            return Err(fail(format!(
+                "probed {mode:?} run diverged from plain execution: \
+                 plain={reference:?} probed={:?}",
+                run.outcome
+            )));
+        }
+        runs.push((mode, run));
+    }
+
+    let (_, want) = &runs[0];
+    for (mode, got) in &runs[1..] {
+        if got.hits != want.hits {
+            return Err(fail(format!(
+                "probe hit streams differ: interpretive saw {} hits, {mode:?} saw {} \
+                 (first divergence at index {})",
+                want.hits.len(),
+                got.hits.len(),
+                want.hits
+                    .iter()
+                    .zip(&got.hits)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| { want.hits.len().min(got.hits.len()) })
+            )));
+        }
+        if got.report != want.report {
+            return Err(fail(format!(
+                "probe hit counts differ: interpretive={:?} {mode:?}={:?}",
+                want.report, got.report
+            )));
+        }
+        if got.profile != want.profile {
+            return Err(fail(format!(
+                "architectural profile differs between interpretive and {mode:?}: \
+                 {:?} vs {:?}",
+                want.profile, got.profile
+            )));
+        }
     }
     Ok(())
 }

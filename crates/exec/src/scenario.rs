@@ -264,6 +264,7 @@ pub fn run_scenario_with(
                 .clone();
             sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, sc.max_steps)
                 .map_err(|e| JobError::Sim(e.to_string()))?
+                .cycles
         }
         None => {
             sim.run(sc.max_steps).map_err(|e| JobError::Sim(e.to_string()))?;

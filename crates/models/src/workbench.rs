@@ -194,7 +194,7 @@ impl Workbench {
             .resource_by_name(self.halt_flag)
             .unwrap_or_else(|| panic!("model has halt flag `{}`", self.halt_flag))
             .clone();
-        Ok(sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max_steps)?)
+        Ok(sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max_steps)?.cycles)
     }
 
     /// Convenience: assemble, load, run to halt in the given mode; returns

@@ -1,0 +1,285 @@
+//! The mergeable architecture profile.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::heatmap::Heatmap;
+
+/// Aggregated architectural activity over some number of control steps:
+/// per-pipeline-stage occupancy, per-operation execution and activation
+/// (functional-unit utilization) counts, bucketed memory read/write
+/// heatmaps, and per-probe hit counts.
+///
+/// Like `lisa_trace::Profile`, the profile is an *aggregate*: merging
+/// profiles from different runs (or service requests) is associative
+/// and commutative with [`ArchProfile::default`] as identity, so
+/// per-run profiles fold into fleet-level views in any order. All maps
+/// are ordered, so two profiles of identical activity compare equal —
+/// the property the conformance harness uses to assert backend
+/// independence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArchProfile {
+    /// Control steps covered.
+    pub cycles: u64,
+    /// Operation executions per `"pipeline.stage"` key.
+    pub stage_busy: BTreeMap<String, u64>,
+    /// Behavior executions per operation.
+    pub op_execs: BTreeMap<String, u64>,
+    /// Activations scheduled per *target* operation — in a LISA model
+    /// the activated operation stands for the functional unit it
+    /// occupies, so this is unit utilization.
+    pub unit_activations: BTreeMap<String, u64>,
+    /// Read heatmap per memory-class resource.
+    pub read_heat: BTreeMap<String, Heatmap>,
+    /// Write heatmap per memory-class resource.
+    pub write_heat: BTreeMap<String, Heatmap>,
+    /// Hits per probe label.
+    pub hits: BTreeMap<String, u64>,
+}
+
+fn merge_counts(into: &mut BTreeMap<String, u64>, from: &BTreeMap<String, u64>) {
+    for (key, n) in from {
+        match into.get_mut(key) {
+            Some(slot) => *slot += n,
+            None => {
+                into.insert(key.clone(), *n);
+            }
+        }
+    }
+}
+
+impl ArchProfile {
+    /// An empty profile (the merge identity).
+    #[must_use]
+    pub fn new() -> ArchProfile {
+        ArchProfile::default()
+    }
+
+    /// Total probe hits across all probes.
+    #[must_use]
+    pub fn probe_hits(&self) -> u64 {
+        self.hits.values().sum()
+    }
+
+    /// Whether the profile recorded nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == ArchProfile::default()
+    }
+
+    /// Adds another profile's counts into this one. Associative and
+    /// commutative; [`ArchProfile::default`] is the identity.
+    pub fn merge(&mut self, other: &ArchProfile) {
+        self.cycles += other.cycles;
+        merge_counts(&mut self.stage_busy, &other.stage_busy);
+        merge_counts(&mut self.op_execs, &other.op_execs);
+        merge_counts(&mut self.unit_activations, &other.unit_activations);
+        merge_counts(&mut self.hits, &other.hits);
+        for (mem, heat) in &other.read_heat {
+            self.read_heat.entry(mem.clone()).or_default().merge(heat);
+        }
+        for (mem, heat) in &other.write_heat {
+            self.write_heat.entry(mem.clone()).or_default().merge(heat);
+        }
+    }
+
+    /// Human-readable report: utilization tables with occupancy
+    /// percentages and one sparkline per memory heatmap.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "architecture profile over {} control steps", self.cycles);
+        let percent = |n: u64| {
+            if self.cycles == 0 {
+                0.0
+            } else {
+                n as f64 * 100.0 / self.cycles as f64
+            }
+        };
+        if !self.stage_busy.is_empty() {
+            let _ = writeln!(out, "pipeline stage occupancy:");
+            for (stage, busy) in &self.stage_busy {
+                let _ = writeln!(out, "  {stage:<18} {busy:>10}  ({:.1}%)", percent(*busy));
+            }
+        }
+        if !self.op_execs.is_empty() {
+            let _ = writeln!(out, "operation executions:");
+            let mut ops: Vec<_> = self.op_execs.iter().collect();
+            ops.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            for (op, execs) in ops {
+                let _ = writeln!(out, "  {op:<18} {execs:>10}");
+            }
+        }
+        if !self.unit_activations.is_empty() {
+            let _ = writeln!(out, "unit activations:");
+            let mut units: Vec<_> = self.unit_activations.iter().collect();
+            units.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            for (unit, n) in units {
+                let _ = writeln!(out, "  {unit:<18} {n:>10}");
+            }
+        }
+        for (title, heat) in
+            [("memory reads:", &self.read_heat), ("memory writes:", &self.write_heat)]
+        {
+            if heat.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{title}");
+            for (mem, map) in heat {
+                let _ = writeln!(
+                    out,
+                    "  {mem:<18} {:>10}  |{}|  ({} cells/bucket)",
+                    map.total(),
+                    map.sparkline(),
+                    map.bucket_size
+                );
+            }
+        }
+        if !self.hits.is_empty() {
+            let _ = writeln!(out, "probe hits ({} total):", self.probe_hits());
+            for (label, n) in &self.hits {
+                let _ = writeln!(out, "  {label:<24} {n:>10}");
+            }
+        }
+        out
+    }
+
+    /// The profile as one JSON object (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(s, "{{\"cycles\":{},\"probe_hits\":{}", self.cycles, self.probe_hits());
+        for (key, map) in [
+            ("stage_busy", &self.stage_busy),
+            ("op_execs", &self.op_execs),
+            ("unit_activations", &self.unit_activations),
+            ("hits", &self.hits),
+        ] {
+            let _ = write!(s, ",\"{key}\":{{");
+            for (i, (name, n)) in map.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, name);
+                let _ = write!(s, ":{n}");
+            }
+            s.push('}');
+        }
+        for (key, heat) in [("read_heat", &self.read_heat), ("write_heat", &self.write_heat)] {
+            let _ = write!(s, ",\"{key}\":{{");
+            for (i, (mem, map)) in heat.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, mem);
+                let _ = write!(
+                    s,
+                    ":{{\"bucket_size\":{},\"total\":{},\"counts\":[",
+                    map.bucket_size,
+                    map.total()
+                );
+                for (j, c) in map.counts.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{c}");
+                }
+                s.push_str("]}");
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Appends `text` as a JSON string literal with the escapes JSON
+/// requires (resource and probe labels may contain anything).
+fn json_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArchProfile {
+        let mut p = ArchProfile::new();
+        p.cycles = 100;
+        p.stage_busy.insert("pipe.EX".into(), 40);
+        p.op_execs.insert("add".into(), 40);
+        p.unit_activations.insert("mac".into(), 12);
+        p.hits.insert("watch dmem".into(), 3);
+        let mut heat = Heatmap::for_elements(256, 64);
+        heat.record(0);
+        heat.record(255);
+        p.write_heat.insert("dmem".into(), heat);
+        p
+    }
+
+    #[test]
+    fn merge_adds_counts_and_heatmaps() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.cycles, 200);
+        assert_eq!(a.stage_busy["pipe.EX"], 80);
+        assert_eq!(a.op_execs["add"], 80);
+        assert_eq!(a.unit_activations["mac"], 24);
+        assert_eq!(a.hits["watch dmem"], 6);
+        assert_eq!(a.probe_hits(), 6);
+        assert_eq!(a.write_heat["dmem"].total(), 4);
+    }
+
+    #[test]
+    fn default_is_the_merge_identity() {
+        let mut left = sample();
+        left.merge(&ArchProfile::default());
+        assert_eq!(left, sample());
+        let mut right = ArchProfile::default();
+        right.merge(&sample());
+        assert_eq!(right, sample());
+        assert!(ArchProfile::default().is_empty());
+        assert!(!sample().is_empty());
+    }
+
+    #[test]
+    fn report_covers_every_section() {
+        let text = sample().report();
+        assert!(text.contains("100 control steps"));
+        assert!(text.contains("pipe.EX"));
+        assert!(text.contains("(40.0%)"));
+        assert!(text.contains("add"));
+        assert!(text.contains("mac"));
+        assert!(text.contains("dmem"));
+        assert!(text.contains("watch dmem"));
+        assert!(text.contains("cells/bucket"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_heat_buckets() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cycles\":100"));
+        assert!(json.contains("\"probe_hits\":3"));
+        assert!(json.contains("\"pipe.EX\":40"));
+        assert!(json.contains("\"bucket_size\":4"));
+        assert!(json.contains("\"watch dmem\":3"));
+        let empty = ArchProfile::default().to_json();
+        assert!(empty.contains("\"cycles\":0"));
+        assert!(empty.contains("\"read_heat\":{}"));
+    }
+}

@@ -1,0 +1,383 @@
+//! The per-simulator probe engine the backends drive.
+
+use lisa_core::model::{OpId, PipelineId};
+use lisa_trace::{NameTable, TraceEvent};
+
+use crate::arch::ArchProfile;
+use crate::heatmap::Heatmap;
+use crate::spec::ProbeSet;
+
+/// Cap on heatmap buckets per memory resource; bucket sizes scale with
+/// the resource so small register files keep per-cell resolution.
+const MAX_HEAT_BUCKETS: u64 = 64;
+
+/// Per-simulator probe state: the compiled [`ProbeSet`], id-indexed
+/// architecture counters (folded to names only when the profile is
+/// taken), per-probe hit counts, and the latched breakpoint stop.
+///
+/// The runtime consumes the simulator's own trace events — the same
+/// stream the lockstep oracle already proves mode-independent — so
+/// probe semantics are identical across backends *by construction*.
+/// Reads are the one thing the event stream lacks; backends feed them
+/// through [`ProbeRuntime::observe_read`].
+#[derive(Debug, Clone)]
+pub struct ProbeRuntime {
+    set: ProbeSet,
+    arch: bool,
+    /// Behavior executions by [`OpId`].
+    op_execs: Vec<u64>,
+    /// Activations by target [`OpId`].
+    unit_acts: Vec<u64>,
+    /// Stage occupancy, flattened over all pipelines.
+    stage_busy: Vec<u64>,
+    /// First `stage_busy` slot of each pipeline.
+    pipe_base: Vec<usize>,
+    /// Read/write heatmaps by heat slot.
+    read_heat: Vec<Heatmap>,
+    write_heat: Vec<Heatmap>,
+    /// Hits by probe id.
+    hit_counts: Vec<u64>,
+    /// Latched breakpoint: `(probe id, pc)`.
+    stop: Option<(u16, i64)>,
+}
+
+impl ProbeRuntime {
+    /// Builds the runtime for a compiled probe set. `names` must be the
+    /// name table of the model the set was compiled against (it sizes
+    /// the id-indexed counters).
+    #[must_use]
+    pub fn new(set: ProbeSet, names: &NameTable) -> ProbeRuntime {
+        let mut pipe_base = Vec::with_capacity(names.pipelines.len());
+        let mut stages = 0usize;
+        for (_, stage_names) in &names.pipelines {
+            pipe_base.push(stages);
+            stages += stage_names.len();
+        }
+        let seeded: Vec<Heatmap> = set
+            .heat
+            .iter()
+            .map(|&(_, elements)| Heatmap::for_elements(elements, MAX_HEAT_BUCKETS))
+            .collect();
+        ProbeRuntime {
+            arch: false,
+            op_execs: vec![0; names.ops.len()],
+            unit_acts: vec![0; names.ops.len()],
+            stage_busy: vec![0; stages],
+            pipe_base,
+            read_heat: seeded.clone(),
+            write_heat: seeded,
+            hit_counts: vec![0; set.len()],
+            stop: None,
+            set,
+        }
+    }
+
+    /// The compiled probe set (for labels and hit reporting).
+    #[must_use]
+    pub fn probe_set(&self) -> &ProbeSet {
+        &self.set
+    }
+
+    /// Turns architecture profiling (utilization counters + heatmaps)
+    /// on. Watchpoints and breakpoints work either way.
+    pub fn enable_arch(&mut self) {
+        self.arch = true;
+    }
+
+    /// Whether architecture profiling is on.
+    #[must_use]
+    pub fn arch_enabled(&self) -> bool {
+        self.arch
+    }
+
+    /// Consumes one simulator trace event: accumulates utilization
+    /// (when profiling is on), matches watchpoints and PC probes, and
+    /// calls `emit` once per matched probe with the `ProbeHit` event to
+    /// append to the trace stream. Breakpoint matches additionally
+    /// latch a stop (see [`ProbeRuntime::take_stop`]).
+    #[inline]
+    pub fn observe(&mut self, event: &TraceEvent, mut emit: impl FnMut(TraceEvent)) {
+        match *event {
+            TraceEvent::MemoryAccess { cycle, resource, addr, value } => {
+                if self.arch {
+                    if let Some(&Some(slot)) = self.set.heat_slot.get(resource.0) {
+                        self.write_heat[usize::from(slot)].record(addr);
+                    }
+                }
+                self.match_write(cycle, resource, addr, value, &mut emit);
+            }
+            TraceEvent::RegisterWrite { cycle, resource, addr, value } => {
+                self.match_write(cycle, resource, addr, value, &mut emit);
+            }
+            TraceEvent::Exec { op, stage, .. } if self.arch => {
+                if let Some(slot) = self.op_execs.get_mut(op.0) {
+                    *slot += 1;
+                }
+                if let Some((pipe, s)) = stage {
+                    if let Some(&base) = self.pipe_base.get(pipe.0) {
+                        if let Some(slot) = self.stage_busy.get_mut(base + usize::from(s)) {
+                            *slot += 1;
+                        }
+                    }
+                }
+            }
+            TraceEvent::Activation { to, .. } if self.arch => {
+                if let Some(slot) = self.unit_acts.get_mut(to.0) {
+                    *slot += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn match_write(
+        &mut self,
+        cycle: u64,
+        resource: lisa_core::model::ResourceId,
+        addr: u64,
+        value: i64,
+        emit: &mut impl FnMut(TraceEvent),
+    ) {
+        if let Some(watches) = self.set.watches.get(resource.0) {
+            for &(lo, hi, probe) in watches {
+                if addr >= lo && addr < hi {
+                    self.hit_counts[usize::from(probe)] += 1;
+                    emit(TraceEvent::ProbeHit { cycle, probe, resource, addr, value });
+                }
+            }
+        }
+        // PC breakpoints and tracepoints ride the same write funnel:
+        // in every backend a control-flow change is an ordinary write
+        // to the PROGRAM_COUNTER resource.
+        if self.set.pc_res == Some(resource.0) {
+            for &(pc, probe) in &self.set.traces {
+                if pc == value {
+                    self.hit_counts[usize::from(probe)] += 1;
+                    emit(TraceEvent::ProbeHit { cycle, probe, resource, addr, value });
+                }
+            }
+            for &(pc, probe) in &self.set.breaks {
+                if pc == value {
+                    self.hit_counts[usize::from(probe)] += 1;
+                    emit(TraceEvent::ProbeHit { cycle, probe, resource, addr, value });
+                    if self.stop.is_none() {
+                        self.stop = Some((probe, pc));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a behavior-level read of flat element `addr` of resource
+    /// index `res` (memory-class resources feed the read heatmap; all
+    /// others are ignored). No-op unless profiling is on.
+    #[inline]
+    pub fn observe_read(&mut self, res: usize, addr: u64) {
+        if !self.arch {
+            return;
+        }
+        if let Some(&Some(slot)) = self.set.heat_slot.get(res) {
+            self.read_heat[usize::from(slot)].record(addr);
+        }
+    }
+
+    /// Takes the latched breakpoint stop, if any: `(probe id, pc)`.
+    /// Clears it, so a resumed run does not immediately re-stop.
+    pub fn take_stop(&mut self) -> Option<(u16, i64)> {
+        self.stop.take()
+    }
+
+    /// Hits recorded for one probe id.
+    #[must_use]
+    pub fn hit_count(&self, probe: u16) -> u64 {
+        self.hit_counts.get(usize::from(probe)).copied().unwrap_or(0)
+    }
+
+    /// Total hits across all probes.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.hit_counts.iter().sum()
+    }
+
+    /// Folds the id-indexed counters into a named, mergeable
+    /// [`ArchProfile`] covering `cycles` control steps. Non-destructive.
+    #[must_use]
+    pub fn arch_profile(&self, names: &NameTable, cycles: u64) -> ArchProfile {
+        let mut profile = ArchProfile { cycles, ..ArchProfile::default() };
+        for (i, &n) in self.op_execs.iter().enumerate() {
+            if n > 0 {
+                profile.op_execs.insert(names.op(OpId(i)).to_owned(), n);
+            }
+        }
+        for (i, &n) in self.unit_acts.iter().enumerate() {
+            if n > 0 {
+                profile.unit_activations.insert(names.op(OpId(i)).to_owned(), n);
+            }
+        }
+        for (p, &base) in self.pipe_base.iter().enumerate() {
+            let depth = names.pipelines.get(p).map_or(0, |(_, s)| s.len());
+            for s in 0..depth {
+                let busy = self.stage_busy[base + s];
+                if busy > 0 {
+                    profile.stage_busy.insert(names.stage_key(PipelineId(p), s), busy);
+                }
+            }
+        }
+        for (slot, (name, _)) in self.set.heat.iter().enumerate() {
+            if !self.read_heat[slot].is_empty() {
+                profile.read_heat.insert(name.clone(), self.read_heat[slot].clone());
+            }
+            if !self.write_heat[slot].is_empty() {
+                profile.write_heat.insert(name.clone(), self.write_heat[slot].clone());
+            }
+        }
+        for (i, &n) in self.hit_counts.iter().enumerate() {
+            if n > 0 {
+                profile.hits.insert(self.set.label(i as u16).to_owned(), n);
+            }
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use lisa_core::model::{Model, ResourceId};
+
+    use super::*;
+    use crate::spec::ProbeSpec;
+
+    fn model() -> Model {
+        Model::from_source(
+            r"
+            RESOURCE {
+                PROGRAM_COUNTER int pc;
+                REGISTER int acc;
+                DATA_MEMORY int dmem[256];
+                PIPELINE pipe = { FE; EX };
+            }
+            OPERATION main { BEHAVIOR { pc = pc + 1; } }
+            ",
+        )
+        .expect("model builds")
+    }
+
+    fn runtime(spec: &str) -> (ProbeRuntime, NameTable, Model) {
+        let model = model();
+        let names = NameTable::of(&model);
+        let set = ProbeSpec::parse(spec).unwrap().compile(&model).unwrap();
+        (ProbeRuntime::new(set, &names), names, model)
+    }
+
+    fn collect(rt: &mut ProbeRuntime, event: TraceEvent) -> Vec<TraceEvent> {
+        let mut hits = Vec::new();
+        rt.observe(&event, |h| hits.push(h));
+        hits
+    }
+
+    #[test]
+    fn watch_hits_only_inside_the_range() {
+        let (mut rt, _, model) = runtime("watch dmem[8..16]");
+        let dmem = model.resource_by_name("dmem").unwrap().id;
+        let hit = |addr| TraceEvent::MemoryAccess { cycle: 1, resource: dmem, addr, value: 7 };
+        assert!(collect(&mut rt, hit(7)).is_empty());
+        assert_eq!(
+            collect(&mut rt, hit(8)),
+            vec![TraceEvent::ProbeHit { cycle: 1, probe: 0, resource: dmem, addr: 8, value: 7 }]
+        );
+        assert!(collect(&mut rt, hit(16)).is_empty());
+        assert_eq!(rt.hit_count(0), 1);
+        assert_eq!(rt.total_hits(), 1);
+        assert!(rt.take_stop().is_none());
+    }
+
+    #[test]
+    fn overlapping_watches_each_hit() {
+        let (mut rt, _, model) = runtime("watch dmem[0..16]; watch dmem[8..32]");
+        let dmem = model.resource_by_name("dmem").unwrap().id;
+        let hits = collect(
+            &mut rt,
+            TraceEvent::MemoryAccess { cycle: 2, resource: dmem, addr: 9, value: 1 },
+        );
+        assert_eq!(hits.len(), 2);
+        assert_eq!(rt.hit_count(0), 1);
+        assert_eq!(rt.hit_count(1), 1);
+    }
+
+    #[test]
+    fn breakpoints_latch_a_stop_on_pc_writes() {
+        let (mut rt, _, model) = runtime("break 5; trace 3");
+        let pc = model.resource_by_name("pc").unwrap().id;
+        let write = |v| TraceEvent::RegisterWrite { cycle: 1, resource: pc, addr: 0, value: v };
+        assert!(collect(&mut rt, write(4)).is_empty());
+        assert_eq!(collect(&mut rt, write(3)).len(), 1); // tracepoint: hit, no stop
+        assert!(rt.take_stop().is_none());
+        assert_eq!(collect(&mut rt, write(5)).len(), 1);
+        assert_eq!(rt.take_stop(), Some((0, 5)));
+        assert!(rt.take_stop().is_none(), "stop is cleared once taken");
+        // Writes to other registers never match PC probes.
+        let acc = model.resource_by_name("acc").unwrap().id;
+        assert!(collect(
+            &mut rt,
+            TraceEvent::RegisterWrite { cycle: 2, resource: acc, addr: 0, value: 5 }
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn arch_profile_folds_ids_back_to_names() {
+        let (mut rt, names, model) = runtime("watch dmem[0..4]");
+        rt.enable_arch();
+        assert!(rt.arch_enabled());
+        let dmem = model.resource_by_name("dmem").unwrap().id;
+        let main = model.operation_by_name("main").unwrap().id;
+        rt.observe(
+            &TraceEvent::Exec { cycle: 0, op: main, stage: Some((PipelineId(0), 1)), pc: 0 },
+            |_| {},
+        );
+        rt.observe(&TraceEvent::Activation { cycle: 0, from: main, to: main, delay: 1 }, |_| {});
+        let mut hits = Vec::new();
+        rt.observe(
+            &TraceEvent::MemoryAccess { cycle: 1, resource: dmem, addr: 2, value: 9 },
+            |h| hits.push(h),
+        );
+        assert_eq!(hits.len(), 1);
+        rt.observe_read(dmem.0, 200);
+        rt.observe_read(dmem.0, 201);
+        let profile = rt.arch_profile(&names, 2);
+        assert_eq!(profile.cycles, 2);
+        assert_eq!(profile.op_execs["main"], 1);
+        assert_eq!(profile.stage_busy["pipe.EX"], 1);
+        assert_eq!(profile.unit_activations["main"], 1);
+        assert_eq!(profile.write_heat["dmem"].total(), 1);
+        assert_eq!(profile.read_heat["dmem"].total(), 2);
+        assert_eq!(profile.hits["watch dmem[0..4]"], 1);
+        assert_eq!(profile.probe_hits(), 1);
+    }
+
+    #[test]
+    fn arch_off_skips_utilization_but_not_probes() {
+        let (mut rt, names, model) = runtime("watch dmem");
+        let dmem = model.resource_by_name("dmem").unwrap().id;
+        rt.observe_read(dmem.0, 5);
+        let hits = collect(
+            &mut rt,
+            TraceEvent::MemoryAccess { cycle: 0, resource: dmem, addr: 1, value: 2 },
+        );
+        assert_eq!(hits.len(), 1, "watchpoints fire with profiling off");
+        let profile = rt.arch_profile(&names, 1);
+        assert!(profile.read_heat.is_empty());
+        assert!(profile.write_heat.is_empty());
+        assert_eq!(profile.hits["watch dmem"], 1);
+    }
+
+    #[test]
+    fn reads_of_non_memory_resources_are_ignored() {
+        let (mut rt, names, model) = runtime("");
+        rt.enable_arch();
+        let acc = model.resource_by_name("acc").unwrap().id;
+        rt.observe_read(acc.0, 0);
+        rt.observe_read(ResourceId(99).0, 0);
+        assert!(rt.arch_profile(&names, 1).read_heat.is_empty());
+    }
+}

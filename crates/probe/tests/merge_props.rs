@@ -1,0 +1,144 @@
+//! Property tests for the `ArchProfile` merge algebra, mirroring the
+//! `Profile`/`Snapshot` merge suites: associative, commutative, with
+//! the empty profile as identity — so per-run architecture profiles
+//! fold into fleet aggregates in any order. Plus heatmap bucket
+//! boundary properties (coarsening and merging never lose accesses).
+
+use lisa_probe::{ArchProfile, Heatmap};
+use proptest::prelude::*;
+
+const STAGES: [&str; 3] = ["pipe.FE", "pipe.EX", "pipe.WB"];
+const OPS: [&str; 3] = ["add", "mac", "nop"];
+const MEMS: [&str; 2] = ["dmem", "pmem"];
+const PROBES: [&str; 3] = ["watch dmem", "reg acc", "trace 5"];
+
+type Samples = Vec<(u8, u64)>;
+/// `(memory index, bucket-size exponent, write?, addresses)`.
+type HeatSamples = Vec<(u8, u8, bool, Vec<u64>)>;
+
+fn counts() -> impl Strategy<Value = Samples> {
+    proptest::collection::vec((0u8..3, 1u64..100), 0..=6)
+}
+
+fn heats() -> impl Strategy<Value = HeatSamples> {
+    proptest::collection::vec(
+        (0u8..2, 0u8..5, any::<bool>(), proptest::collection::vec(0u64..512, 1..=8)),
+        0..=4,
+    )
+}
+
+fn profile_strategy() -> impl Strategy<Value = ArchProfile> {
+    (0u64..1000, counts(), counts(), counts(), heats(), counts()).prop_map(build)
+}
+
+fn build(
+    (cycles, stages, ops, units, heats, hits): (
+        u64,
+        Samples,
+        Samples,
+        Samples,
+        HeatSamples,
+        Samples,
+    ),
+) -> ArchProfile {
+    let mut p = ArchProfile::new();
+    p.cycles = cycles;
+    let bump =
+        |map: &mut std::collections::BTreeMap<String, u64>, pool: &[&str], samples: &Samples| {
+            for &(i, n) in samples {
+                *map.entry(pool[i as usize % pool.len()].to_owned()).or_insert(0) += n;
+            }
+        };
+    bump(&mut p.stage_busy, &STAGES, &stages);
+    bump(&mut p.op_execs, &OPS, &ops);
+    bump(&mut p.unit_activations, &OPS, &units);
+    bump(&mut p.hits, &PROBES, &hits);
+    for (mem, exp, write, addrs) in heats {
+        let name = MEMS[mem as usize % MEMS.len()].to_owned();
+        let side = if write { &mut p.write_heat } else { &mut p.read_heat };
+        let heat = side
+            .entry(name)
+            .or_insert_with(|| Heatmap { bucket_size: 1 << exp, counts: Vec::new() });
+        for addr in addrs {
+            heat.record(addr);
+        }
+    }
+    p
+}
+
+fn merged(a: &ArchProfile, b: &ArchProfile) -> ArchProfile {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in profile_strategy(),
+        b in profile_strategy(),
+        c in profile_strategy(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in profile_strategy(), b in profile_strategy()) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn empty_is_identity(a in profile_strategy()) {
+        prop_assert_eq!(merged(&a, &ArchProfile::default()), a.clone());
+        prop_assert_eq!(merged(&ArchProfile::default(), &a), a);
+    }
+
+    #[test]
+    fn merge_conserves_every_total(a in profile_strategy(), b in profile_strategy()) {
+        let m = merged(&a, &b);
+        prop_assert_eq!(m.cycles, a.cycles + b.cycles);
+        prop_assert_eq!(m.probe_hits(), a.probe_hits() + b.probe_hits());
+        let sum = |side: fn(&ArchProfile) -> &std::collections::BTreeMap<String, Heatmap>| {
+            move |p: &ArchProfile| side(p).values().map(Heatmap::total).sum::<u64>()
+        };
+        let reads = sum(|p| &p.read_heat);
+        prop_assert_eq!(reads(&m), reads(&a) + reads(&b));
+        let writes = sum(|p| &p.write_heat);
+        prop_assert_eq!(writes(&m), writes(&a) + writes(&b));
+    }
+
+    #[test]
+    fn coarsening_never_loses_accesses(
+        exp in 0u8..5,
+        wider in 0u8..7,
+        addrs in proptest::collection::vec(0u64..4096, 1..=32),
+    ) {
+        let mut heat = Heatmap { bucket_size: 1 << exp, counts: Vec::new() };
+        for &a in &addrs {
+            heat.record(a);
+        }
+        let total = heat.total();
+        heat.coarsen_to(1 << (exp + wider));
+        prop_assert_eq!(heat.total(), total);
+        prop_assert_eq!(heat.bucket_size, 1u64 << (exp + wider));
+        // Every address still lands in the bucket covering it.
+        for &a in &addrs {
+            let idx = (a / heat.bucket_size) as usize;
+            prop_assert!(heat.counts[idx] > 0, "addr {} lost from bucket {}", a, idx);
+        }
+    }
+
+    #[test]
+    fn bucket_edges_split_adjacent_addresses(bucket_exp in 1u8..6, bucket in 0u64..16) {
+        let size = 1u64 << bucket_exp;
+        let mut heat = Heatmap { bucket_size: size, counts: Vec::new() };
+        let last_inside = bucket * size + (size - 1);
+        heat.record(bucket * size);
+        heat.record(last_inside);
+        heat.record(last_inside + 1); // first address of the next bucket
+        prop_assert_eq!(heat.counts[bucket as usize], 2);
+        prop_assert_eq!(heat.counts[bucket as usize + 1], 1);
+    }
+}

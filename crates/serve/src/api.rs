@@ -32,6 +32,9 @@ pub struct SimulateRequest {
     pub max_cycles: u64,
     /// Resources to dump after the run: `[name, first_n]` pairs.
     pub dump: Vec<(String, usize)>,
+    /// Probe-spec clauses (`watch dmem[0..16]`, `break 5`, `reg R`) to
+    /// arm for the run; hit counts come back in the response.
+    pub probes: Vec<String>,
 }
 
 /// `POST /v1/batch` body (all fields optional on the wire).
@@ -122,12 +125,25 @@ impl SimulateRequest {
                 }
             }
         }
+        let mut probes = Vec::new();
+        match obj.get("probes") {
+            None | Some(Value::Null) => {}
+            Some(v) => {
+                let items = v.as_array().ok_or("field `probes` must be an array of strings")?;
+                for item in items {
+                    let clause =
+                        item.as_str().ok_or("`probes` entries must be strings".to_owned())?;
+                    probes.push(clause.to_owned());
+                }
+            }
+        }
         Ok(SimulateRequest {
             model: required_str(&obj, "model")?,
             program: required_str(&obj, "program")?,
             mode: optional_str(&obj, "mode", "compiled")?,
             max_cycles: optional_u64(&obj, "max_cycles", 100_000)?,
             dump,
+            probes,
         })
     }
 
@@ -148,6 +164,16 @@ impl SimulateRequest {
                     out.push_str(", ");
                 }
                 let _ = write!(out, "[{}, {count}]", escape(name));
+            }
+            out.push(']');
+        }
+        if !self.probes.is_empty() {
+            out.push_str(", \"probes\": [");
+            for (i, clause) in self.probes.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&escape(clause));
             }
             out.push(']');
         }
@@ -214,6 +240,11 @@ pub struct SimulateOutcome {
     pub state_digest: u64,
     /// Requested resource dumps.
     pub dump: Vec<(String, Vec<i64>)>,
+    /// Per-probe hit counts (label, hits), in probe order; empty when
+    /// the request armed no probes.
+    pub probes: Vec<(String, u64)>,
+    /// The breakpoint that stopped the run, if one did: (label, pc).
+    pub breakpoint: Option<(String, i64)>,
 }
 
 /// Renders the simulate response.
@@ -239,6 +270,20 @@ pub fn simulate_body(outcome: &SimulateOutcome) -> String {
             out.push(']');
         }
         out.push('}');
+    }
+    if !outcome.probes.is_empty() {
+        let total: u64 = outcome.probes.iter().map(|(_, n)| n).sum();
+        let _ = write!(out, ", \"probe_hits\": {total}, \"probes\": {{");
+        for (i, (label, hits)) in outcome.probes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {hits}", escape(label));
+        }
+        out.push('}');
+    }
+    if let Some((label, pc)) = &outcome.breakpoint {
+        let _ = write!(out, ", \"breakpoint\": {{\"probe\": {}, \"pc\": {pc}}}", escape(label));
     }
     out.push('}');
     out
@@ -280,6 +325,7 @@ mod tests {
             mode: "interp".to_owned(),
             max_cycles: 42,
             dump: vec![("A".to_owned(), 4), ("B".to_owned(), 2)],
+            probes: vec!["watch dmem[0..16]".to_owned(), "break 0x5".to_owned()],
         };
         assert_eq!(SimulateRequest::from_json(full.to_json().as_bytes()).unwrap(), full);
     }
@@ -293,6 +339,8 @@ mod tests {
             (b"{\"model\": \"t\", \"program\": 7}", "`program`"),
             (b"{\"model\": \"t\", \"program\": \"x\", \"max_cycles\": -3}", "`max_cycles`"),
             (b"{\"model\": \"t\", \"program\": \"x\", \"dump\": [[1, 2]]}", "dump"),
+            (b"{\"model\": \"t\", \"program\": \"x\", \"probes\": \"watch\"}", "probes"),
+            (b"{\"model\": \"t\", \"program\": \"x\", \"probes\": [7]}", "probes"),
             (b"\xff\xfe", "UTF-8"),
         ] {
             let err = SimulateRequest::from_json(body).unwrap_err();
@@ -325,12 +373,19 @@ mod tests {
             instructions_retired: 7,
             state_digest: 0xdead_beef,
             dump: vec![("R".to_owned(), vec![0, -4, 42])],
+            probes: vec![("watch dmem".to_owned(), 3), ("break 5".to_owned(), 1)],
+            breakpoint: Some(("break 5".to_owned(), 5)),
         };
         let v = parse(&simulate_body(&outcome)).unwrap();
         assert_eq!(v.get("cycles").unwrap().as_u64(), Some(9));
         assert_eq!(v.get("halted").unwrap().as_bool(), Some(true));
         let dump = v.get("dump").unwrap().get("R").unwrap().as_array().unwrap();
         assert_eq!(dump[1].as_i64(), Some(-4));
+        assert_eq!(v.get("probe_hits").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("probes").unwrap().get("watch dmem").unwrap().as_u64(), Some(3));
+        let bp = v.get("breakpoint").unwrap();
+        assert_eq!(bp.get("probe").unwrap().as_str(), Some("break 5"));
+        assert_eq!(bp.get("pc").unwrap().as_i64(), Some(5));
 
         let v = parse(&batch_body(10, 1, 12345, 678)).unwrap();
         assert_eq!(v.get("failed").unwrap().as_u64(), Some(1));

@@ -8,7 +8,7 @@
 //! path is testable without a socket.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lisa_asm::Assembler;
@@ -17,7 +17,7 @@ use lisa_exec::{BatchObserver, BatchRunner};
 use lisa_metrics::Registry;
 use lisa_models::kernels::full_matrix;
 use lisa_models::{accu16, scalar2, tinyrisc, vliw62};
-use lisa_sim::{SimError, SimMode, Simulator};
+use lisa_sim::{publish_arch, ArchProfile, ProbeSpec, SimError, SimMode, Simulator, StopReason};
 use lisa_spans::{export, SpanKind, SpanRecorder, SpanScope};
 
 use crate::api::{self, AssembleRequest, BatchRequest, SimulateOutcome, SimulateRequest};
@@ -58,6 +58,11 @@ pub struct AppState {
     /// Span-ring drop count already published to the registry, so each
     /// `/metrics` scrape adds only the delta.
     spans_dropped_published: AtomicU64,
+    /// Architectural profile merged across every `/v1/simulate` run,
+    /// served at `GET /v1/debug/arch`.
+    arch: Mutex<ArchProfile>,
+    /// Process start, for the `lisa_uptime_seconds` gauge.
+    started: Instant,
 }
 
 impl AppState {
@@ -110,7 +115,14 @@ impl AppState {
             .set(1);
         let spans = Arc::new(SpanRecorder::new(SPAN_CAPACITY));
         spans.set_enabled(true);
-        AppState { models, registry, spans, spans_dropped_published: AtomicU64::new(0) }
+        AppState {
+            models,
+            registry,
+            spans,
+            spans_dropped_published: AtomicU64::new(0),
+            arch: Mutex::new(ArchProfile::new()),
+            started: Instant::now(),
+        }
     }
 
     /// The shared metrics registry (exposed at `GET /metrics`).
@@ -195,6 +207,7 @@ impl AppState {
             ("GET", "/metrics") => ("/metrics", self.handle_metrics()),
             ("GET", "/v1/models") => ("/v1/models", self.handle_models()),
             ("GET", "/v1/debug/spans") => ("/v1/debug/spans", self.handle_spans(&req.target)),
+            ("GET", "/v1/debug/arch") => ("/v1/debug/arch", self.handle_arch()),
             ("POST", "/v1/assemble") => ("/v1/assemble", self.handle_assemble(&req.body)),
             ("POST", "/v1/simulate") => {
                 ("/v1/simulate", self.handle_simulate(&req.body, deadline, spans))
@@ -202,8 +215,8 @@ impl AppState {
             ("POST", "/v1/batch") => ("/v1/batch", self.handle_batch(&req.body, spans)),
             (
                 _,
-                "/healthz" | "/metrics" | "/v1/models" | "/v1/debug/spans" | "/v1/assemble"
-                | "/v1/simulate" | "/v1/batch",
+                "/healthz" | "/metrics" | "/v1/models" | "/v1/debug/spans" | "/v1/debug/arch"
+                | "/v1/assemble" | "/v1/simulate" | "/v1/batch",
             ) => ("method_not_allowed", Response::json(405, api::error_body("method not allowed"))),
             _ => ("not_found", Response::json(404, api::error_body("no such route"))),
         }
@@ -211,8 +224,16 @@ impl AppState {
 
     /// `GET /metrics`: the Prometheus exposition. Span-ring overflow is
     /// folded into the registry right before the snapshot, so the scrape
-    /// that reports loss is never stale.
+    /// that reports loss is never stale; uptime and the scrape counter
+    /// are refreshed the same way.
     fn handle_metrics(&self) -> Response {
+        self.registry
+            .counter("lisa_metrics_scrapes_total", "Scrapes of the /metrics endpoint.", &[])
+            .inc();
+        let uptime = i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX);
+        self.registry
+            .gauge("lisa_uptime_seconds", "Seconds since the service started.", &[])
+            .set(uptime);
         let dropped = self.spans.dropped();
         let published = self.spans_dropped_published.swap(dropped, Ordering::Relaxed);
         let delta = dropped.saturating_sub(published);
@@ -272,6 +293,13 @@ impl AppState {
             }
             _ => Response::json(400, api::error_body("unknown `format` (json|chrome)")),
         }
+    }
+
+    /// `GET /v1/debug/arch`: the architectural profile merged across
+    /// every `/v1/simulate` run since startup.
+    fn handle_arch(&self) -> Response {
+        let arch = self.arch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Response::json(200, arch.to_json())
     }
 
     fn handle_models(&self) -> Response {
@@ -360,13 +388,20 @@ impl AppState {
                 program.origin,
                 req.max_cycles,
                 &req.dump,
+                &req.probes,
                 deadline,
                 run_scope.as_ref(),
             )
         };
         match run {
-            Ok(outcome) => {
+            Ok((outcome, profile)) => {
                 let _span = spans.map(|s| s.start(SpanKind::Serialize));
+                {
+                    let mut arch =
+                        self.arch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    arch.merge(&profile);
+                    publish_arch(&self.registry, &arch);
+                }
                 Response::json(200, api::simulate_body(&outcome))
             }
             Err(SimulateError::Deadline) => {
@@ -440,7 +475,9 @@ enum SimulateError {
 
 /// Runs one simulation with both a cycle budget and a wall-clock
 /// deadline. The deadline is checked every 1024 control steps so the
-/// hot loop stays free of syscalls.
+/// hot loop stays free of syscalls. Probes from the request are armed
+/// before the run; the architectural profile is always collected so the
+/// service's merged `/v1/debug/arch` view covers every run.
 #[allow(clippy::too_many_arguments)]
 fn simulate(
     served: &ServedModel,
@@ -449,12 +486,20 @@ fn simulate(
     origin: u64,
     max_cycles: u64,
     dumps: &[(String, usize)],
+    probes: &[String],
     deadline: Instant,
     spans: Option<&SpanScope>,
-) -> Result<SimulateOutcome, SimulateError> {
+) -> Result<(SimulateOutcome, ArchProfile), SimulateError> {
     let sim_err = |e: SimError| SimulateError::Sim(e.to_string());
     let mut sim = Simulator::new(&served.model, mode).map_err(sim_err)?;
     sim.set_spans(spans.cloned());
+    if !probes.is_empty() {
+        let spec =
+            ProbeSpec::parse(&probes.join("; ")).map_err(|e| SimulateError::Sim(e.to_string()))?;
+        let set = spec.compile(&served.model).map_err(|e| SimulateError::Sim(e.to_string()))?;
+        sim.set_probes(set);
+    }
+    sim.enable_arch_profile();
     let pmem = served
         .model
         .resource_by_name(served.program_memory)
@@ -489,15 +534,25 @@ fn simulate(
         },
         max_cycles,
     );
-    let (cycles, halted) = match outcome {
-        Ok(cycles) if timed_out => (cycles, false),
-        Ok(cycles) => (cycles, true),
-        Err(SimError::StepLimit { .. }) => (max_cycles, false),
+    let (cycles, halted, stop) = match outcome {
+        Ok(out) if timed_out => (out.cycles, false, StopReason::Halted),
+        Ok(out) => (out.cycles, out.reason == StopReason::Halted, out.reason),
+        Err(SimError::StepLimit { .. }) => (max_cycles, false, StopReason::Halted),
         Err(e) => return Err(sim_err(e)),
     };
     if timed_out {
         return Err(SimulateError::Deadline);
     }
+    let report = sim.probe_report();
+    let breakpoint = match stop {
+        StopReason::Breakpoint { probe, pc } => {
+            let label = report
+                .get(probe as usize)
+                .map_or_else(|| format!("probe #{probe}"), |(label, _)| label.clone());
+            Some((label, pc))
+        }
+        StopReason::Halted => None,
+    };
     let mut dump = Vec::new();
     for (name, count) in dumps {
         let res = served
@@ -514,13 +569,19 @@ fn simulate(
         };
         dump.push((name.clone(), values));
     }
-    Ok(SimulateOutcome {
-        cycles,
-        halted,
-        instructions_retired: sim.stats().instructions_retired,
-        state_digest: sim.state().digest(),
-        dump,
-    })
+    let profile = sim.arch_profile().unwrap_or_default();
+    Ok((
+        SimulateOutcome {
+            cycles,
+            halted,
+            instructions_retired: sim.stats().instructions_retired,
+            state_digest: sim.state().digest(),
+            dump,
+            probes: report,
+            breakpoint,
+        },
+        profile,
+    ))
 }
 
 /// A far-future deadline for contexts without a per-request timeout
@@ -776,6 +837,104 @@ mod tests {
         let starts: Vec<u64> =
             spans.iter().filter_map(|s| s.get("start_ns").and_then(Value::as_u64)).collect();
         assert_eq!(starts, [700, 800, 900], "newest three survive the limit");
+    }
+
+    #[test]
+    fn simulate_with_probes_reports_hits() {
+        use lisa_metrics::json;
+
+        let state = AppState::new();
+        let resp = post(
+            &state,
+            "/v1/simulate",
+            r#"{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n",
+                "probes": ["reg R[3]", "watch dmem", "trace 2"]}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("halted").and_then(json::Value::as_bool), Some(true));
+        let probes = doc.get("probes").expect("probes object");
+        assert_eq!(probes.get("reg R[3]").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(probes.get("watch dmem").and_then(json::Value::as_u64), Some(0));
+        assert_eq!(probes.get("trace 2").and_then(json::Value::as_u64), Some(1));
+        assert!(doc.get("probe_hits").and_then(json::Value::as_u64).unwrap_or(0) >= 2);
+        assert!(doc.get("breakpoint").is_none(), "nothing stopped this run");
+    }
+
+    #[test]
+    fn simulate_breakpoint_stops_the_run_and_is_reported() {
+        use lisa_metrics::json;
+
+        let state = AppState::new();
+        let resp = post(
+            &state,
+            "/v1/simulate",
+            r#"{"model": "tinyrisc", "program": "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n",
+                "probes": ["break 2"]}"#,
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("halted").and_then(json::Value::as_bool), Some(false));
+        let bp = doc.get("breakpoint").expect("breakpoint object");
+        assert_eq!(bp.get("probe").and_then(json::Value::as_str), Some("break 2"));
+        assert_eq!(bp.get("pc").and_then(json::Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn bad_probe_specs_are_422() {
+        let state = AppState::new();
+        let body = |probe: &str| {
+            format!(r#"{{"model": "tinyrisc", "program": "HLT\n", "probes": ["{probe}"]}}"#)
+        };
+        // Parse error: unknown clause keyword.
+        let resp = post(&state, "/v1/simulate", &body("frobnicate dmem"));
+        assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+        // Compile error: no such resource.
+        let resp = post(&state, "/v1/simulate", &body("watch nonexistent"));
+        assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn debug_arch_serves_the_merged_profile() {
+        use lisa_metrics::json;
+
+        let state = AppState::new();
+        // Before any run: an empty profile, still valid JSON.
+        let resp = get(&state, "/v1/debug/arch");
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("cycles").and_then(json::Value::as_u64), Some(0));
+
+        let body = r#"{"model": "tinyrisc", "program": "LDI R1, 1\nLDI R2, 3\nST R1, R2\nHLT\n"}"#;
+        assert_eq!(post(&state, "/v1/simulate", body).status, 200);
+        let resp = get(&state, "/v1/debug/arch");
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let first = doc.get("cycles").and_then(json::Value::as_u64).expect("cycles");
+        assert!(first > 0);
+        assert!(doc.get("op_execs").is_some(), "op table present");
+
+        // A second run merges on top instead of replacing.
+        assert_eq!(post(&state, "/v1/simulate", body).status, 200);
+        let resp = get(&state, "/v1/debug/arch");
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let second = doc.get("cycles").and_then(json::Value::as_u64).expect("cycles");
+        assert_eq!(second, first * 2);
+
+        // The utilization gauges landed in the registry.
+        let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        assert!(text.contains("lisa_arch_cycles"), "{text}");
+
+        assert_eq!(post(&state, "/v1/debug/arch", "").status, 405);
+    }
+
+    #[test]
+    fn metrics_expose_uptime_and_scrape_counter() {
+        let state = AppState::new();
+        let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        assert!(text.contains("lisa_metrics_scrapes_total 1"), "{text}");
+        assert!(text.contains("lisa_uptime_seconds"), "{text}");
+        let text = String::from_utf8(get(&state, "/metrics").body).unwrap();
+        assert!(text.contains("lisa_metrics_scrapes_total 2"), "{text}");
     }
 
     #[test]

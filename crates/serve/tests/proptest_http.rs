@@ -156,6 +156,7 @@ proptest! {
         mode in prop_oneof![Just("interp".to_owned()), Just("compiled".to_owned())],
         max_cycles in 0u64..10_000_000,
         dump in prop::collection::vec(("[A-Za-z]{1,6}", 0usize..64), 0..=4),
+        probes in prop::collection::vec("[ -~]{1,24}", 0..=3),
     ) {
         let req = SimulateRequest {
             model,
@@ -163,6 +164,7 @@ proptest! {
             mode,
             max_cycles,
             dump,
+            probes,
         };
         let back = SimulateRequest::from_json(req.to_json().as_bytes())
             .expect("serialized body must parse");

@@ -719,14 +719,21 @@ impl Simulator<'_> {
                 frame.decoded.map(|d| d.labels.get(*l as usize).copied().unwrap_or(0)).unwrap_or(0)
                     as i64
             }
-            LExpr::ResScalar(res) => self.state.read_flat(*res, 0).unwrap_or(0),
+            LExpr::ResScalar(res) => {
+                let value = self.state.read_flat(*res, 0).unwrap_or(0);
+                self.probe_read(*res, 0);
+                value
+            }
             LExpr::ResElem { res, indices } => {
                 let flat = self.flat_of(tables, *res, indices, frame)?;
-                self.state.read_flat(*res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
-                    resource: self.model.resource(*res).name.clone(),
-                    index: flat as i64,
-                    dim: 0,
-                })?
+                let value =
+                    self.state.read_flat(*res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
+                        resource: self.model.resource(*res).name.clone(),
+                        index: flat as i64,
+                        dim: 0,
+                    })?;
+                self.probe_read(*res, flat);
+                value
             }
             LExpr::GroupValue(g) => {
                 let child = frame
@@ -976,15 +983,18 @@ impl Simulator<'_> {
         }
     }
 
-    fn read_rplace(&self, place: RPlace, frame: &LFrame<'_>) -> Result<i64, SimError> {
+    fn read_rplace(&mut self, place: RPlace, frame: &LFrame<'_>) -> Result<i64, SimError> {
         match place {
             RPlace::Local(slot) => Ok(frame.locals.get(slot)),
             RPlace::Flat { res, flat } => {
-                self.state.read_flat(res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
-                    resource: self.model.resource(res).name.clone(),
-                    index: flat as i64,
-                    dim: 0,
-                })
+                let value =
+                    self.state.read_flat(res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
+                        resource: self.model.resource(res).name.clone(),
+                        index: flat as i64,
+                        dim: 0,
+                    })?;
+                self.probe_read(res, flat);
+                Ok(value)
             }
         }
     }

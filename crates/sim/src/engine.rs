@@ -21,6 +21,7 @@ use std::sync::Arc;
 use lisa_bits::Bits;
 use lisa_core::model::{Model, OpId, PipelineId, ResourceId};
 use lisa_isa::{Decoded, Decoder};
+use lisa_probe::{ArchProfile, ProbeRuntime, ProbeSet};
 use lisa_spans::{SpanKind, SpanScope};
 use lisa_trace::{CollectingSink, NameTable, Profile, TraceEvent, TraceSink};
 
@@ -60,7 +61,7 @@ pub(crate) struct PipeState {
 }
 
 /// Observability state, boxed behind one `Option` so the cycle path pays
-/// a single branch when neither tracing nor profiling is on.
+/// a single branch when neither tracing, profiling nor probing is on.
 pub(crate) struct Observer {
     /// Owned snapshot of the model's names, for rendering and profiling.
     pub names: NameTable,
@@ -70,6 +71,37 @@ pub(crate) struct Observer {
     pub profile: Option<Profile>,
     /// Cycle counter value when profiling was (re)started.
     pub profile_start: u64,
+    /// Architectural probes (watchpoints, PC probes, arch profiling),
+    /// when installed. The runtime consumes the same event stream the
+    /// sink and profile see, so probe semantics are backend-independent.
+    pub probes: Option<Box<ProbeRuntime>>,
+    /// Cycle counter value when architecture profiling was enabled.
+    pub arch_start: u64,
+}
+
+/// Why [`Simulator::run_until`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The halt predicate returned true.
+    Halted,
+    /// A `break` probe matched a program-counter write.
+    Breakpoint {
+        /// The matching probe's compiled id.
+        probe: u16,
+        /// The program-counter value that matched.
+        pc: i64,
+    },
+}
+
+/// A successful [`Simulator::run_until`]: how far it ran and why it
+/// stopped. Exhausting the step budget is still the
+/// [`SimError::StepLimit`] error, not an outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Control steps executed by this call.
+    pub cycles: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
 }
 
 /// Execution backend: the paper's two simulation techniques.
@@ -256,14 +288,20 @@ impl<'m> Simulator<'m> {
                 sink: None,
                 profile: None,
                 profile_start: 0,
+                probes: None,
+                arch_start: 0,
             })
         })
     }
 
-    /// Drops the observer box again when both tracing and profiling are
-    /// off, restoring the single-`None` fast path.
+    /// Drops the observer box again when tracing, profiling and probing
+    /// are all off, restoring the single-`None` fast path.
     fn shrink_observer(&mut self) {
-        if self.observer.as_ref().is_some_and(|o| o.sink.is_none() && o.profile.is_none()) {
+        if self
+            .observer
+            .as_ref()
+            .is_some_and(|o| o.sink.is_none() && o.profile.is_none() && o.probes.is_none())
+        {
             self.observer = None;
         }
     }
@@ -344,6 +382,91 @@ impl<'m> Simulator<'m> {
         profile
     }
 
+    /// Installs a compiled probe set (watchpoints, PC breakpoints and
+    /// tracepoints). Matched watch/trace probes emit
+    /// [`TraceEvent::ProbeHit`] into the trace stream; `break` probes
+    /// additionally stop [`Simulator::run_until`] with
+    /// [`StopReason::Breakpoint`]. Replaces any previously installed
+    /// set (its hit counts are discarded).
+    pub fn set_probes(&mut self, set: ProbeSet) {
+        let obs = self.observer_mut();
+        let arch = obs.probes.as_ref().is_some_and(|p| p.arch_enabled());
+        let mut runtime = ProbeRuntime::new(set, &obs.names);
+        if arch {
+            runtime.enable_arch();
+        }
+        obs.probes = Some(Box::new(runtime));
+    }
+
+    /// Removes the installed probes (and any architecture profile they
+    /// accumulated).
+    pub fn clear_probes(&mut self) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.probes = None;
+        }
+        self.shrink_observer();
+    }
+
+    /// Whether a probe runtime is installed.
+    #[must_use]
+    pub fn probing(&self) -> bool {
+        self.observer.as_ref().is_some_and(|o| o.probes.is_some())
+    }
+
+    /// Starts architecture profiling (utilization counters and memory
+    /// heatmaps) from this cycle. Installs an empty probe set first if
+    /// none is present, so profiling works without any probes.
+    pub fn enable_arch_profile(&mut self) {
+        let cycles = self.stats.cycles;
+        let empty = ProbeSet::empty(self.model);
+        let obs = self.observer_mut();
+        let runtime =
+            obs.probes.get_or_insert_with(|| Box::new(ProbeRuntime::new(empty, &obs.names)));
+        runtime.enable_arch();
+        obs.arch_start = cycles;
+    }
+
+    /// The architecture profile accumulated since
+    /// [`Simulator::enable_arch_profile`], with [`ArchProfile::cycles`]
+    /// set to the control steps covered. Non-destructive — probes stay
+    /// installed and keep accumulating. `None` when arch profiling is
+    /// off.
+    #[must_use]
+    pub fn arch_profile(&self) -> Option<ArchProfile> {
+        let obs = self.observer.as_ref()?;
+        let runtime = obs.probes.as_ref()?;
+        if !runtime.arch_enabled() {
+            return None;
+        }
+        Some(runtime.arch_profile(&obs.names, self.stats.cycles.saturating_sub(obs.arch_start)))
+    }
+
+    /// Total probe hits recorded since the probe set was installed.
+    #[must_use]
+    pub fn probe_hits(&self) -> u64 {
+        self.observer.as_ref().and_then(|o| o.probes.as_ref()).map_or(0, |p| p.total_hits())
+    }
+
+    /// Per-probe hit report: `(label, hits)` in probe-id order.
+    #[must_use]
+    pub fn probe_report(&self) -> Vec<(String, u64)> {
+        let Some(runtime) = self.observer.as_ref().and_then(|o| o.probes.as_ref()) else {
+            return Vec::new();
+        };
+        runtime
+            .probe_set()
+            .labels()
+            .iter()
+            .enumerate()
+            .map(|(i, label)| (label.clone(), runtime.hit_count(i as u16)))
+            .collect()
+    }
+
+    /// Takes the latched breakpoint stop, if any.
+    fn take_probe_stop(&mut self) -> Option<(u16, i64)> {
+        self.observer.as_mut()?.probes.as_mut()?.take_stop()
+    }
+
     /// Attaches a wall-clock span context: phase spans (predecode, cycle
     /// chunks, snapshot/restore) are recorded under `scope`'s parent.
     /// Pass `None` to detach; with no scope attached the run loops keep
@@ -364,17 +487,40 @@ impl<'m> Simulator<'m> {
         self.observer.is_some()
     }
 
-    /// Routes an event to the profile and/or sink. Callers guard with
-    /// [`Simulator::observing`] so event construction itself is skipped
-    /// when observability is off.
+    /// Routes an event to the profile, sink and probe runtime. Callers
+    /// guard with [`Simulator::observing`] so event construction itself
+    /// is skipped when observability is off. Probe hits triggered by
+    /// the event are appended to the same stream, directly after it.
     pub(crate) fn emit(&mut self, event: TraceEvent) {
         if let Some(obs) = self.observer.as_mut() {
-            if let Some(profile) = obs.profile.as_mut() {
-                profile.record(&obs.names, &event);
+            let Observer { names, sink, profile, probes, .. } = obs.as_mut();
+            if let Some(profile) = profile.as_mut() {
+                profile.record(names, &event);
             }
-            if let Some(sink) = obs.sink.as_mut() {
+            if let Some(sink) = sink.as_mut() {
                 sink.record(&event);
             }
+            if let Some(runtime) = probes.as_mut() {
+                runtime.observe(&event, |hit| {
+                    if let Some(profile) = profile.as_mut() {
+                        profile.record(names, &hit);
+                    }
+                    if let Some(sink) = sink.as_mut() {
+                        sink.record(&hit);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Feeds a behavior-level resource read to the probe runtime's
+    /// memory heatmaps. One `Option` chain when probes are off; the
+    /// backends call this from their read funnels so read heat is
+    /// accumulated identically in all three modes.
+    #[inline]
+    pub(crate) fn probe_read(&mut self, res: ResourceId, flat: usize) {
+        if let Some(runtime) = self.observer.as_mut().and_then(|o| o.probes.as_mut()) {
+            runtime.observe_read(res.0, flat as u64);
         }
     }
 
@@ -594,8 +740,9 @@ impl<'m> Simulator<'m> {
         Ok(())
     }
 
-    /// Runs until `halted` returns true (checked after each step), up to
-    /// `max_steps`.
+    /// Runs until `halted` returns true or a `break` probe matches
+    /// (both checked after each step), up to `max_steps`. The halt
+    /// predicate wins when both trigger on the same step.
     ///
     /// # Errors
     ///
@@ -604,8 +751,13 @@ impl<'m> Simulator<'m> {
         &mut self,
         mut halted: impl FnMut(&State) -> bool,
         max_steps: u64,
-    ) -> Result<u64, SimError> {
+    ) -> Result<RunOutcome, SimError> {
         let start = self.stats.cycles;
+        // A stop latched before this call (e.g. during a fixed-step
+        // `run`, which ignores breakpoints) is stale — discard it.
+        if self.observing() {
+            self.take_probe_stop();
+        }
         if let Some(scope) = self.spans.clone() {
             let mut done = 0;
             while done < max_steps {
@@ -614,8 +766,8 @@ impl<'m> Simulator<'m> {
                 for _ in 0..chunk {
                     self.step()?;
                     done += 1;
-                    if halted(&self.state) {
-                        return Ok(self.stats.cycles - start);
+                    if let Some(reason) = self.stop_reason(&mut halted) {
+                        return Ok(RunOutcome { cycles: self.stats.cycles - start, reason });
                     }
                 }
             }
@@ -623,11 +775,30 @@ impl<'m> Simulator<'m> {
         }
         for _ in 0..max_steps {
             self.step()?;
-            if halted(&self.state) {
-                return Ok(self.stats.cycles - start);
+            if let Some(reason) = self.stop_reason(&mut halted) {
+                return Ok(RunOutcome { cycles: self.stats.cycles - start, reason });
             }
         }
         Err(SimError::StepLimit { limit: max_steps })
+    }
+
+    /// Post-step stop check for [`Simulator::run_until`]: the halt
+    /// predicate first (it wins ties and clears any latched stop), then
+    /// breakpoints.
+    #[inline]
+    fn stop_reason(&mut self, halted: &mut impl FnMut(&State) -> bool) -> Option<StopReason> {
+        if halted(&self.state) {
+            if self.observing() {
+                self.take_probe_stop();
+            }
+            return Some(StopReason::Halted);
+        }
+        if self.observing() {
+            if let Some((probe, pc)) = self.take_probe_stop() {
+                return Some(StopReason::Breakpoint { probe, pc });
+            }
+        }
+        None
     }
 
     /// Executes one scheduled item: behavior, then activation.

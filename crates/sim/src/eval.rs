@@ -465,7 +465,9 @@ impl<'m> Simulator<'m> {
             return self.read_group(gidx, frame);
         }
         if let Some(res) = self.model.resource_by_name(name) {
-            return self.state.read_int(res, &[]);
+            let value = self.state.read_int(res, &[])?;
+            self.probe_read(res.id, 0);
+            return Ok(value);
         }
         // An operation reference used as a value: its expression.
         if self.model.operation_by_name(name).is_some() {
@@ -726,11 +728,14 @@ impl<'m> Simulator<'m> {
         match place {
             Place::Local(idx) => Ok(frame.locals[idx].1),
             Place::Resource { res, flat } => {
-                self.state.read_flat(res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
-                    resource: self.model.resource(res).name.clone(),
-                    index: flat as i64,
-                    dim: 0,
-                })
+                let value =
+                    self.state.read_flat(res, flat).ok_or_else(|| SimError::IndexOutOfBounds {
+                        resource: self.model.resource(res).name.clone(),
+                        index: flat as i64,
+                        dim: 0,
+                    })?;
+                self.probe_read(res, flat);
+                Ok(value)
             }
         }
     }

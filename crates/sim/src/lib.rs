@@ -30,9 +30,12 @@ mod snapshot;
 mod state;
 mod stats;
 
-pub use engine::{SimMode, Simulator};
+pub use engine::{RunOutcome, SimMode, Simulator, StopReason};
 pub use error::SimError;
 pub use metrics::publish_stats;
+// Re-exported so simulator users can drive probes/arch-profiling without
+// a separate `lisa-probe` dependency.
+pub use lisa_probe::{publish_arch, ArchProfile, Heatmap, ProbeError, ProbeSet, ProbeSpec};
 // Re-exported so simulator users can drive tracing/profiling without a
 // separate `lisa-trace` dependency.
 pub use lisa_trace::{

@@ -1585,6 +1585,7 @@ impl Simulator<'_> {
                 MicroOp::ReadLocal(slot) => stack.push(locals[*slot as usize]),
                 MicroOp::ReadScalar(res) => {
                     stack.push(self.state.read_flat(*res, 0).unwrap_or(0));
+                    self.probe_read(*res, 0);
                 }
                 MicroOp::ReadFlat { res, flat } => {
                     let flat = *flat as usize;
@@ -1592,6 +1593,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     stack.push(v);
                 }
                 MicroOp::ReadDyn { res, n } => {
@@ -1600,6 +1602,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     stack.push(v);
                 }
                 MicroOp::ReadIdx(res) => {
@@ -1608,6 +1611,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, idx as usize)
                         .ok_or_else(|| self.ops_oob(*res, idx))?;
+                    self.probe_read(*res, idx as usize);
                     stack.push(v);
                 }
                 MicroOp::Unary(op) => {
@@ -1715,6 +1719,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     let new = apply_compound(*op, old, rhs).map_err(|()| self.ops_div0(*ctx))?;
                     self.ops_write(*res, flat, new)?;
                 }
@@ -1725,6 +1730,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     let new = apply_compound(*op, old, rhs).map_err(|()| self.ops_div0(*ctx))?;
                     self.ops_write(*res, flat, new)?;
                 }
@@ -1737,6 +1743,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     self.ops_write(*res, flat, old.wrapping_add(*delta))?;
                 }
                 MicroOp::IncDecDyn { res, n, delta } => {
@@ -1745,6 +1752,7 @@ impl Simulator<'_> {
                         .state
                         .read_flat(*res, flat)
                         .ok_or_else(|| self.ops_oob(*res, flat as i64))?;
+                    self.probe_read(*res, flat);
                     self.ops_write(*res, flat, old.wrapping_add(*delta))?;
                 }
                 MicroOp::Pipe(p) => self.apply_pipe_op(*p),

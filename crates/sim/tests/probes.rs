@@ -1,0 +1,285 @@
+//! Probe integration tests: watchpoints surface as `ProbeHit` trace
+//! events, `break` probes stop `run_until` with a `Breakpoint` reason,
+//! and the architectural profile is identical across all three backends.
+
+use lisa_core::Model;
+use lisa_sim::{ProbeSpec, SimMode, Simulator, StopReason, TraceEvent};
+
+const TOY: &str = r#"
+RESOURCE {
+    PROGRAM_COUNTER int pc;
+    CONTROL_REGISTER int ir;
+    REGISTER int R[8];
+    REGISTER bit halt;
+    DATA_MEMORY int dmem[32];
+    PROGRAM_MEMORY int pmem[64];
+}
+
+OPERATION reg {
+    DECLARE { LABEL index; }
+    CODING { index:0bx[3] }
+    SYNTAX { "R" index:#u }
+    EXPRESSION { R[index] }
+}
+
+OPERATION imm6 {
+    DECLARE { LABEL value; }
+    CODING { value:0bx[6] }
+    SYNTAX { value:#s }
+    EXPRESSION { sext(value, 6) }
+}
+
+OPERATION ldi {
+    DECLARE { GROUP Dest = { reg }; GROUP Val = { imm6 }; }
+    CODING { 0b0001 Dest Val 0bx[3] }
+    SYNTAX { "LDI" Dest "," Val }
+    BEHAVIOR { Dest = Val; }
+}
+
+OPERATION add {
+    DECLARE { GROUP Dest, Src1, Src2 = { reg }; }
+    CODING { 0b0010 Dest Src1 Src2 0bx[3] }
+    SYNTAX { "ADD" Dest "," Src1 "," Src2 }
+    BEHAVIOR { Dest = Src1 + Src2; }
+}
+
+OPERATION st {
+    DECLARE { GROUP Addr = { imm6 }; GROUP Src = { reg }; }
+    CODING { 0b0100 Src Addr 0bx[3] }
+    SYNTAX { "ST" Src "," Addr }
+    BEHAVIOR { dmem[Addr] = Src; }
+}
+
+OPERATION ld {
+    DECLARE { GROUP Dest = { reg }; GROUP Addr = { imm6 }; }
+    CODING { 0b0101 Dest Addr 0bx[3] }
+    SYNTAX { "LD" Dest "," Addr }
+    BEHAVIOR { Dest = dmem[Addr]; }
+}
+
+OPERATION bnz {
+    DECLARE { GROUP Cond = { reg }; GROUP Target = { imm6 }; }
+    CODING { 0b0110 Cond Target 0bx[3] }
+    SYNTAX { "BNZ" Cond "," Target }
+    BEHAVIOR {
+        if (Cond != 0) {
+            pc = Target - 1;
+        }
+    }
+}
+
+OPERATION hlt {
+    CODING { 0b0111 0bx[12] }
+    SYNTAX { "HLT" }
+    BEHAVIOR { halt = 1; }
+}
+
+OPERATION decode {
+    DECLARE { GROUP Instruction = { ldi || add || st || ld || bnz || hlt }; }
+    CODING { ir == Instruction }
+    SYNTAX { Instruction }
+    BEHAVIOR { Instruction; }
+}
+
+OPERATION fetch {
+    BEHAVIOR {
+        ir = pmem[pc];
+    }
+}
+
+OPERATION main {
+    BEHAVIOR {
+        if (halt == 0) {
+            fetch;
+            decode;
+            pc = pc + 1;
+        }
+    }
+}
+"#;
+
+const MODES: [SimMode; 3] = [SimMode::Interpretive, SimMode::Compiled, SimMode::Ops];
+
+/// R1 counts down from 3; stores the countdown into dmem[5] each pass.
+const LOOP: [&str; 7] = [
+    "LDI R1, 3",
+    "LDI R3, -1",
+    "ST R1, 5", // address 2: loop body
+    "ADD R1, R1, R3",
+    "BNZ R1, 2",
+    "LD R2, 5",
+    "HLT",
+];
+
+fn boot<'m>(model: &'m Model, mode: SimMode, program: &[&str]) -> Simulator<'m> {
+    let decoder = lisa_isa::Decoder::new(model).expect("decoder builds");
+    let asm = lisa_isa::Assembler::new(model, &decoder);
+    let words: Vec<u128> = program
+        .iter()
+        .map(|stmt| {
+            asm.assemble_instruction(stmt)
+                .unwrap_or_else(|e| panic!("assemble `{stmt}`: {e}"))
+                .encode(model)
+                .expect("encodes")
+                .to_u128()
+        })
+        .collect();
+    let mut sim = Simulator::new(model, mode).expect("simulator builds");
+    sim.load_program("pmem", &words).expect("program fits");
+    sim
+}
+
+fn run_to_halt(sim: &mut Simulator<'_>, model: &Model, max: u64) -> StopReason {
+    let halt = model.resource_by_name("halt").unwrap().clone();
+    sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, max).expect("run ok").reason
+}
+
+fn compile_spec(model: &Model, text: &str) -> lisa_sim::ProbeSet {
+    ProbeSpec::parse(text).expect("spec parses").compile(model).expect("spec compiles")
+}
+
+#[test]
+fn watchpoint_hits_appear_in_trace_stream() {
+    let model = Model::from_source(TOY).expect("model builds");
+    for mode in MODES {
+        let mut sim = boot(&model, mode, &LOOP);
+        sim.set_trace(true);
+        sim.set_probes(compile_spec(&model, "watch dmem[4..6]"));
+        assert_eq!(run_to_halt(&mut sim, &model, 200), StopReason::Halted, "{mode:?}");
+        // Three `ST R1, 5` passes write dmem[5] = 3, 2, 1.
+        assert_eq!(sim.probe_hits(), 3, "{mode:?}");
+        let events = sim.take_events();
+        let hits: Vec<(u16, u64, i64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ProbeHit { probe, addr, value, .. } => Some((*probe, *addr, *value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hits, [(0, 5, 3), (0, 5, 2), (0, 5, 1)], "{mode:?}");
+        // Each hit rides directly behind the MemoryAccess that caused it.
+        for (i, e) in events.iter().enumerate() {
+            if matches!(e, TraceEvent::ProbeHit { .. }) {
+                assert!(
+                    matches!(events[i - 1], TraceEvent::MemoryAccess { .. }),
+                    "{mode:?}: hit not adjacent to its access"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn register_probe_counts_writes() {
+    let model = Model::from_source(TOY).expect("model builds");
+    for mode in MODES {
+        let mut sim = boot(&model, mode, &LOOP);
+        sim.set_probes(compile_spec(&model, "reg R[1]; reg R[2]"));
+        assert_eq!(run_to_halt(&mut sim, &model, 200), StopReason::Halted, "{mode:?}");
+        let report = sim.probe_report();
+        // R1: LDI + three ADD decrements; R2: one LD.
+        assert_eq!(report[0], ("reg R[1]".to_string(), 4), "{mode:?}");
+        assert_eq!(report[1], ("reg R[2]".to_string(), 1), "{mode:?}");
+    }
+}
+
+#[test]
+fn breakpoint_stops_run_until_and_resumes() {
+    let model = Model::from_source(TOY).expect("model builds");
+    for mode in MODES {
+        let mut sim = boot(&model, mode, &LOOP);
+        // Break on the loop back-edge target (address 2).
+        sim.set_probes(compile_spec(&model, "break 2"));
+        let r1 = model.resource_by_name("R").unwrap().clone();
+
+        // First stop: at the first arrival, before address 2 re-executes.
+        let reason = run_to_halt(&mut sim, &model, 200);
+        assert_eq!(reason, StopReason::Breakpoint { probe: 0, pc: 2 }, "{mode:?}");
+        assert_eq!(sim.state().read_int(&r1, &[1]).unwrap(), 3, "{mode:?}");
+
+        // Resuming trips the breakpoint on each loop pass, then halts.
+        let mut stops = 0;
+        loop {
+            match run_to_halt(&mut sim, &model, 200) {
+                StopReason::Breakpoint { pc: 2, .. } => stops += 1,
+                StopReason::Halted => break,
+                other => panic!("{mode:?}: unexpected stop {other:?}"),
+            }
+        }
+        assert_eq!(stops, 2, "{mode:?}: loop re-entries");
+        assert_eq!(sim.state().read_int(&r1, &[2]).unwrap(), 1, "{mode:?}");
+    }
+}
+
+#[test]
+fn plain_run_ignores_breakpoints() {
+    let model = Model::from_source(TOY).expect("model builds");
+    let mut sim = boot(&model, SimMode::Compiled, &LOOP);
+    sim.set_probes(compile_spec(&model, "break 2; trace 4"));
+    for _ in 0..40 {
+        sim.run(1).expect("steps");
+    }
+    let halt = model.resource_by_name("halt").unwrap();
+    assert_eq!(sim.state().read_int(halt, &[]).unwrap(), 1, "ran to completion");
+    // The breakpoint still counted every arrival even though nothing stopped.
+    assert!(sim.probe_hits() >= 3);
+    // A later run_until must not report the stale latched stop.
+    let reason =
+        sim.run_until(|st| st.read_int(halt, &[]).unwrap_or(0) != 0, 10).expect("ok").reason;
+    assert_eq!(reason, StopReason::Halted);
+}
+
+#[test]
+fn arch_profile_is_mode_independent() {
+    let model = Model::from_source(TOY).expect("model builds");
+    let mut profiles = Vec::new();
+    for mode in MODES {
+        let mut sim = boot(&model, mode, &LOOP);
+        sim.enable_arch_profile();
+        assert_eq!(run_to_halt(&mut sim, &model, 200), StopReason::Halted, "{mode:?}");
+        let profile = sim.arch_profile().expect("profile on");
+        assert!(profile.cycles > 0, "{mode:?}");
+        assert!(!profile.op_execs.is_empty(), "{mode:?}");
+        profiles.push((mode, profile));
+    }
+    let (_, reference) = &profiles[0];
+    for (mode, profile) in &profiles[1..] {
+        assert_eq!(profile, reference, "{mode:?} vs Interpretive");
+    }
+}
+
+#[test]
+fn arch_profile_sees_memory_traffic() {
+    let model = Model::from_source(TOY).expect("model builds");
+    let mut sim = boot(&model, SimMode::Ops, &LOOP);
+    sim.enable_arch_profile();
+    assert_eq!(run_to_halt(&mut sim, &model, 200), StopReason::Halted);
+    let profile = sim.arch_profile().expect("profile on");
+    // Three ST passes write dmem; one LD plus the BNZ re-reads hit it too.
+    assert_eq!(profile.write_heat.get("dmem").map(lisa_sim::Heatmap::total), Some(3));
+    assert!(profile.read_heat.get("dmem").is_some_and(|h| h.total() >= 1));
+    // Every fetch reads pmem.
+    assert!(profile.read_heat.get("pmem").is_some_and(|h| h.total() >= LOOP.len() as u64));
+    // The profile merges with itself without losing anything.
+    let mut doubled = profile.clone();
+    doubled.merge(&profile);
+    assert_eq!(doubled.cycles, profile.cycles * 2);
+    assert_eq!(doubled.write_heat.get("dmem").map(lisa_sim::Heatmap::total), Some(6),);
+}
+
+#[test]
+fn clearing_probes_stops_hit_emission() {
+    let model = Model::from_source(TOY).expect("model builds");
+    let mut sim = boot(&model, SimMode::Interpretive, &LOOP);
+    sim.set_trace(true);
+    sim.set_probes(compile_spec(&model, "watch dmem"));
+    assert!(sim.probing());
+    sim.clear_probes();
+    assert!(!sim.probing());
+    assert_eq!(run_to_halt(&mut sim, &model, 200), StopReason::Halted);
+    assert_eq!(sim.probe_hits(), 0);
+    assert!(
+        sim.take_events().iter().all(|e| !matches!(e, TraceEvent::ProbeHit { .. })),
+        "no hits after clear_probes"
+    );
+}

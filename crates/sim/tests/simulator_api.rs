@@ -101,13 +101,13 @@ fn run_until_counts_steps_taken() {
     sim.predecode_program_memory();
     let halt = model.resource_by_name("halt").unwrap().clone();
     let steps = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100).expect("halts");
-    assert_eq!(steps, 3);
+    assert_eq!(steps.cycles, 3);
     assert_eq!(sim.stats().cycles, 3);
     assert_eq!(sim.mode(), SimMode::Compiled);
     // A predicate that is already true still takes one step (checked
     // after stepping).
     let steps = sim.run_until(|_| true, 100).expect("immediate");
-    assert_eq!(steps, 1);
+    assert_eq!(steps.cycles, 1);
 }
 
 #[test]

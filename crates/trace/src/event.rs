@@ -106,6 +106,21 @@ pub enum TraceEvent {
         /// The printed value.
         value: i64,
     },
+    /// A probe matched: a watchpoint or register trace probe saw a
+    /// write, or a PC tracepoint/breakpoint matched a program-counter
+    /// update. Probe ids index into the compiled probe set's labels.
+    ProbeHit {
+        /// Control step.
+        cycle: u64,
+        /// Compiled probe id.
+        probe: u16,
+        /// The resource whose write triggered the hit.
+        resource: ResourceId,
+        /// Flattened element index written.
+        addr: u64,
+        /// Value written.
+        value: i64,
+    },
 }
 
 /// The discriminant of a [`TraceEvent`], for filtering and assertions.
@@ -129,6 +144,8 @@ pub enum TraceKind {
     RegisterWrite,
     /// [`TraceEvent::Print`].
     Print,
+    /// [`TraceEvent::ProbeHit`].
+    ProbeHit,
 }
 
 impl TraceKind {
@@ -145,6 +162,7 @@ impl TraceKind {
             TraceKind::MemoryAccess => "memory_access",
             TraceKind::RegisterWrite => "register_write",
             TraceKind::Print => "print",
+            TraceKind::ProbeHit => "probe",
         }
     }
 }
@@ -162,7 +180,8 @@ impl TraceEvent {
             | TraceEvent::Flush { cycle, .. }
             | TraceEvent::MemoryAccess { cycle, .. }
             | TraceEvent::RegisterWrite { cycle, .. }
-            | TraceEvent::Print { cycle, .. } => cycle,
+            | TraceEvent::Print { cycle, .. }
+            | TraceEvent::ProbeHit { cycle, .. } => cycle,
         }
     }
 
@@ -179,6 +198,7 @@ impl TraceEvent {
             TraceEvent::MemoryAccess { .. } => TraceKind::MemoryAccess,
             TraceEvent::RegisterWrite { .. } => TraceKind::RegisterWrite,
             TraceEvent::Print { .. } => TraceKind::Print,
+            TraceEvent::ProbeHit { .. } => TraceKind::ProbeHit,
         }
     }
 
@@ -302,6 +322,9 @@ impl NameTable {
             TraceEvent::Print { op, value, .. } => {
                 format!("print {value} (from {})", self.op(op))
             }
+            TraceEvent::ProbeHit { probe, resource, addr, value, .. } => {
+                format!("probe #{probe} hit: {}[{addr}] = {value}", self.resource(resource))
+            }
         }
     }
 
@@ -369,6 +392,11 @@ impl NameTable {
                 s.push_str(",\"op\":");
                 json_string(&mut s, self.op(op));
                 let _ = write!(s, ",\"value\":{value}");
+            }
+            TraceEvent::ProbeHit { probe, resource, addr, value, .. } => {
+                let _ = write!(s, ",\"probe\":{probe},\"resource\":");
+                json_string(&mut s, self.resource(resource));
+                let _ = write!(s, ",\"addr\":{addr},\"value\":{value}");
             }
         }
         s.push('}');

@@ -105,6 +105,9 @@ impl Profile {
             TraceEvent::MemoryAccess { .. } => self.memory_writes += 1,
             TraceEvent::RegisterWrite { .. } => self.register_writes += 1,
             TraceEvent::Print { .. } => {}
+            // Probe hits are architectural observations, not simulator
+            // work — they are aggregated by `lisa-probe`'s ArchProfile.
+            TraceEvent::ProbeHit { .. } => {}
         }
     }
 

@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(&model, SimMode::Compiled)?;
     sim.load_program("pmem", &words)?;
     let halt = model.resource_by_name("halt").expect("halt flag").clone();
-    let cycles = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100)?;
+    let cycles = sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 100)?.cycles;
 
     let acc = model.resource_by_name("acc").expect("accumulator");
     println!("\nran {cycles} control steps; acc = {}", sim.state().read_int(acc, &[])?);

@@ -11,11 +11,19 @@
 //!     --max-steps N             step budget (default 1000000)
 //!     --trace                   print the execution trace
 //!     --dump RES[:N]            print a resource (first N elements) after the run
+//!     --probe EXPR              arm probes (`watch dmem[0..16]; break 5; reg R`);
+//!                               a matched `break` stops the run early
+//!     --arch-profile FILE       collect + write the architectural profile
+//!                               (.json for JSON, anything else for the report)
 //! lisa-tool trace  <model> <prog.s> [options]  run + export the structured trace
 //!     --out FILE                write to FILE instead of stdout
 //!     --vcd                     emit a pipeline-timeline VCD instead of JSON lines
 //!     --spans                   also print runtime spans (JSONL) after the run
+//!     --probe EXPR              arm probes; hits appear in the event stream
 //! lisa-tool profile <model> <prog.s> [options] run + print the execution profile
+//! lisa-tool inspect <model> <prog.s> [options] run + print the architectural report
+//!     --probe EXPR              arm probes; hit counts join the report
+//!     --json                    print the profile as JSON instead of text
 //! lisa-tool batch  [options]                   run the builtin models x kernels matrix
 //!     --workers N               worker threads (default: available parallelism)
 //!     --mode interp|compiled|ops|both|all   backends to include (default both)
@@ -43,8 +51,8 @@
 //!     --once                    serve a single connection, then exit
 //! ```
 //!
-//! `batch`, `fuzz` and `bench` also accept `--metrics FILE` to dump the
-//! run's metric registry in Prometheus text format.
+//! `run`, `trace`, `batch`, `fuzz` and `bench` also accept `--metrics
+//! FILE` to dump the run's metric registry in Prometheus text format.
 //!
 //! Exit codes: `0` success; `1` the tools ran but the work failed (batch
 //! job failures, fuzz divergence, bench regression); `2` usage or
@@ -113,6 +121,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "run" => Ok(simulate(args)?),
         "trace" => Ok(trace_cmd(args)?),
         "profile" => Ok(profile_cmd(args)?),
+        "inspect" => Ok(inspect_cmd(args)?),
         "batch" => batch(args),
         "fuzz" => fuzz(args),
         "bench" => bench(args),
@@ -126,11 +135,13 @@ fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 fn usage() -> String {
-    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|batch|fuzz|bench|serve> <model> [...]\n\
+    "usage: lisa-tool <check|stats|doc|asm|disasm|run|trace|profile|inspect|batch|fuzz|bench|serve> <model> [...]\n\
      model: a .lisa file or @vliw62 | @accu16 | @scalar2 | @tinyrisc\n\
      run options: --mode interp|compiled|ops  --max-steps N  --trace  --dump RES[:N]\n\
-     trace options: --out FILE  --vcd  --spans  (plus run options)\n\
+                  --probe EXPR  --arch-profile FILE  --metrics FILE\n\
+     trace options: --out FILE  --vcd  --spans  --probe EXPR  --metrics FILE  (plus run options)\n\
      profile options: same as run\n\
+     inspect options: --probe EXPR  --json  (plus run options)\n\
      asm/disasm options: -o FILE  --packet N\n\
      batch options: --workers N  --mode interp|compiled|ops|both|all  --profile\n\
                     --metrics FILE\n\
@@ -278,8 +289,10 @@ fn disasm(spec: &str, image_path: &str, cli_packet: Option<usize>) -> Result<(),
 /// JSON lines (default) or a pipeline-timeline VCD (`--vcd`).
 fn trace_cmd(args: &[String]) -> Result<(), String> {
     let run = load_run(args)?;
-    let mut sim = boot_sim(&run, sim_mode(args)?)?;
+    let mode = sim_mode(args)?;
+    let mut sim = boot_sim(&run, mode)?;
     sim.set_trace(true);
+    arm_probes(args, &mut sim)?;
 
     // With --spans, hang the simulator's spans off a synthetic `run`
     // root so the exported tree is connected.
@@ -291,7 +304,7 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
         sim.set_spans(Some(scope.child(root.id())));
         (recorder, root)
     });
-    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?.cycles;
     let span_lines = spans.map(|(recorder, root)| {
         drop(root);
         lisa::spans::export::to_jsonl(&recorder.collect())
@@ -317,6 +330,30 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     if let Some(lines) = span_lines {
         print!("{lines}");
     }
+    dump_run_metrics(args, &sim, mode)?;
+    Ok(())
+}
+
+/// Runs a program with the architectural profile on and prints the
+/// generated report: stage occupancy, operation/unit utilization,
+/// memory heatmaps and probe hit counts.
+fn inspect_cmd(args: &[String]) -> Result<(), String> {
+    let run = load_run(args)?;
+    let mode = sim_mode(args)?;
+    let mut sim = boot_sim(&run, mode)?;
+    arm_probes(args, &mut sim)?;
+    sim.enable_arch_profile();
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?.cycles;
+    let profile = sim.arch_profile().ok_or("architecture profiling produced no data")?;
+    if has_flag(args, "--json") {
+        println!("{}", profile.to_json());
+    } else {
+        // The report already carries the probe-hit section when probes
+        // were armed.
+        println!("ran {cycles} control steps ({mode:?})");
+        print!("{}", profile.report());
+    }
+    dump_run_metrics(args, &sim, mode)?;
     Ok(())
 }
 
@@ -327,7 +364,7 @@ fn profile_cmd(args: &[String]) -> Result<(), String> {
     let mode = sim_mode(args)?;
     let mut sim = boot_sim(&run, mode)?;
     sim.enable_profile();
-    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?.cycles;
     let profile = sim.take_profile().ok_or("profiling produced no data")?;
     println!("halted after {cycles} control steps ({mode:?})");
     print!("{}", profile.report());
@@ -713,13 +750,51 @@ fn boot_sim<'m>(run: &'m LoadedRun, mode: SimMode) -> Result<lisa::sim::Simulato
     Ok(sim)
 }
 
-/// Runs until the model's halt flag goes nonzero (or the step budget
-/// runs out) and returns the control steps executed.
+/// Arms `--probe EXPR` probes on a simulator. Returns whether any were
+/// armed.
+fn arm_probes(args: &[String], sim: &mut lisa::sim::Simulator<'_>) -> Result<bool, String> {
+    let Some(expr) = flag_value(args, "--probe") else {
+        return Ok(false);
+    };
+    let spec = lisa::sim::ProbeSpec::parse(expr).map_err(|e| e.to_string())?;
+    let set = spec.compile(sim.model()).map_err(|e| e.to_string())?;
+    let armed = !set.is_empty();
+    sim.set_probes(set);
+    Ok(armed)
+}
+
+/// Prints the per-probe hit counts after a probed run.
+fn print_probe_report(sim: &lisa::sim::Simulator<'_>) {
+    println!("probe hits ({} total):", sim.probe_hits());
+    for (label, hits) in sim.probe_report() {
+        println!("  {label}: {hits}");
+    }
+}
+
+/// Dumps simulator + probe metrics when `--metrics FILE` was given.
+fn dump_run_metrics(
+    args: &[String],
+    sim: &lisa::sim::Simulator<'_>,
+    mode: SimMode,
+) -> Result<(), String> {
+    if flag_value(args, "--metrics").is_none() {
+        return Ok(());
+    }
+    let registry = Registry::new();
+    lisa::sim::publish_stats(&registry, sim.stats(), mode.metric_label());
+    if let Some(profile) = sim.arch_profile() {
+        lisa::sim::publish_arch(&registry, &profile);
+    }
+    dump_metrics(args, &registry)
+}
+
+/// Runs until the model's halt flag goes nonzero, a `break` probe
+/// matches, or the step budget runs out.
 fn run_to_halt(
     sim: &mut lisa::sim::Simulator<'_>,
     run: &LoadedRun,
     max_steps: u64,
-) -> Result<u64, String> {
+) -> Result<lisa::sim::RunOutcome, String> {
     let halt = run
         .model
         .resource_by_name(run.halt_name)
@@ -734,9 +809,15 @@ fn simulate(args: &[String]) -> Result<(), String> {
     let mode = sim_mode(args)?;
     let mut sim = boot_sim(&run, mode)?;
     sim.set_trace(has_flag(args, "--trace"));
+    let probed = arm_probes(args, &mut sim)?;
+    let arch_out = flag_value(args, "--arch-profile").map(str::to_owned);
+    if arch_out.is_some() {
+        sim.enable_arch_profile();
+    }
 
     let t = std::time::Instant::now();
-    let cycles = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let outcome = run_to_halt(&mut sim, &run, max_steps(args)?)?;
+    let cycles = outcome.cycles;
     let elapsed = t.elapsed();
 
     if has_flag(args, "--trace") {
@@ -745,10 +826,32 @@ fn simulate(args: &[String]) -> Result<(), String> {
         }
     }
     let mips = sim.stats().instructions_retired as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6;
-    println!(
-        "halted after {cycles} control steps in {elapsed:?} ({mode:?}, {mips:.2} simulated MIPS)"
-    );
+    match outcome.reason {
+        lisa::sim::StopReason::Breakpoint { probe, pc } => {
+            let report = sim.probe_report();
+            let label = report
+                .get(probe as usize)
+                .map_or_else(|| format!("probe #{probe}"), |(label, _)| label.clone());
+            println!(
+                "stopped at breakpoint `{label}` (pc {pc}) after {cycles} control steps \
+                 in {elapsed:?} ({mode:?})"
+            );
+        }
+        lisa::sim::StopReason::Halted => println!(
+            "halted after {cycles} control steps in {elapsed:?} ({mode:?}, {mips:.2} simulated MIPS)"
+        ),
+    }
     println!("stats: {}", sim.stats());
+    if probed {
+        print_probe_report(&sim);
+    }
+    if let Some(path) = arch_out {
+        let profile = sim.arch_profile().ok_or("architecture profiling produced no data")?;
+        let text = if path.ends_with(".json") { profile.to_json() } else { profile.report() };
+        fs::write(&path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("architectural profile written to {path}");
+    }
+    dump_run_metrics(args, &sim, mode)?;
 
     if let Some(dump) = flag_value(args, "--dump") {
         let (name, count) = match dump.split_once(':') {

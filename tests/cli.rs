@@ -297,6 +297,126 @@ fn batch_dumps_prometheus_metrics() {
 }
 
 #[test]
+fn run_and_trace_dump_prometheus_metrics() {
+    let dir = std::env::temp_dir().join("lisa_cli_run_metrics_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nHLT\n").unwrap();
+
+    // `run --metrics` writes the simulator counters in Prometheus
+    // exposition format, labelled with the backend that produced them.
+    let prom = dir.join("run.prom");
+    let out = run_ok(&[
+        "run",
+        "@tinyrisc",
+        src.to_str().unwrap(),
+        "--mode",
+        "compiled",
+        "--metrics",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(out.contains("halted after"), "{out}");
+    let text = fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("# TYPE lisa_sim_cycles_total counter"), "{text}");
+    assert!(text.contains("lisa_sim_cycles_total{backend=\"compiled\"}"), "{text}");
+    assert!(text.contains("lisa_sim_instructions_retired_total{backend=\"compiled\"}"), "{text}");
+
+    // `trace --metrics` does the same for the tracing path.
+    let prom = dir.join("trace.prom");
+    run_ok(&[
+        "trace",
+        "@tinyrisc",
+        src.to_str().unwrap(),
+        "--mode",
+        "interp",
+        "--metrics",
+        prom.to_str().unwrap(),
+    ]);
+    let text = fs::read_to_string(&prom).unwrap();
+    assert!(text.contains("lisa_sim_cycles_total{backend=\"interpretive\"}"), "{text}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_with_probes_reports_hits_and_breakpoints() {
+    let dir = std::env::temp_dir().join("lisa_cli_probe_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n").unwrap();
+
+    // Watch + register probes: the run halts normally and the hit
+    // report enumerates every armed probe with its hit count.
+    let out =
+        run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--probe", "watch dmem; reg R[3]"]);
+    assert!(out.contains("halted after"), "{out}");
+    assert!(out.contains("probe hits (2 total)"), "{out}");
+    assert!(out.contains("watch dmem: 1"), "{out}");
+    assert!(out.contains("reg R[3]: 1"), "{out}");
+
+    // A breakpoint stops the run early and names the probe and PC.
+    let out = run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--probe", "break 2"]);
+    assert!(out.contains("stopped at breakpoint `break 2` (pc 2)"), "{out}");
+
+    // An unparseable probe expression is a usage error.
+    let output = lisa_tool()
+        .args(["run", "@tinyrisc", src.to_str().unwrap(), "--probe", "watch nosuch"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "bad probe target is a usage error");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("nosuch"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_writes_the_architecture_profile() {
+    let dir = std::env::temp_dir().join("lisa_cli_archprof_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n").unwrap();
+
+    // `.json` suffix selects the machine-readable rendering.
+    let json = dir.join("arch.json");
+    run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--arch-profile", json.to_str().unwrap()]);
+    let text = fs::read_to_string(&json).unwrap();
+    assert!(text.contains("\"cycles\":"), "{text}");
+    assert!(text.contains("\"op_execs\":"), "{text}");
+    assert!(text.contains("\"write_heat\":"), "{text}");
+
+    // Any other suffix gets the human report.
+    let txt = dir.join("arch.txt");
+    run_ok(&["run", "@tinyrisc", src.to_str().unwrap(), "--arch-profile", txt.to_str().unwrap()]);
+    let text = fs::read_to_string(&txt).unwrap();
+    assert!(text.contains("operation executions"), "{text}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_prints_the_architecture_report() {
+    let dir = std::env::temp_dir().join("lisa_cli_inspect_test");
+    fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("prog.s");
+    fs::write(&src, "LDI R1, 6\nLDI R2, 7\nMUL R3, R1, R2\nST R3, R1\nHLT\n").unwrap();
+
+    let out = run_ok(&["inspect", "@tinyrisc", src.to_str().unwrap()]);
+    assert!(out.contains("ran 5 control steps"), "{out}");
+    assert!(out.contains("operation executions"), "{out}");
+    assert!(out.contains("memory writes:"), "{out}");
+
+    // Probes armed through inspect show up in the report body.
+    let out = run_ok(&["inspect", "@tinyrisc", src.to_str().unwrap(), "--probe", "watch dmem"]);
+    assert!(out.contains("probe hits (1 total)"), "{out}");
+    let hit_line = out.lines().find(|l| l.trim_start().starts_with("watch dmem"));
+    assert_eq!(hit_line.map(|l| l.split_whitespace().last()), Some(Some("1")), "{out}");
+
+    // --json emits the machine-readable profile instead.
+    let out = run_ok(&["inspect", "@tinyrisc", src.to_str().unwrap(), "--json"]);
+    let line = out.lines().next().unwrap_or_default();
+    assert!(line.starts_with('{') && line.ends_with('}'), "not JSON: {out}");
+    assert!(out.contains("\"stage_busy\":"), "{out}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_writes_trajectory_and_gates_on_baseline() {
     let dir = std::env::temp_dir().join("lisa_cli_bench_test");
     fs::remove_dir_all(&dir).ok();

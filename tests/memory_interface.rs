@@ -18,7 +18,7 @@ fn cycles_for(wb: &Workbench, packets: &[&[&str]]) -> (u64, i64) {
     }
     let halt = wb.model().resource_by_name("halt").unwrap().clone();
     let cycles =
-        sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 5_000).expect("halts");
+        sim.run_until(|st| st.read_int(&halt, &[]).unwrap_or(0) != 0, 5_000).expect("halts").cycles;
     let a = wb.model().resource_by_name("A").unwrap();
     (cycles, sim.state().read_int(a, &[3]).unwrap())
 }

@@ -99,7 +99,7 @@ fn all_endpoints_answer_their_happy_path() {
     let words = body_json(&raw);
     assert_eq!(words.get("words").and_then(json::Value::as_array).expect("words").len(), 4);
 
-    let sim = r#"{"model": "tinyrisc", "program": "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n", "dump": [["R", 4]]}"#;
+    let sim = r#"{"model": "tinyrisc", "program": "LDI R1, 20\nLDI R2, 22\nADD R3, R1, R2\nHLT\n", "dump": [["R", 4]], "probes": ["reg R[3]"]}"#;
     let raw = send_raw(addr, &request("POST", "/v1/simulate", sim));
     assert_eq!(parse_response(&raw).0, 200);
     let outcome = body_json(&raw);
@@ -110,6 +110,14 @@ fn all_endpoints_answer_their_happy_path() {
         .and_then(json::Value::as_array)
         .expect("R dump");
     assert_eq!(regs[3].as_i64(), Some(42));
+    let probes = outcome.get("probes").expect("probe report");
+    assert_eq!(probes.get("reg R[3]").and_then(json::Value::as_u64), Some(1));
+
+    // The simulate run above fed the merged architectural profile.
+    let raw = send_raw(addr, &request("GET", "/v1/debug/arch", ""));
+    assert_eq!(parse_response(&raw).0, 200);
+    let arch = body_json(&raw);
+    assert!(arch.get("cycles").and_then(json::Value::as_u64).unwrap_or(0) > 0, "{arch:?}");
 
     let raw =
         send_raw(addr, &request("POST", "/v1/batch", r#"{"mode": "compiled", "workers": 2}"#));
@@ -123,6 +131,14 @@ fn all_endpoints_answer_their_happy_path() {
     assert_eq!(status, 200);
     let text = String::from_utf8(body).expect("metrics text");
     assert!(text.contains("lisa_serve_requests_total"), "{text}");
+    assert!(text.contains("lisa_uptime_seconds"), "{text}");
+    assert!(text.contains("lisa_metrics_scrapes_total 1"), "{text}");
+
+    // A second scrape advances the scrape counter.
+    let raw = send_raw(addr, &request("GET", "/metrics", ""));
+    let (_, body) = parse_response(&raw);
+    let text = String::from_utf8(body).expect("metrics text");
+    assert!(text.contains("lisa_metrics_scrapes_total 2"), "{text}");
 
     handle.shutdown();
     join.join().expect("server thread");
