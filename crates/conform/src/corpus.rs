@@ -13,6 +13,65 @@ use std::path::{Path, PathBuf};
 /// File extension for reproducer files.
 pub const EXTENSION: &str = "repro";
 
+/// A typed failure while loading a corpus directory. Every variant is a
+/// hard error: a corpus that cannot be trusted byte-for-byte must stop
+/// the run rather than silently shrink the regression suite.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A `.repro` entry exists but could not be read.
+    Unreadable {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A file was read but does not parse as a reproducer.
+    Malformed {
+        /// The offending path.
+        path: PathBuf,
+        /// The first parse diagnostic.
+        detail: String,
+    },
+    /// The file's content hash does not match the hash embedded in its
+    /// name — the file was edited, truncated, or mis-renamed.
+    HashMismatch {
+        /// The offending path.
+        path: PathBuf,
+        /// Hash parsed from the file name.
+        expected: u64,
+        /// Hash recomputed from the file's words.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Unreadable { path, source } => {
+                write!(f, "corpus file unreadable: {}: {source}", path.display())
+            }
+            CorpusError::Malformed { path, detail } => {
+                write!(f, "corpus file malformed: {}: {detail}", path.display())
+            }
+            CorpusError::HashMismatch { path, expected, actual } => write!(
+                f,
+                "corpus content hash mismatch: {}: file name says {expected:016x}, \
+                 contents hash to {actual:016x}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Unreadable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// A persisted failure case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reproducer {
@@ -165,6 +224,56 @@ pub fn load_dir(dir: &Path) -> std::io::Result<Vec<(PathBuf, Reproducer)>> {
     Ok(entries)
 }
 
+/// [`load_dir`] with integrity checking: every file must read, parse,
+/// and — when its name carries the canonical `-<16 hex digits>` content
+/// hash suffix — hash to exactly that value. Hand-named files without a
+/// hash suffix are loaded but not hash-checked. The first violation is
+/// returned as a typed [`CorpusError`]; callers are expected to treat
+/// it as fatal.
+///
+/// # Errors
+///
+/// The first [`CorpusError`] encountered, in file-name order.
+pub fn load_dir_verified(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, CorpusError> {
+    let mut entries = Vec::new();
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(CorpusError::Unreadable { path: dir.to_path_buf(), source: e }),
+    };
+    let mut paths: Vec<PathBuf> = read
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == EXTENSION))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CorpusError::Unreadable { path: path.clone(), source: e })?;
+        let rep = Reproducer::parse(&text)
+            .map_err(|detail| CorpusError::Malformed { path: path.clone(), detail })?;
+        if let Some(expected) = named_hash(&path) {
+            let actual = rep.content_hash();
+            if actual != expected {
+                return Err(CorpusError::HashMismatch { path, expected, actual });
+            }
+        }
+        entries.push((path, rep));
+    }
+    Ok(entries)
+}
+
+/// The content hash embedded in a canonical reproducer file name, if
+/// the stem ends with `-<16 hex digits>`.
+fn named_hash(path: &Path) -> Option<u64> {
+    let stem = path.file_stem()?.to_str()?;
+    let (_, digits) = stem.rsplit_once('-')?;
+    if digits.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +330,57 @@ mod tests {
     fn missing_corpus_directory_is_empty() {
         let dir = Path::new("/nonexistent/lisa-conform-corpus");
         assert!(load_dir(dir).unwrap().is_empty());
+        assert!(load_dir_verified(dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn verified_load_accepts_canonical_files() {
+        let dir = std::env::temp_dir().join(format!("lisa-corpus-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().save(&dir).unwrap();
+        // A hand-named file without a hash suffix is loaded unchecked.
+        std::fs::write(dir.join("handmade.repro"), sample().to_text()).unwrap();
+        let loaded = load_dir_verified(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verified_load_rejects_hash_mismatch() {
+        let dir = std::env::temp_dir().join(format!("lisa-corpus-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rep = sample();
+        let path = rep.save(&dir).unwrap();
+        // Corrupt the words without renaming the file.
+        let mut tampered = rep.clone();
+        tampered.words.push(0xbad);
+        std::fs::write(&path, tampered.to_text()).unwrap();
+        let err = load_dir_verified(&dir).unwrap_err();
+        assert!(matches!(err, CorpusError::HashMismatch { .. }), "got {err}");
+        assert!(err.to_string().contains("content hash mismatch"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verified_load_rejects_unreadable_entries() {
+        let dir = std::env::temp_dir().join(format!("lisa-corpus-unread-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A directory with the .repro extension cannot be read as a file
+        // (works even when running as root, unlike permission bits).
+        std::fs::create_dir_all(dir.join("trap.repro")).unwrap();
+        let err = load_dir_verified(&dir).unwrap_err();
+        assert!(matches!(err, CorpusError::Unreadable { .. }), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verified_load_rejects_malformed_files() {
+        let dir = std::env::temp_dir().join(format!("lisa-corpus-mal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("nonsense.repro"), "model only, no seed\n").unwrap();
+        let err = load_dir_verified(&dir).unwrap_err();
+        assert!(matches!(err, CorpusError::Malformed { .. }), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

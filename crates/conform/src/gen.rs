@@ -24,6 +24,7 @@ use lisa_isa::Decoder;
 use lisa_models::Workbench;
 use lisa_sim::SimMode;
 
+use crate::coverage::{path_key, CoverageMap, JUNK_PATH};
 use crate::rng::Rng;
 
 /// Upper bound on the synthesized program image, in words. Memories
@@ -155,6 +156,29 @@ impl<'w> ProgramGen<'w> {
             }
         }
         self.halt_word
+    }
+
+    /// The coding-tree path of one word: the structural shape of its
+    /// decode, or [`JUNK_PATH`] when the word does not decode. Computed
+    /// from the word alone (not from generator choices), so coverage is
+    /// identical whether a program is generated, replayed, or
+    /// regenerated on another machine.
+    #[must_use]
+    pub fn path_of(&self, word: u128) -> u64 {
+        match self.decoder.decode(word) {
+            Ok(decoded) => path_key(&decoded),
+            Err(_) => JUNK_PATH,
+        }
+    }
+
+    /// Coverage reached by a program prefix: one path record per word.
+    #[must_use]
+    pub fn coverage_of(&self, words: &[u128]) -> CoverageMap {
+        let mut map = CoverageMap::new();
+        for &word in words {
+            map.record(self.path_of(word));
+        }
+        map
     }
 
     /// Expands a program prefix into a full memory image padded with the
@@ -374,6 +398,22 @@ mod tests {
             assert_eq!(a, b, "{name}: same seed produced different programs");
             let c = gen.gen_program(&mut Rng::new(1235), 24);
             assert!(a != c || a.len() == 1, "{name}: different seeds should usually differ");
+        }
+    }
+
+    #[test]
+    fn coverage_is_a_pure_function_of_words() {
+        for (name, wb) in all_workbenches() {
+            let gen = ProgramGen::new(&wb).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let words = gen.gen_program(&mut Rng::new(42), 32);
+            let a = gen.coverage_of(&words);
+            let b = gen.coverage_of(&words);
+            assert_eq!(a, b, "{name}: coverage not deterministic");
+            assert!(!a.is_empty(), "{name}: program covered nothing");
+            // Distinct instructions must land on distinct paths: the
+            // halt word and a junk word cannot share one.
+            let halt_path = gen.path_of(gen.halt_word());
+            assert_ne!(halt_path, crate::coverage::JUNK_PATH);
         }
     }
 

@@ -12,6 +12,7 @@ use lisa_metrics::Registry;
 use lisa_models::Workbench;
 
 use crate::corpus::Reproducer;
+use crate::coverage::{self, CoverageMap};
 use crate::gen::{GenError, ProgramGen};
 use crate::oracle::{check_all, Fault, Outcome, Verdict};
 use crate::rng::Rng;
@@ -22,6 +23,10 @@ use crate::shrink::shrink;
 pub struct FuzzConfig {
     /// Master seed; every program is a pure function of it.
     pub seed: u64,
+    /// First iteration index. Program `i` depends only on `(seed, i)`,
+    /// so disjoint `start` ranges under one seed partition the program
+    /// space exactly — the basis for fleet fan-out.
+    pub start: u64,
     /// Number of fresh programs to synthesize and check.
     pub iters: u64,
     /// Maximum synthesized prefix length, in instruction words.
@@ -34,7 +39,7 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
-        FuzzConfig { seed: 0, iters: 500, max_len: 24, max_cycles: 2000, fault: None }
+        FuzzConfig { seed: 0, start: 0, iters: 500, max_len: 24, max_cycles: 2000, fault: None }
     }
 }
 
@@ -62,6 +67,11 @@ pub struct FuzzReport {
     pub budget: u64,
     /// Runs where both backends raised the same error.
     pub errored: u64,
+    /// Coding-tree paths reached by the generated programs.
+    pub coverage: CoverageMap,
+    /// Whether the run was cut short by the caller's stop guard (a
+    /// deadline, typically) before the iteration budget was spent.
+    pub stopped: bool,
     /// The first divergence, if one was found.
     pub failure: Option<Failure>,
 }
@@ -134,6 +144,14 @@ impl<'w> Fuzzer<'w> {
     /// The main loop: fuzz until the iteration budget is spent or a
     /// divergence is found (which is then shrunk).
     pub fn run(&self) -> FuzzReport {
+        self.run_guarded(|| false)
+    }
+
+    /// [`Fuzzer::run`] with a stop guard, polled once per iteration.
+    /// When the guard returns `true` the loop exits early with
+    /// `report.stopped` set — this is how the serve worker pool honors
+    /// request deadlines without aborting mid-oracle.
+    pub fn run_guarded(&self, mut should_stop: impl FnMut() -> bool) -> FuzzReport {
         let handles = self.metrics.map(|reg| {
             (
                 reg.counter("lisa_conform_iterations_total", "Fuzzing iterations completed.", &[]),
@@ -150,13 +168,19 @@ impl<'w> Fuzzer<'w> {
             )
         });
         let mut report = FuzzReport::default();
-        for index in 0..self.config.iters {
-            report.iterations = index + 1;
+        for offset in 0..self.config.iters {
+            if should_stop() {
+                report.stopped = true;
+                break;
+            }
+            let index = self.config.start + offset;
+            report.iterations = offset + 1;
             if let Some((iters, _, _)) = &handles {
                 iters.inc();
             }
             let mut rng = Rng::for_iteration(self.config.seed, index);
             let prefix = self.gen.gen_program(&mut rng, self.config.max_len);
+            report.coverage.merge(&self.gen.coverage_of(&prefix));
             match self.check_words(&prefix) {
                 Ok(Outcome::Halted { .. }) => report.halted += 1,
                 Ok(Outcome::Budget { .. }) => report.budget += 1,
@@ -192,6 +216,31 @@ impl<'w> Fuzzer<'w> {
         }
     }
 
+    /// Distills this fuzzer's iteration range to a minimal seed set:
+    /// regenerates every program (pure function of `(seed, index)`, no
+    /// simulation) and greedily picks iterations until their union
+    /// covers every path the full range reaches. The returned coverage
+    /// equals the full range's coverage by construction.
+    #[must_use]
+    pub fn distill(&self) -> Distilled {
+        let end = self.config.start + self.config.iters;
+        let per_program: Vec<CoverageMap> = (self.config.start..end)
+            .map(|index| {
+                let mut rng = Rng::for_iteration(self.config.seed, index);
+                let prefix = self.gen.gen_program(&mut rng, self.config.max_len);
+                self.gen.coverage_of(&prefix)
+            })
+            .collect();
+        let chosen = coverage::distill(&per_program);
+        let mut coverage = CoverageMap::new();
+        let mut indices = Vec::with_capacity(chosen.len());
+        for local in chosen {
+            coverage.merge(&per_program[local]);
+            indices.push(self.config.start + local as u64);
+        }
+        Distilled { indices, coverage }
+    }
+
     /// End-to-end harness validation: inject a halt-flag fault into the
     /// compiled backend and demand the lockstep oracle catches it and
     /// the shrinker minimizes it to at most `max_shrunk` instructions.
@@ -214,4 +263,43 @@ impl<'w> Fuzzer<'w> {
         }
         Ok(failure)
     }
+}
+
+/// A distilled seed set: the smallest greedy selection of iteration
+/// indices whose regenerated programs reach every covered path.
+#[derive(Debug, Clone, Default)]
+pub struct Distilled {
+    /// Absolute iteration indices, in selection order. Each regenerates
+    /// its program via `Rng::for_iteration(seed, index)`.
+    pub indices: Vec<u64>,
+    /// Union coverage of the selected programs — equal to the coverage
+    /// of the full iteration range.
+    pub coverage: CoverageMap,
+}
+
+/// Publishes a finished fuzz run into the `lisa_fuzz_*` metric family:
+/// per-model counters for programs checked and their outcomes, plus a
+/// `lisa_fuzz_paths_covered` gauge set to `paths_covered` (callers pass
+/// their *merged* per-model path count so the gauge stays monotone
+/// across requests).
+pub fn publish_fuzz(registry: &Registry, model: &str, report: &FuzzReport, paths_covered: usize) {
+    let labels = &[("model", model)];
+    registry
+        .counter("lisa_fuzz_programs_total", "Programs synthesized and oracle-checked.", labels)
+        .add(report.iterations);
+    registry
+        .counter("lisa_fuzz_halted_total", "Fuzzed programs that halted cleanly.", labels)
+        .add(report.halted);
+    registry
+        .counter("lisa_fuzz_budget_total", "Fuzzed programs that hit the cycle budget.", labels)
+        .add(report.budget);
+    registry
+        .counter("lisa_fuzz_errored_total", "Fuzzed programs where both backends errored.", labels)
+        .add(report.errored);
+    registry
+        .counter("lisa_fuzz_divergences_total", "Oracle divergences found while fuzzing.", labels)
+        .add(u64::from(report.failure.is_some()));
+    registry
+        .gauge("lisa_fuzz_paths_covered", "Distinct coding-tree paths covered.", labels)
+        .set(i64::try_from(paths_covered).unwrap_or(i64::MAX));
 }

@@ -22,23 +22,29 @@
 //! * [`shrink`] — a ddmin-style reducer that cuts a failing program to
 //!   a minimal diverging sequence;
 //! * [`corpus`] — reproducer files: persist shrunk failures, replay
-//!   them as regressions;
+//!   them as regressions (with content-hash-verified loading);
+//! * [`coverage`] — coding-tree path coverage: a join-semilattice
+//!   [`CoverageMap`] that merges across fleet instances, plus greedy
+//!   corpus distillation;
 //! * [`harness`] — the fuzz loop that ties it all together, plus fault
-//!   injection for validating the harness itself.
+//!   injection for validating the harness itself and `lisa_fuzz_*`
+//!   metric publication.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod coverage;
 pub mod gen;
 pub mod harness;
 pub mod oracle;
 pub mod rng;
 pub mod shrink;
 
-pub use corpus::Reproducer;
+pub use corpus::{load_dir_verified, CorpusError, Reproducer};
+pub use coverage::{distill, path_key, CoverageMap};
 pub use gen::{GenError, ProgramGen};
-pub use harness::{Failure, FuzzConfig, FuzzReport, Fuzzer};
+pub use harness::{publish_fuzz, Distilled, Failure, FuzzConfig, FuzzReport, Fuzzer};
 pub use oracle::{check_all, Fault, OracleKind, Outcome, Verdict};
 pub use rng::Rng;
 pub use shrink::shrink;

@@ -1,0 +1,158 @@
+//! A minimal blocking HTTP/1.1 client for talking to lisa-serve
+//! instances — just enough for the fleet coordinator and the CLI, with
+//! the same zero-dependency discipline as the server side.
+//!
+//! One request per connection (`Connection: close`), so response
+//! framing is trivial: read the head, then `Content-Length` bytes (or
+//! to EOF when the server omits the length).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+/// Sends `POST <path>` with a JSON body to `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Connection, write, read, or response-framing failures.
+pub fn post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpResponse> {
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    send(addr, request.as_bytes(), timeout)
+}
+
+/// Sends `GET <path>` to `addr` (`host:port`).
+///
+/// # Errors
+///
+/// Connection, write, read, or response-framing failures.
+pub fn get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<HttpResponse> {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    send(addr, request.as_bytes(), timeout)
+}
+
+fn send(addr: &str, request: &[u8], timeout: Duration) -> std::io::Result<HttpResponse> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true).ok();
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    conn.write_all(request)?;
+    let mut raw = Vec::new();
+    // Connection: close — the server ends the response with EOF, so
+    // reading to EOF always captures the full body even without a
+    // Content-Length header.
+    conn.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .ok_or_else(|| bad("response head never terminated"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head is not UTF-8"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut body = raw[head_end..].to_vec();
+    // Trust Content-Length when present; it guards against trailing
+    // bytes if a proxy ever pads the close.
+    if let Some(len) = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length: ").map(str::to_owned))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if body.len() < len {
+            return Err(bad("response body truncated"));
+        }
+        body.truncate(len);
+    }
+    Ok(HttpResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_well_formed_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nok!\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok!\n");
+    }
+
+    #[test]
+    fn truncates_padding_and_rejects_short_bodies() {
+        let padded = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nnoEXTRA";
+        let resp = parse_response(padded).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, b"no");
+        let short = b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nhi";
+        assert!(parse_response(short).is_err());
+    }
+
+    #[test]
+    fn no_content_length_reads_to_eof() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\neverything to eof";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.body, b"everything to eof");
+    }
+
+    #[test]
+    fn malformed_heads_are_errors() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nno terminator").is_err());
+        assert!(parse_response(b"BOGUS\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn round_trips_against_a_live_server() {
+        use crate::{AppState, ServeConfig, Server};
+        use std::sync::Arc;
+
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue: 16,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(config, Arc::new(AppState::new())).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        let timeout = Duration::from_secs(10);
+        let resp = get(&addr, "/healthz", timeout).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+        let resp =
+            post(&addr, "/v1/assemble", r#"{"model": "tinyrisc", "program": "HLT\n"}"#, timeout)
+                .unwrap();
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

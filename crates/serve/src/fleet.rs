@@ -1,0 +1,393 @@
+//! The fleet coordinator: fan one fuzzing budget out across several
+//! lisa-serve instances over `/v1/fuzz`.
+//!
+//! Every program is a pure function of `(seed, iteration index)`, so
+//! the coordinator partitions `[seed_start, seed_start + seed_count)`
+//! into disjoint contiguous chunks — one per instance — and the fleet
+//! collectively checks exactly the same program set a single instance
+//! would, just in parallel. Responses merge losslessly: coverage maps
+//! join (per-path max), reproducers deduplicate by content hash (the
+//! same hash the `.repro` corpus format embeds in file names).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use lisa_conform::{CoverageMap, Reproducer};
+use lisa_metrics::json::{self, Value};
+
+use crate::api::{self, FuzzRequest};
+use crate::client;
+
+/// One fleet-wide fuzzing assignment.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Model to fuzz on every instance.
+    pub model: String,
+    /// Master seed shared by the whole fleet.
+    pub seed: u64,
+    /// First iteration index of the fleet-wide range.
+    pub seed_start: u64,
+    /// Total programs across all instances.
+    pub seed_count: u64,
+    /// Maximum synthesized prefix length, in words.
+    pub max_len: u64,
+    /// Cycle budget per simulated run.
+    pub max_cycles: u64,
+    /// Harness validation: inject a fault on every instance and demand
+    /// each catches it. The range is NOT split in this mode — every
+    /// instance gets the identical assignment, so their reproducers
+    /// must deduplicate to one.
+    pub self_check: bool,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            model: "tinyrisc".to_owned(),
+            seed: 0,
+            seed_start: 0,
+            seed_count: 500,
+            max_len: 24,
+            max_cycles: 2000,
+            self_check: false,
+            timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// What one instance reported back (or failed to).
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// The instance address (`host:port`).
+    pub addr: String,
+    /// First iteration index assigned to this instance.
+    pub seed_start: u64,
+    /// Programs assigned to this instance.
+    pub seed_count: u64,
+    /// Iterations the instance actually completed.
+    pub iterations: u64,
+    /// Clean halts.
+    pub halted: u64,
+    /// Budget exhaustions.
+    pub budget: u64,
+    /// Agreed errors.
+    pub errored: u64,
+    /// Distinct paths this instance covered.
+    pub paths: usize,
+    /// Reproducers this instance returned (before fleet-wide dedup).
+    pub found: usize,
+    /// Transport or HTTP failure, if the instance did not answer 200.
+    pub error: Option<String>,
+}
+
+/// The merged fleet view.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-instance outcomes, in remote order.
+    pub instances: Vec<InstanceReport>,
+    /// Fleet-wide merged coverage.
+    pub coverage: CoverageMap,
+    /// Reproducers deduplicated by content hash, in hash order.
+    pub reproducers: Vec<Reproducer>,
+}
+
+impl FleetReport {
+    /// Total iterations completed across the fleet.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.instances.iter().map(|i| i.iterations).sum()
+    }
+
+    /// Number of oracle divergences found (pre-dedup instance count).
+    #[must_use]
+    pub fn divergences(&self) -> usize {
+        self.instances.iter().map(|i| i.found).sum()
+    }
+
+    /// Whether every instance answered and no oracle fired.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.instances.iter().all(|i| i.error.is_none()) && self.divergences() == 0
+    }
+
+    /// A human-readable fleet table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>6}",
+            "instance", "range", "iters", "halted", "budget", "errored", "paths", "found"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(86));
+        for inst in &self.instances {
+            match &inst.error {
+                Some(e) => {
+                    let _ = writeln!(out, "{:<22} ERROR: {e}", inst.addr);
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>6}",
+                        inst.addr,
+                        format!("{}+{}", inst.seed_start, inst.seed_count),
+                        inst.iterations,
+                        inst.halted,
+                        inst.budget,
+                        inst.errored,
+                        inst.paths,
+                        inst.found
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "{}", "-".repeat(86));
+        let _ = writeln!(
+            out,
+            "fleet: {} iterations, {} paths covered, {} divergence(s), {} unique reproducer(s)",
+            self.iterations(),
+            self.coverage.len(),
+            self.divergences(),
+            self.reproducers.len()
+        );
+        out
+    }
+
+    /// Serializes the fleet report as JSON (instances, merged coverage,
+    /// deduplicated reproducers).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"instances\": [");
+        for (i, inst) in self.instances.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"addr\": {}, \"seed_start\": {}, \"seed_count\": {}, \"iterations\": {}, \
+                 \"halted\": {}, \"budget\": {}, \"errored\": {}, \"paths\": {}, \"found\": {}",
+                json::escape(&inst.addr),
+                inst.seed_start,
+                inst.seed_count,
+                inst.iterations,
+                inst.halted,
+                inst.budget,
+                inst.errored,
+                inst.paths,
+                inst.found
+            );
+            if let Some(e) = &inst.error {
+                let _ = write!(out, ", \"error\": {}", json::escape(e));
+            }
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            "], \"divergences\": {}, \"passed\": {}, \"coverage\": {}, \"reproducers\": [",
+            self.divergences(),
+            self.passed(),
+            self.coverage.to_json()
+        );
+        for (i, rep) in self.reproducers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&api::reproducer_json(rep));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Splits `count` into `n` contiguous chunks whose sizes differ by at
+/// most one (early chunks take the remainder).
+fn split_range(start: u64, count: u64, n: usize) -> Vec<(u64, u64)> {
+    let n = n.max(1) as u64;
+    let base = count / n;
+    let rem = count % n;
+    let mut chunks = Vec::new();
+    let mut at = start;
+    for i in 0..n {
+        let size = base + u64::from(i < rem);
+        chunks.push((at, size));
+        at += size;
+    }
+    chunks
+}
+
+/// Fans the assignment across `remotes` (one thread per instance),
+/// merges coverage, and deduplicates reproducers by content hash.
+/// Transport failures are recorded per instance, never panicked.
+#[must_use]
+pub fn fuzz_fleet(remotes: &[String], cfg: &FleetConfig) -> FleetReport {
+    let chunks = if cfg.self_check {
+        // Same assignment everywhere: self-check validates each
+        // instance's whole pipeline, not coverage throughput.
+        vec![(cfg.seed_start, cfg.seed_count.max(1)); remotes.len()]
+    } else {
+        split_range(cfg.seed_start, cfg.seed_count, remotes.len())
+    };
+    let mut instances: Vec<InstanceOutcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = remotes
+            .iter()
+            .zip(&chunks)
+            .map(|(addr, &(start, count))| {
+                scope.spawn(move || fuzz_one_instance(addr, cfg, start, count))
+            })
+            .collect();
+        for handle in handles {
+            instances.push(handle.join().expect("instance thread never panics"));
+        }
+    });
+
+    let mut report = FleetReport::default();
+    let mut dedup: BTreeMap<u64, Reproducer> = BTreeMap::new();
+    for (inst, cov, reps) in instances {
+        report.instances.push(inst);
+        report.coverage.merge(&cov);
+        for rep in reps {
+            dedup.entry(rep.content_hash()).or_insert(rep);
+        }
+    }
+    report.reproducers = dedup.into_values().collect();
+    report
+}
+
+type InstanceOutcome = (InstanceReport, CoverageMap, Vec<Reproducer>);
+
+fn fuzz_one_instance(addr: &str, cfg: &FleetConfig, start: u64, count: u64) -> InstanceOutcome {
+    let mut inst = InstanceReport {
+        addr: addr.to_owned(),
+        seed_start: start,
+        seed_count: count,
+        iterations: 0,
+        halted: 0,
+        budget: 0,
+        errored: 0,
+        paths: 0,
+        found: 0,
+        error: None,
+    };
+    if count == 0 {
+        return (inst, CoverageMap::new(), Vec::new());
+    }
+    let request = FuzzRequest {
+        model: cfg.model.clone(),
+        seed: cfg.seed,
+        seed_start: start,
+        seed_count: count,
+        max_len: cfg.max_len,
+        max_cycles: cfg.max_cycles,
+        self_check: cfg.self_check,
+        distill: false,
+    };
+    let response = match client::post(addr, "/v1/fuzz", &request.to_json(), cfg.timeout) {
+        Ok(r) => r,
+        Err(e) => {
+            inst.error = Some(format!("transport: {e}"));
+            return (inst, CoverageMap::new(), Vec::new());
+        }
+    };
+    let text = String::from_utf8_lossy(&response.body).into_owned();
+    if response.status != 200 {
+        let detail = json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_owned))
+            .unwrap_or(text);
+        inst.error = Some(format!("HTTP {}: {detail}", response.status));
+        return (inst, CoverageMap::new(), Vec::new());
+    }
+    match parse_fuzz_response(&text) {
+        Ok((counts, cov, reps)) => {
+            (inst.iterations, inst.halted, inst.budget, inst.errored) = counts;
+            inst.paths = cov.len();
+            inst.found = reps.len();
+            (inst, cov, reps)
+        }
+        Err(e) => {
+            inst.error = Some(format!("bad response: {e}"));
+            (inst, CoverageMap::new(), Vec::new())
+        }
+    }
+}
+
+type FuzzCounts = (u64, u64, u64, u64);
+
+fn parse_fuzz_response(text: &str) -> Result<(FuzzCounts, CoverageMap, Vec<Reproducer>), String> {
+    let doc = json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let num =
+        |key: &str| doc.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing `{key}`"));
+    let counts = (num("iterations")?, num("halted")?, num("budget")?, num("errored")?);
+    let cov_value =
+        doc.get("coverage").and_then(|c| c.get("map")).ok_or("missing `coverage.map`")?;
+    let coverage = CoverageMap::from_value(cov_value)?;
+    let mut reproducers = Vec::new();
+    for item in doc.get("reproducers").and_then(Value::as_array).ok_or("missing `reproducers`")? {
+        reproducers.push(api::reproducer_from_value(item)?);
+    }
+    Ok((counts, coverage, reproducers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_is_disjoint_and_exhaustive() {
+        for (start, count, n) in [(0u64, 10u64, 3usize), (5, 7, 2), (0, 2, 4), (100, 0, 3)] {
+            let chunks = split_range(start, count, n);
+            assert_eq!(chunks.len(), n);
+            let mut at = start;
+            for &(s, c) in &chunks {
+                assert_eq!(s, at, "chunks must be contiguous");
+                at += c;
+            }
+            assert_eq!(at, start + count, "chunks must cover the range exactly");
+            let max = chunks.iter().map(|&(_, c)| c).max().unwrap();
+            let min = chunks.iter().map(|&(_, c)| c).min().unwrap();
+            assert!(max - min <= 1, "chunk sizes must differ by at most one");
+        }
+    }
+
+    #[test]
+    fn unreachable_instances_are_reported_not_fatal() {
+        // A port from the discard range nobody listens on.
+        let remotes = vec!["127.0.0.1:9".to_owned()];
+        let cfg = FleetConfig {
+            seed_count: 4,
+            timeout: Duration::from_millis(500),
+            ..FleetConfig::default()
+        };
+        let report = fuzz_fleet(&remotes, &cfg);
+        assert_eq!(report.instances.len(), 1);
+        assert!(report.instances[0].error.is_some());
+        assert!(!report.passed());
+        assert!(report.table().contains("ERROR"));
+    }
+
+    #[test]
+    fn fleet_report_json_is_valid() {
+        let mut report = FleetReport::default();
+        report.coverage.record(7);
+        report.instances.push(InstanceReport {
+            addr: "127.0.0.1:1234".to_owned(),
+            seed_start: 0,
+            seed_count: 10,
+            iterations: 10,
+            halted: 9,
+            budget: 1,
+            errored: 0,
+            paths: 1,
+            found: 0,
+            error: None,
+        });
+        let doc = json::parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("passed").and_then(Value::as_bool), Some(true));
+        assert_eq!(doc.get("divergences").and_then(Value::as_u64), Some(0));
+        assert_eq!(doc.get("instances").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+    }
+}

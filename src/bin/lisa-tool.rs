@@ -32,11 +32,18 @@
 //! lisa-tool fuzz   [model] [options]           differential conformance fuzzing
 //!     --model M                 model to fuzz (default: all builtins)
 //!     --seed N                  master seed (default 0)
+//!     --start N                 first iteration index (default 0)
 //!     --iters N                 fresh programs per model (default 500)
 //!     --corpus-dir DIR          replay reproducers first; persist new failures
+//!                               (verified: unreadable or hash-mismatched files abort)
 //!     --max-len N               longest synthesized prefix (default 24)
 //!     --max-cycles N            cycle budget per run (default 2000)
 //!     --self-check              only validate the harness via fault injection
+//!     --remote ADDR             coordinate lisa-serve instances instead of fuzzing
+//!                               locally (repeatable; disjoint seed ranges per instance)
+//!     --timeout-ms N            per-instance request timeout with --remote (default 600000)
+//!     --report FILE             write the fleet report as JSON (with --remote)
+//!     --distill FILE            write the distilled covering seed set as JSON (local runs)
 //! lisa-tool bench  [options]                   benchmark models x backends x kernels
 //!     --quick                   reduced suite (1 kernel per model)
 //!     --repeats N               timed runs per cell (default 3, --quick 2)
@@ -146,8 +153,9 @@ fn usage() -> String {
      batch options: --workers N  --mode interp|compiled|ops|both|all  --profile\n\
                     --metrics FILE\n\
                     --spans FILE\n\
-     fuzz options: --model M|all  --seed N  --iters N  --corpus-dir DIR\n\
+     fuzz options: --model M|all  --seed N  --start N  --iters N  --corpus-dir DIR\n\
                    --max-len N  --max-cycles N  --self-check  --metrics FILE\n\
+                   --remote ADDR (repeatable)  --timeout-ms N  --report FILE  --distill FILE\n\
      bench options: --quick  --repeats N  --out DIR  --baseline FILE  --threshold PCT\n\
                     --metrics FILE\n\
      serve options: --addr A  --workers N  --queue N  --timeout-ms N  --once\n\
@@ -172,6 +180,16 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Every value of a repeatable flag, in order (`--remote A --remote B`).
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
 }
 
 /// Loads a model source: builtin (`@name`) or file path. Returns the
@@ -547,13 +565,15 @@ fn serve(args: &[String]) -> Result<(), CliError> {
 }
 
 /// Differential conformance fuzzing: replay the corpus, then synthesize
-/// fresh programs and run the full oracle stack on each.
+/// fresh programs and run the full oracle stack on each — locally, or
+/// fanned out across lisa-serve instances with `--remote`.
 fn fuzz(args: &[String]) -> Result<(), CliError> {
     let spec = flag_value(args, "--model")
         .or_else(|| args.get(1).map(String::as_str).filter(|a| !a.starts_with("--")))
         .unwrap_or("all");
     let config = lisa::conform::FuzzConfig {
         seed: parse_flag(args, "--seed", 0)?,
+        start: parse_flag(args, "--start", 0)?,
         iters: parse_flag(args, "--iters", 500)?,
         max_len: parse_flag(args, "--max-len", 24)?,
         max_cycles: parse_flag(args, "--max-cycles", 2000)?,
@@ -561,28 +581,140 @@ fn fuzz(args: &[String]) -> Result<(), CliError> {
     };
     let corpus_dir = flag_value(args, "--corpus-dir").map(std::path::PathBuf::from);
     let self_check_only = has_flag(args, "--self-check");
+    let remotes: Vec<String> =
+        flag_values(args, "--remote").into_iter().map(str::to_owned).collect();
 
     let specs: Vec<&str> = if spec == "all" {
         vec!["@tinyrisc", "@scalar2", "@accu16", "@vliw62"]
     } else {
         vec![spec]
     };
+
+    // An untrustworthy corpus aborts the whole run up front — exit 1
+    // with the typed diagnostic, before any replay or fresh fuzzing.
+    if let Some(dir) = &corpus_dir {
+        lisa::conform::corpus::load_dir_verified(dir)
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+
+    if !remotes.is_empty() {
+        return fuzz_fleet_cmd(args, &remotes, &specs, config, corpus_dir.as_deref());
+    }
+
+    let distill_path = flag_value(args, "--distill");
     let registry = Registry::new();
     let mut failed = Vec::new();
+    let mut distilled = Vec::new();
     for spec in specs {
         let (name, wb) = fuzz_workbench(spec)?;
-        if let Err(msg) =
-            fuzz_one(&name, &wb, config, corpus_dir.as_deref(), self_check_only, &registry)
-        {
-            eprintln!("{msg}");
-            failed.push(name);
+        match fuzz_one(
+            &name,
+            &wb,
+            config,
+            corpus_dir.as_deref(),
+            self_check_only,
+            distill_path.is_some(),
+            &registry,
+        ) {
+            Ok(Some(d)) => distilled.push((name, d)),
+            Ok(None) => {}
+            Err(msg) => {
+                eprintln!("{msg}");
+                failed.push(name);
+            }
         }
+    }
+    if let Some(path) = distill_path {
+        let mut out = String::from("{");
+        for (i, (name, d)) in distilled.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let indices: Vec<String> = d.indices.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\"{name}\": {{\"seed\": {}, \"paths\": {}, \"indices\": [{}]}}",
+                config.seed,
+                d.coverage.len(),
+                indices.join(", ")
+            ));
+        }
+        out.push('}');
+        fs::write(path, out)
+            .map_err(|e| CliError::Usage(format!("cannot write distilled set to `{path}`: {e}")))?;
+        println!("distilled seed set written to {path}");
     }
     dump_metrics(args, &registry)?;
     if failed.is_empty() {
         Ok(())
     } else {
         Err(CliError::Failed(format!("conformance failures in: {}", failed.join(", "))))
+    }
+}
+
+/// The `--remote` coordinator: fan disjoint seed ranges across
+/// lisa-serve instances, merge coverage, dedupe reproducers, and write
+/// the fleet report.
+fn fuzz_fleet_cmd(
+    args: &[String],
+    remotes: &[String],
+    specs: &[&str],
+    config: lisa::conform::FuzzConfig,
+    corpus_dir: Option<&std::path::Path>,
+) -> Result<(), CliError> {
+    use lisa::serve::fleet::{fuzz_fleet, FleetConfig};
+
+    let timeout = std::time::Duration::from_millis(parse_flag(args, "--timeout-ms", 600_000u64)?);
+    let self_check = has_flag(args, "--self-check");
+    let mut failed = Vec::new();
+    let mut report_json = String::from("{");
+    for (i, spec) in specs.iter().enumerate() {
+        let name = spec.trim_start_matches('@').to_owned();
+        let cfg = FleetConfig {
+            model: name.clone(),
+            seed: config.seed,
+            seed_start: config.start,
+            seed_count: config.iters,
+            max_len: config.max_len as u64,
+            max_cycles: config.max_cycles,
+            self_check,
+            timeout,
+        };
+        let report = fuzz_fleet(remotes, &cfg);
+        println!("== {name} across {} instance(s) ==", remotes.len());
+        print!("{}", report.table());
+        if let Some(dir) = corpus_dir {
+            for rep in &report.reproducers {
+                match rep.save(dir) {
+                    Ok(path) => println!("reproducer written to {}", path.display()),
+                    Err(e) => eprintln!("could not write reproducer: {e}"),
+                }
+            }
+        }
+        if i > 0 {
+            report_json.push_str(", ");
+        }
+        report_json.push_str(&format!("\"{name}\": {}", report.to_json()));
+        // A self-check fleet run *passes* when every instance caught the
+        // injected fault (each reports one divergence).
+        let ok = if self_check {
+            report.instances.iter().all(|inst| inst.error.is_none() && inst.found == 1)
+        } else {
+            report.passed()
+        };
+        if !ok {
+            failed.push(name);
+        }
+    }
+    report_json.push('}');
+    if let Some(path) = flag_value(args, "--report") {
+        fs::write(path, &report_json)
+            .map_err(|e| CliError::Usage(format!("cannot write fleet report to `{path}`: {e}")))?;
+        println!("fleet report written to {path}");
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failed(format!("fleet conformance failures in: {}", failed.join(", "))))
     }
 }
 
@@ -611,14 +743,17 @@ fn fuzz_workbench(spec: &str) -> Result<(String, lisa::models::Workbench), Strin
 }
 
 /// Fuzzes one model: harness self-check, corpus replay, fresh programs.
+/// Returns the distilled covering seed set when `distill` is requested
+/// and the run was clean.
 fn fuzz_one<'a>(
     name: &str,
     wb: &'a lisa::models::Workbench,
     config: lisa::conform::FuzzConfig,
     corpus_dir: Option<&std::path::Path>,
     self_check_only: bool,
+    distill: bool,
     registry: &'a Registry,
-) -> Result<(), String> {
+) -> Result<Option<lisa::conform::Distilled>, String> {
     use lisa::conform::{corpus, Fuzzer};
 
     // Prove the harness can catch a real divergence before trusting a
@@ -630,14 +765,16 @@ fn fuzz_one<'a>(
         caught.shrunk.len()
     );
     if self_check_only {
-        return Ok(());
+        return Ok(None);
     }
 
     let fuzzer =
         Fuzzer::new(wb, config).map_err(|e| format!("{name}: {e}"))?.with_metrics(registry);
 
     if let Some(dir) = corpus_dir {
-        let entries = corpus::load_dir(dir).map_err(|e| format!("{name}: corpus: {e}"))?;
+        // Integrity was verified up front in `fuzz`; a failure here
+        // (e.g. a file changed underneath us) is still fatal.
+        let entries = corpus::load_dir_verified(dir).map_err(|e| e.to_string())?;
         let mine: Vec<_> = entries.iter().filter(|(_, r)| r.model == name).collect();
         for (path, rep) in &mine {
             if let Err(verdict) = fuzzer.replay(rep) {
@@ -675,10 +812,24 @@ fn fuzz_one<'a>(
         return Err(msg);
     }
     println!(
-        "{name}: {} iterations ok (halted {}, budget {}, errored {}) — all oracles agree",
-        report.iterations, report.halted, report.budget, report.errored
+        "{name}: {} iterations ok (halted {}, budget {}, errored {}), \
+         {} coding-tree path(s) covered — all oracles agree",
+        report.iterations,
+        report.halted,
+        report.budget,
+        report.errored,
+        report.coverage.len()
     );
-    Ok(())
+    if distill {
+        let d = fuzzer.distill();
+        println!(
+            "{name}: distilled to {} seed(s) covering all {} path(s)",
+            d.indices.len(),
+            d.coverage.len()
+        );
+        return Ok(Some(d));
+    }
+    Ok(None)
 }
 
 /// Parses an integer flag with a default.

@@ -417,6 +417,79 @@ fn inspect_prints_the_architecture_report() {
 }
 
 #[test]
+fn fuzz_fails_fast_on_a_tampered_corpus() {
+    // A canonical `<model>-<16 hex>.repro` name whose contents hash to
+    // something else: the corpus cannot be trusted, so `fuzz` must exit
+    // 1 with a typed diagnostic *before* doing any fuzzing work.
+    let dir = std::env::temp_dir().join("lisa_cli_fuzz_tamper_test");
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("tinyrisc-0000000000000000.repro"),
+        "# lisa-conform reproducer\nmodel = tinyrisc\nseed = 0\noracle = lockstep\nword = 0xf000\n",
+    )
+    .unwrap();
+    let output = lisa_tool()
+        .args(["fuzz", "--model", "tinyrisc", "--iters", "1", "--corpus-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "tampered corpus must abort the run");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("content hash mismatch"), "{err}");
+    assert!(err.contains("file name says 0000000000000000"), "{err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_fails_fast_on_an_unreadable_corpus_entry() {
+    // A directory carrying the .repro extension cannot be read as a
+    // file — unlike permission bits, this stays unreadable under root.
+    let dir = std::env::temp_dir().join("lisa_cli_fuzz_unread_test");
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(dir.join("trap.repro")).unwrap();
+    let output = lisa_tool()
+        .args(["fuzz", "--model", "tinyrisc", "--iters", "1", "--corpus-dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1), "unreadable corpus entry must abort the run");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("corpus file unreadable"), "{err}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_distills_a_covering_seed_set() {
+    let dir = std::env::temp_dir().join("lisa_cli_fuzz_distill_test");
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("distill.json");
+    let out = run_ok(&[
+        "fuzz",
+        "--model",
+        "tinyrisc",
+        "--iters",
+        "30",
+        "--max-len",
+        "12",
+        "--distill",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("coding-tree path(s) covered"), "{out}");
+    assert!(out.contains("distilled to"), "{out}");
+    let text = fs::read_to_string(&path).unwrap();
+    let doc = lisa::metrics::json::parse(&text).expect("distill file is valid JSON");
+    let entry = doc.get("tinyrisc").expect("per-model entry");
+    let paths = entry.get("paths").and_then(lisa::metrics::json::Value::as_u64).unwrap_or(0);
+    assert!(paths > 0, "{text}");
+    let indices =
+        entry.get("indices").and_then(lisa::metrics::json::Value::as_array).expect("indices array");
+    assert!(!indices.is_empty() && indices.len() <= 30, "{text}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_writes_trajectory_and_gates_on_baseline() {
     let dir = std::env::temp_dir().join("lisa_cli_bench_test");
     fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,173 @@
+//! Fleet-scale conformance: two real lisa-serve instances on loopback,
+//! driven by the fleet coordinator. The key property is losslessness —
+//! a fleet splitting one seed range across N instances must observe
+//! exactly the coverage a single instance observes over the whole
+//! range, with zero divergences, and identical reproducers must
+//! deduplicate by content hash.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lisa::conform::{FuzzConfig, Fuzzer};
+use lisa::serve::{fuzz_fleet, AppState, FleetConfig, ServeConfig, Server, ServerHandle};
+
+fn boot() -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue: 16,
+        timeout: Duration::from_secs(120),
+        once: false,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, Arc::new(AppState::new())).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || {
+        server.run().expect("server run");
+    });
+    (addr, handle, join)
+}
+
+#[test]
+fn two_instance_fleet_matches_a_single_whole_range_run() {
+    let (addr_a, handle_a, join_a) = boot();
+    let (addr_b, handle_b, join_b) = boot();
+    let remotes = vec![addr_a.to_string(), addr_b.to_string()];
+
+    let cfg = FleetConfig {
+        model: "tinyrisc".to_owned(),
+        seed: 7,
+        seed_start: 0,
+        seed_count: 40,
+        max_len: 16,
+        max_cycles: 2000,
+        self_check: false,
+        timeout: Duration::from_secs(120),
+    };
+    let report = fuzz_fleet(&remotes, &cfg);
+
+    // Both instances answered, the ranges are disjoint halves, and no
+    // oracle fired anywhere in the fleet.
+    assert_eq!(report.instances.len(), 2, "{}", report.table());
+    for inst in &report.instances {
+        assert!(inst.error.is_none(), "{}", report.table());
+        assert_eq!(inst.seed_count, 20);
+        assert_eq!(inst.iterations, 20);
+    }
+    assert_eq!(report.instances[0].seed_start, 0);
+    assert_eq!(report.instances[1].seed_start, 20);
+    assert_eq!(report.iterations(), 40);
+    assert_eq!(report.divergences(), 0);
+    assert!(report.passed());
+    assert!(report.reproducers.is_empty());
+
+    // Losslessness: the merged fleet coverage equals what one local
+    // fuzzer observes over the identical whole range.
+    let wb = lisa::models::tinyrisc::workbench().expect("tinyrisc workbench");
+    let solo = Fuzzer::new(
+        &wb,
+        FuzzConfig { seed: 7, start: 0, iters: 40, max_len: 16, max_cycles: 2000, fault: None },
+    )
+    .expect("fuzzer")
+    .run();
+    assert!(solo.failure.is_none());
+    assert!(!solo.coverage.is_empty());
+    assert_eq!(
+        report.coverage, solo.coverage,
+        "fleet coverage must equal single-instance coverage over the same range"
+    );
+
+    handle_a.shutdown();
+    handle_b.shutdown();
+    join_a.join().expect("server a");
+    join_b.join().expect("server b");
+}
+
+#[test]
+fn self_check_fleet_dedupes_identical_reproducers_to_one() {
+    let (addr_a, handle_a, join_a) = boot();
+    let (addr_b, handle_b, join_b) = boot();
+    let remotes = vec![addr_a.to_string(), addr_b.to_string()];
+
+    let cfg = FleetConfig {
+        model: "tinyrisc".to_owned(),
+        seed_count: 4,
+        self_check: true,
+        timeout: Duration::from_secs(120),
+        ..FleetConfig::default()
+    };
+    let report = fuzz_fleet(&remotes, &cfg);
+
+    // Self-check does not split the range: both instances fuzz the
+    // identical assignment, each must catch the injected fault, and
+    // their reproducers — byte-identical programs — collapse to one
+    // by content hash.
+    for inst in &report.instances {
+        assert!(inst.error.is_none(), "{}", report.table());
+        assert_eq!(inst.seed_start, 0);
+        assert_eq!(inst.seed_count, 4);
+        assert_eq!(inst.found, 1, "each instance catches the injected fault");
+    }
+    assert_eq!(report.divergences(), 2, "pre-dedup count, one per instance");
+    assert_eq!(report.reproducers.len(), 1, "deduplicated by content hash");
+    assert_eq!(report.reproducers[0].model, "tinyrisc");
+
+    handle_a.shutdown();
+    handle_b.shutdown();
+    join_a.join().expect("server a");
+    join_b.join().expect("server b");
+}
+
+#[test]
+fn cli_remote_fuzz_coordinates_in_process_instances() {
+    let (addr_a, handle_a, join_a) = boot();
+    let (addr_b, handle_b, join_b) = boot();
+
+    let dir = std::env::temp_dir().join("lisa_fleet_cli_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("fleet.json");
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_lisa-tool"))
+        .args([
+            "fuzz",
+            "--model",
+            "tinyrisc",
+            "--iters",
+            "24",
+            "--max-len",
+            "12",
+            "--remote",
+            &addr_a.to_string(),
+            "--remote",
+            &addr_b.to_string(),
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("lisa-tool runs");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "exit: {:?}\n{stdout}\n{stderr}", output.status.code());
+    assert!(stdout.contains("fleet: 24 iterations"), "{stdout}");
+    assert!(stdout.contains("0 divergence(s)"), "{stdout}");
+    assert!(stdout.contains("12+12"), "disjoint halves in the table: {stdout}");
+
+    // The fleet report is valid JSON with the merged view.
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let doc = lisa::metrics::json::parse(&text).expect("valid report JSON");
+    let fleet = doc.get("tinyrisc").expect("per-model fleet entry");
+    assert_eq!(
+        fleet.get("passed").and_then(lisa::metrics::json::Value::as_bool),
+        Some(true),
+        "{text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    handle_a.shutdown();
+    handle_b.shutdown();
+    join_a.join().expect("server a");
+    join_b.join().expect("server b");
+}
